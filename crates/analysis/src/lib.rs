@@ -1,0 +1,25 @@
+//! # gfc-analysis — measurement and verdicts
+//!
+//! Implementation-independent metrics used by every experiment:
+//!
+//! * [`series`] — `(time, value)` traces with step semantics (queue
+//!   lengths, rates);
+//! * [`stats`] — summaries and empirical CDFs (Fig. 19);
+//! * [`flows`] — FCT and the §6.2.3 *slowdown* metric (Fig. 17);
+//! * [`throughput`] — 100 µs-binned throughput (Figs. 16/18);
+//! * [`deadlock`] — the progress-based deadlock referee (Table 1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deadlock;
+pub mod flows;
+pub mod series;
+pub mod stats;
+pub mod throughput;
+
+pub use deadlock::ProgressMonitor;
+pub use flows::{FlowLedger, FlowRecord};
+pub use series::TimeSeries;
+pub use stats::{EmpiricalDist, Summary};
+pub use throughput::ThroughputMeter;

@@ -1,0 +1,119 @@
+//! Binned throughput measurement ("counting sent bytes every 100 µs",
+//! §6.2.3) and feedback-bandwidth accounting (Fig. 19).
+
+use crate::series::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+/// Accumulates delivered bytes into fixed time bins and reports a
+/// bits-per-second series.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThroughputMeter {
+    bin_ps: u64,
+    /// `bins[i]` = bytes delivered in `[i·bin, (i+1)·bin)`.
+    bins: Vec<u64>,
+    total_bytes: u64,
+}
+
+impl ThroughputMeter {
+    /// New meter with the given bin width (the paper uses 100 µs).
+    pub fn new(bin_ps: u64) -> Self {
+        assert!(bin_ps > 0);
+        ThroughputMeter { bin_ps, bins: Vec::new(), total_bytes: 0 }
+    }
+
+    /// Record `bytes` delivered at time `t_ps`.
+    pub fn record(&mut self, t_ps: u64, bytes: u64) {
+        let idx = (t_ps / self.bin_ps) as usize;
+        if idx >= self.bins.len() {
+            self.bins.resize(idx + 1, 0);
+        }
+        self.bins[idx] += bytes;
+        self.total_bytes += bytes;
+    }
+
+    /// Total bytes recorded.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// The bin width.
+    pub fn bin_ps(&self) -> u64 {
+        self.bin_ps
+    }
+
+    /// Throughput per bin in bits/s as a time series (bin start time).
+    /// `until_ps` extends trailing zero bins to that horizon, so a stalled
+    /// network shows as zeros rather than a truncated series.
+    pub fn series_bps(&self, until_ps: u64) -> TimeSeries {
+        let n = (until_ps / self.bin_ps) as usize;
+        let mut s = TimeSeries::new();
+        for i in 0..n.max(self.bins.len()) {
+            let bytes = self.bins.get(i).copied().unwrap_or(0);
+            let bps = bytes as f64 * 8.0 * 1e12 / self.bin_ps as f64;
+            s.push(i as u64 * self.bin_ps, bps);
+        }
+        s
+    }
+
+    /// Mean throughput in bits/s over `[0, until_ps)`.
+    pub fn mean_bps(&self, until_ps: u64) -> f64 {
+        assert!(until_ps > 0);
+        self.total_bytes as f64 * 8.0 * 1e12 / until_ps as f64
+    }
+
+    /// Mean throughput over the tail `[from_ps, until_ps)` — used to
+    /// detect a network that was healthy early and collapsed later.
+    pub fn mean_bps_after(&self, from_ps: u64, until_ps: u64) -> f64 {
+        assert!(from_ps < until_ps);
+        let first_bin = (from_ps / self.bin_ps) as usize;
+        let bytes: u64 = self.bins.iter().skip(first_bin).sum();
+        bytes as f64 * 8.0 * 1e12 / (until_ps - from_ps) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_accumulate() {
+        let mut m = ThroughputMeter::new(100);
+        m.record(0, 10);
+        m.record(99, 10);
+        m.record(100, 5);
+        let s = m.series_bps(300);
+        assert_eq!(s.len(), 3);
+        // Bin 0: 20 bytes/100 ps = 1.6e12 bps.
+        assert_eq!(s.points()[0].1, 20.0 * 8.0 * 1e12 / 100.0);
+        assert_eq!(s.points()[2].1, 0.0);
+        assert_eq!(m.total_bytes(), 25);
+    }
+
+    #[test]
+    fn mean_throughput() {
+        let mut m = ThroughputMeter::new(1_000_000);
+        // 1250 bytes per µs for 10 µs = 10 Gb/s.
+        for i in 0..10u64 {
+            m.record(i * 1_000_000, 1250);
+        }
+        let mean = m.mean_bps(10_000_000);
+        assert!((mean - 1e10).abs() < 1.0);
+    }
+
+    #[test]
+    fn tail_mean_sees_collapse() {
+        let mut m = ThroughputMeter::new(100);
+        m.record(0, 1000); // healthy early
+        // Nothing after t=100.
+        assert_eq!(m.mean_bps_after(100, 1100), 0.0);
+        assert!(m.mean_bps(1100) > 0.0);
+    }
+
+    #[test]
+    fn zero_extension() {
+        let m = ThroughputMeter::new(100);
+        let s = m.series_bps(1000);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.max(), Some(0.0));
+    }
+}

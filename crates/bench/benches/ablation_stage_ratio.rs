@@ -1,0 +1,17 @@
+//! Ablation bench: buffer-based GFC stage-ratio design choice (§4.2).
+use gfc_core::units::Time;
+use gfc_experiments::ablation::{run, AblationParams};
+
+gfc_bench::figure_bench!(
+    ablation,
+    "ablation_stage_ratio",
+    || run(AblationParams { horizon: Time::from_millis(5), ..Default::default() }),
+    || {
+        let mut s = run(AblationParams::default()).report();
+        s.push('\n');
+        s += &gfc_experiments::ablation::tau_sweep_report(
+            &gfc_experiments::ablation::run_tau_sweep(4),
+        );
+        s
+    }
+);

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 5: conceptual GFC vs PFC on the 2-to-1 incast.
+use gfc_core::units::Time;
+use gfc_experiments::fig05::{run, Fig05Params};
+
+gfc_bench::figure_bench!(
+    fig05,
+    "fig05_conceptual",
+    || run(Fig05Params { horizon: Time::from_millis(1), ..Default::default() }),
+    || run(Fig05Params::default()).report()
+);

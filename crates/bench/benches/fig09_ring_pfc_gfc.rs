@@ -1,0 +1,10 @@
+//! Regenerates Fig. 9: testbed ring, PFC vs buffer-based GFC.
+use gfc_core::units::Time;
+use gfc_experiments::fig09::{run, RingParams};
+
+gfc_bench::figure_bench!(
+    fig09,
+    "fig09_ring_pfc_gfc",
+    || run(RingParams { horizon: Time::from_millis(10), ..Default::default() }),
+    || run(RingParams { horizon: Time::from_millis(80), ..Default::default() }).report()
+);

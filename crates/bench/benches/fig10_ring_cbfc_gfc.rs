@@ -1,0 +1,11 @@
+//! Regenerates Fig. 10: testbed ring, CBFC vs time-based GFC.
+use gfc_core::units::Time;
+use gfc_experiments::fig09::RingParams;
+use gfc_experiments::fig10::run;
+
+gfc_bench::figure_bench!(
+    fig10,
+    "fig10_ring_cbfc_gfc",
+    || run(RingParams { horizon: Time::from_millis(10), ..Default::default() }),
+    || run(RingParams { horizon: Time::from_millis(80), ..Default::default() }).report()
+);

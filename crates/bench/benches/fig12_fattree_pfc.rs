@@ -1,0 +1,10 @@
+//! Regenerates Fig. 12: fat-tree case study, PFC vs buffer-based GFC.
+use gfc_core::units::Time;
+use gfc_experiments::fig12::{run, FatTreeCaseParams};
+
+gfc_bench::figure_bench!(
+    fig12,
+    "fig12_fattree_pfc",
+    || run(FatTreeCaseParams { horizon: Time::from_millis(8), ..Default::default() }),
+    || run(FatTreeCaseParams::default()).report()
+);

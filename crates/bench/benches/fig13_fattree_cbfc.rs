@@ -1,0 +1,11 @@
+//! Regenerates Fig. 13: fat-tree case study, CBFC vs time-based GFC.
+use gfc_core::units::Time;
+use gfc_experiments::fig12::FatTreeCaseParams;
+use gfc_experiments::fig13::run;
+
+gfc_bench::figure_bench!(
+    fig13,
+    "fig13_fattree_cbfc",
+    || run(FatTreeCaseParams { horizon: Time::from_millis(8), ..Default::default() }),
+    || run(FatTreeCaseParams::default()).report()
+);

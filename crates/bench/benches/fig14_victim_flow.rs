@@ -1,0 +1,11 @@
+//! Regenerates Fig. 14: the victim flow under all four schemes.
+use gfc_core::units::Time;
+use gfc_experiments::fig12::FatTreeCaseParams;
+use gfc_experiments::fig14::run;
+
+gfc_bench::figure_bench!(
+    fig14,
+    "fig14_victim_flow",
+    || run(FatTreeCaseParams { seed: 12, horizon: Time::from_millis(8), ..Default::default() }),
+    || run(FatTreeCaseParams { seed: 12, ..Default::default() }).report()
+);

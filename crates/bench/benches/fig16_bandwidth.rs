@@ -1,0 +1,28 @@
+//! Regenerates Fig. 16: average available bandwidth per server.
+use gfc_core::units::Time;
+use gfc_experiments::perf::{run, PerfParams};
+
+fn tiny() -> PerfParams {
+    PerfParams {
+        cbd_free_cases: 2,
+        prone_cases: 2,
+        horizon: Time::from_millis(6),
+        ..Default::default()
+    }
+}
+
+fn micro() -> PerfParams {
+    PerfParams {
+        cbd_free_cases: 1,
+        prone_cases: 1,
+        horizon: Time::from_millis(3),
+        ..Default::default()
+    }
+}
+
+gfc_bench::figure_bench!(
+    fig16,
+    "fig16_bandwidth",
+    || run(micro()),
+    || run(tiny()).report_fig16()
+);

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 18: aggregate throughput evolution on a deadlock case.
+use gfc_core::units::Time;
+use gfc_experiments::fig18::{run, Fig18Params};
+
+gfc_bench::figure_bench!(
+    fig18,
+    "fig18_collapse",
+    || run(Fig18Params { horizon: Time::from_millis(18), ..Default::default() }),
+    || run(Fig18Params { horizon: Time::from_millis(18), ..Default::default() }).report()
+);

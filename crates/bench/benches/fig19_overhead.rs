@@ -1,0 +1,10 @@
+//! Regenerates Fig. 19: GFC feedback-bandwidth occupation CDF.
+use gfc_core::units::Time;
+use gfc_experiments::fig19::{run, Fig19Params};
+
+gfc_bench::figure_bench!(
+    fig19,
+    "fig19_overhead",
+    || run(Fig19Params { cases: 1, horizon: Time::from_millis(5), ..Default::default() }),
+    || run(Fig19Params { cases: 2, horizon: Time::from_millis(8), ..Default::default() }).report()
+);

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 20: DCQCN interaction on the 8-to-1 incast.
+use gfc_core::units::Time;
+use gfc_experiments::fig20::{run, Fig20Params};
+
+gfc_bench::figure_bench!(
+    fig20,
+    "fig20_dcqcn",
+    || run(Fig20Params { horizon: Time::from_millis(3), ..Default::default() }),
+    || run(Fig20Params::default()).report()
+);

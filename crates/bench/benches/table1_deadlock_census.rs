@@ -1,0 +1,22 @@
+//! Regenerates Table 1: the deadlock census over random failed fat-trees.
+use gfc_core::units::Time;
+use gfc_experiments::table1::{run, Table1Params};
+
+fn tiny(topologies: usize, horizon_ms: u64) -> Table1Params {
+    Table1Params {
+        ks: vec![4],
+        topologies_per_k: topologies,
+        repeats: 1,
+        failure_prob: 0.08,
+        horizon: Time::from_millis(horizon_ms),
+        seed: 77,
+        threads: 8,
+    }
+}
+
+gfc_bench::figure_bench!(
+    table1,
+    "table1_deadlock_census",
+    || run(tiny(4, 3)),
+    || run(tiny(20, 8)).report()
+);

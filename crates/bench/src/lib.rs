@@ -1,0 +1,52 @@
+//! # gfc-bench — benchmark harness shared helpers
+//!
+//! Each bench target under `benches/` regenerates one table or figure of
+//! the paper: it prints the paper-vs-measured report once, then times the
+//! regeneration with Criterion. Run a single figure with e.g.
+//! `cargo bench -p gfc-bench --bench fig09_ring_pfc_gfc`, or everything
+//! with `cargo bench --workspace`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::Once;
+
+/// Print a figure's report exactly once per process (the timed iterations
+/// stay silent).
+pub fn print_report_once(once: &'static Once, report: impl FnOnce() -> String) {
+    once.call_once(|| {
+        println!("\n{}", report());
+    });
+}
+
+/// The Criterion configuration used by every figure bench: small sample
+/// counts — each iteration is a full packet-level simulation.
+#[macro_export]
+macro_rules! gfc_criterion {
+    () => {
+        criterion::Criterion::default()
+            .sample_size(10)
+            .warm_up_time(std::time::Duration::from_millis(500))
+            .measurement_time(std::time::Duration::from_secs(5))
+    };
+}
+
+/// Boilerplate for a figure bench: prints the report once, then times the
+/// closure.
+#[macro_export]
+macro_rules! figure_bench {
+    ($name:ident, $bench_id:literal, $run:expr, $report:expr) => {
+        fn $name(c: &mut criterion::Criterion) {
+            static ONCE: std::sync::Once = std::sync::Once::new();
+            $crate::print_report_once(&ONCE, $report);
+            c.bench_function($bench_id, |b| b.iter(|| criterion::black_box($run())));
+        }
+
+        criterion::criterion_group! {
+            name = benches;
+            config = $crate::gfc_criterion!();
+            targets = $name
+        }
+        criterion::criterion_main!(benches);
+    };
+}

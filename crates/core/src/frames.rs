@@ -1,0 +1,315 @@
+//! Wire encodings of the feedback messages.
+//!
+//! * [`PfcFrame`] — the IEEE 802.1Qbb PFC MAC control frame of Fig. 7:
+//!   destination MAC `01:80:C2:00:00:01`, EtherType `0x8808`, opcode
+//!   `0x0101`, a Class-Enable Vector and eight 16-bit `Time[i]` fields,
+//!   padded to the 64-byte Ethernet minimum.
+//! * Buffer-based GFC reuses the same frame but re-purposes `Time[prio]`
+//!   to carry the stage ID (§5.1). On a real link the interpretation is
+//!   negotiated per-port; to keep decoding unambiguous inside one fabric
+//!   this codec uses opcode `0x0102` for the GFC interpretation (documented
+//!   deviation — same size, same fields).
+//! * [`FcpFrame`] — the InfiniBand flow-control packet: op/VL nibbles, a
+//!   wrapping FCTBS and FCCL, protected by CRC-16/CCITT. Used unchanged by
+//!   time-based GFC. Deviation from the IB spec: the counter fields are
+//!   16 bits wide instead of 12, because the paper's testbed buffers
+//!   (1 MB = 16384 blocks) exceed the 12-bit credit space; the wrap
+//!   reconstruction is otherwise identical
+//!   (`gfc_core::cbfc::wrap16_advance`).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// Multicast destination of MAC control frames.
+pub const PFC_DST_MAC: [u8; 6] = [0x01, 0x80, 0xC2, 0x00, 0x00, 0x01];
+/// MAC control EtherType.
+pub const MAC_CONTROL_ETHERTYPE: u16 = 0x8808;
+/// PFC (priority pause) opcode.
+pub const PFC_OPCODE: u16 = 0x0101;
+/// GFC stage-feedback opcode (this fabric's convention; see module docs).
+pub const GFC_OPCODE: u16 = 0x0102;
+/// On-the-wire size of a PFC/GFC control frame including FCS: the Ethernet
+/// minimum. Used for τ and bandwidth-overhead accounting (§4.2 uses
+/// m = 64 B).
+pub const CONTROL_FRAME_WIRE_BYTES: u64 = 64;
+/// On-the-wire size of an InfiniBand FCP (operand + CRC + framing).
+pub const FCP_WIRE_BYTES: u64 = 8;
+
+/// Errors from frame decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Buffer shorter than the fixed frame layout.
+    Truncated,
+    /// EtherType/opcode/op-nibble not one we understand.
+    UnknownKind,
+    /// CRC mismatch (FCP only; Ethernet FCS is left to the MAC).
+    BadCrc,
+    /// A 12-bit field carried an out-of-range value.
+    FieldRange,
+}
+
+impl core::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "frame truncated"),
+            FrameError::UnknownKind => write!(f, "unknown frame kind"),
+            FrameError::BadCrc => write!(f, "bad CRC"),
+            FrameError::FieldRange => write!(f, "field out of range"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// A PFC (or buffer-based-GFC) MAC control frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PfcFrame {
+    /// Source MAC of the emitting port.
+    pub src_mac: [u8; 6],
+    /// `true` → the `Time` fields are GFC stage IDs (opcode 0x0102);
+    /// `false` → classic PFC pause quanta (opcode 0x0101).
+    pub gfc: bool,
+    /// Class-Enable Vector: bit `i` set ⇒ `time[i]` applies to priority `i`.
+    pub class_enable: u8,
+    /// Per-priority pause quanta (PFC) or stage IDs (GFC).
+    pub time: [u16; 8],
+}
+
+impl PfcFrame {
+    /// A classic PFC frame acting on one priority.
+    pub fn pause(src_mac: [u8; 6], priority: u8, quanta: u16) -> Self {
+        assert!(priority < 8);
+        let mut time = [0u16; 8];
+        time[priority as usize] = quanta;
+        PfcFrame { src_mac, gfc: false, class_enable: 1 << priority, time }
+    }
+
+    /// A buffer-based GFC stage-feedback frame for one priority.
+    pub fn gfc_stage(src_mac: [u8; 6], priority: u8, stage: u16) -> Self {
+        assert!(priority < 8);
+        let mut time = [0u16; 8];
+        time[priority as usize] = stage;
+        PfcFrame { src_mac, gfc: true, class_enable: 1 << priority, time }
+    }
+
+    /// The quanta/stage value for `priority`, if enabled in the CEV.
+    pub fn value_for(&self, priority: u8) -> Option<u16> {
+        assert!(priority < 8);
+        if self.class_enable & (1 << priority) != 0 {
+            Some(self.time[priority as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Serialize to the 64-byte wire format (including a zero placeholder
+    /// FCS the MAC would fill in).
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(CONTROL_FRAME_WIRE_BYTES as usize);
+        b.put_slice(&PFC_DST_MAC);
+        b.put_slice(&self.src_mac);
+        b.put_u16(MAC_CONTROL_ETHERTYPE);
+        b.put_u16(if self.gfc { GFC_OPCODE } else { PFC_OPCODE });
+        b.put_u16(self.class_enable as u16);
+        for t in self.time {
+            b.put_u16(t);
+        }
+        // Pad to 60 B; the final 4 B stand in for the FCS.
+        while b.len() < CONTROL_FRAME_WIRE_BYTES as usize {
+            b.put_u8(0);
+        }
+        b.freeze()
+    }
+
+    /// Parse from wire bytes.
+    pub fn decode(mut buf: impl Buf) -> Result<Self, FrameError> {
+        if buf.remaining() < 38 {
+            return Err(FrameError::Truncated);
+        }
+        let mut dst = [0u8; 6];
+        buf.copy_to_slice(&mut dst);
+        if dst != PFC_DST_MAC {
+            return Err(FrameError::UnknownKind);
+        }
+        let mut src_mac = [0u8; 6];
+        buf.copy_to_slice(&mut src_mac);
+        if buf.get_u16() != MAC_CONTROL_ETHERTYPE {
+            return Err(FrameError::UnknownKind);
+        }
+        let gfc = match buf.get_u16() {
+            PFC_OPCODE => false,
+            GFC_OPCODE => true,
+            _ => return Err(FrameError::UnknownKind),
+        };
+        let cev = buf.get_u16();
+        if cev > 0xFF {
+            return Err(FrameError::FieldRange);
+        }
+        let mut time = [0u16; 8];
+        for t in &mut time {
+            *t = buf.get_u16();
+        }
+        Ok(PfcFrame { src_mac, gfc, class_enable: cev as u8, time })
+    }
+}
+
+/// CRC-16/CCITT-FALSE, as used by short link-layer control packets.
+pub fn crc16_ccitt(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &byte in data {
+        crc ^= (byte as u16) << 8;
+        for _ in 0..8 {
+            crc = if crc & 0x8000 != 0 { (crc << 1) ^ 0x1021 } else { crc << 1 };
+        }
+    }
+    crc
+}
+
+/// FCP operand kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FcpOp {
+    /// Normal periodic flow-control update.
+    Normal,
+    /// Link-initialization advertisement.
+    Init,
+}
+
+/// An InfiniBand flow-control packet (one virtual lane). See the module
+/// docs for the 16-bit counter-width deviation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FcpFrame {
+    /// Operand.
+    pub op: FcpOp,
+    /// Virtual lane (0..=15).
+    pub vl: u8,
+    /// Sender's total-blocks-sent counter, 16-bit wrapping wire precision.
+    pub fctbs: u16,
+    /// Receiver's credit limit, 16-bit wrapping wire precision.
+    pub fccl: u16,
+}
+
+impl FcpFrame {
+    /// Build; panics on out-of-range VL.
+    pub fn new(op: FcpOp, vl: u8, fctbs: u16, fccl: u16) -> Self {
+        assert!(vl < 16, "VL out of range");
+        FcpFrame { op, vl, fctbs, fccl }
+    }
+
+    /// Serialize: `op:4 | vl:4 | fctbs:16 | fccl:16` (5 bytes) + CRC-16 +
+    /// 1 byte framing pad = 8 bytes on the wire.
+    pub fn encode(&self) -> Bytes {
+        let op_bits: u8 = match self.op {
+            FcpOp::Normal => 0x0,
+            FcpOp::Init => 0x1,
+        };
+        let mut b = BytesMut::with_capacity(FCP_WIRE_BYTES as usize);
+        b.put_u8((op_bits << 4) | (self.vl & 0xF));
+        b.put_u16(self.fctbs);
+        b.put_u16(self.fccl);
+        let crc = crc16_ccitt(&b[..5]);
+        b.put_u16(crc);
+        b.put_u8(0); // framing pad
+        b.freeze()
+    }
+
+    /// Parse and CRC-check.
+    pub fn decode(mut buf: impl Buf) -> Result<Self, FrameError> {
+        if buf.remaining() < 7 {
+            return Err(FrameError::Truncated);
+        }
+        let mut head = [0u8; 5];
+        buf.copy_to_slice(&mut head);
+        let crc = buf.get_u16();
+        if crc != crc16_ccitt(&head) {
+            return Err(FrameError::BadCrc);
+        }
+        let op = match head[0] >> 4 {
+            0x0 => FcpOp::Normal,
+            0x1 => FcpOp::Init,
+            _ => return Err(FrameError::UnknownKind),
+        };
+        Ok(FcpFrame {
+            op,
+            vl: head[0] & 0xF,
+            fctbs: u16::from_be_bytes([head[1], head[2]]),
+            fccl: u16::from_be_bytes([head[3], head[4]]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: [u8; 6] = [0x02, 0x00, 0x00, 0x00, 0x00, 0x01];
+
+    #[test]
+    fn pfc_roundtrip() {
+        let f = PfcFrame::pause(SRC, 3, 0xFFFF);
+        let wire = f.encode();
+        assert_eq!(wire.len() as u64, CONTROL_FRAME_WIRE_BYTES);
+        let g = PfcFrame::decode(wire).unwrap();
+        assert_eq!(f, g);
+        assert_eq!(g.value_for(3), Some(0xFFFF));
+        assert_eq!(g.value_for(2), None);
+    }
+
+    #[test]
+    fn gfc_stage_roundtrip() {
+        let f = PfcFrame::gfc_stage(SRC, 0, 7);
+        let g = PfcFrame::decode(f.encode()).unwrap();
+        assert!(g.gfc);
+        assert_eq!(g.value_for(0), Some(7));
+    }
+
+    #[test]
+    fn pfc_rejects_wrong_ethertype() {
+        let mut wire = BytesMut::from(&PfcFrame::pause(SRC, 0, 1).encode()[..]);
+        wire[12] = 0x08;
+        wire[13] = 0x00; // IPv4 ethertype
+        assert_eq!(PfcFrame::decode(wire.freeze()), Err(FrameError::UnknownKind));
+    }
+
+    #[test]
+    fn pfc_rejects_truncated() {
+        let wire = PfcFrame::pause(SRC, 0, 1).encode();
+        assert_eq!(PfcFrame::decode(&wire[..20]), Err(FrameError::Truncated));
+    }
+
+    #[test]
+    fn fcp_roundtrip() {
+        let f = FcpFrame::new(FcpOp::Normal, 2, 65_535, 123);
+        let g = FcpFrame::decode(f.encode()).unwrap();
+        assert_eq!(f, g);
+        assert_eq!(f.encode().len() as u64, FCP_WIRE_BYTES);
+    }
+
+    #[test]
+    fn fcp_detects_corruption() {
+        let wire = FcpFrame::new(FcpOp::Init, 0, 1, 2).encode();
+        let mut bad = BytesMut::from(&wire[..]);
+        bad[1] ^= 0x40;
+        assert_eq!(FcpFrame::decode(bad.freeze()), Err(FrameError::BadCrc));
+    }
+
+    #[test]
+    #[should_panic(expected = "VL out of range")]
+    fn fcp_rejects_oversize_vl() {
+        FcpFrame::new(FcpOp::Normal, 16, 0, 0);
+    }
+
+    #[test]
+    fn crc16_known_vector() {
+        // CRC-16/CCITT-FALSE("123456789") = 0x29B1.
+        assert_eq!(crc16_ccitt(b"123456789"), 0x29B1);
+    }
+
+    #[test]
+    fn all_priorities_roundtrip() {
+        for p in 0..8u8 {
+            let f = PfcFrame::gfc_stage(SRC, p, p as u16 + 1);
+            let g = PfcFrame::decode(f.encode()).unwrap();
+            assert_eq!(g.value_for(p), Some(p as u16 + 1));
+        }
+    }
+}

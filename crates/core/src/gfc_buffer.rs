@@ -1,0 +1,153 @@
+//! Buffer-based GFC (§5.1): the practical scheme for CEE/PFC fabrics.
+//!
+//! The Message Generator reuses PFC's threshold machinery but with the
+//! multi-stage thresholds of Eq. (5): whenever the ingress queue length
+//! crosses from one stage to another (in either direction), it emits a
+//! feedback frame carrying the new stage ID in the repurposed
+//! `Time[priority]` field of the PFC frame. The Rate Adjuster looks the
+//! stage up in a precomputed table (no arithmetic in the fast path) and
+//! programs the egress Rate Limiter.
+
+use crate::mapping::StageTable;
+use crate::units::Rate;
+use serde::{Deserialize, Serialize};
+
+/// Receiver side: stage tracker / message generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GfcBufferReceiver {
+    table: StageTable,
+    current_stage: usize,
+    messages_sent: u64,
+}
+
+impl GfcBufferReceiver {
+    /// New receiver starting in stage 0 (empty queue).
+    pub fn new(table: StageTable) -> Self {
+        GfcBufferReceiver { table, current_stage: 0, messages_sent: 0 }
+    }
+
+    /// The stage table in force.
+    pub fn table(&self) -> &StageTable {
+        &self.table
+    }
+
+    /// The stage the queue currently sits in.
+    pub fn current_stage(&self) -> usize {
+        self.current_stage
+    }
+
+    /// Feedback messages generated so far (each is one 64 B frame).
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent
+    }
+
+    /// Report the new ingress queue length; if it moved to a different
+    /// stage, returns the stage ID to feed back.
+    pub fn on_queue_update(&mut self, q: u64) -> Option<u16> {
+        let stage = self.table.stage_for_queue(q);
+        if stage != self.current_stage {
+            self.current_stage = stage;
+            self.messages_sent += 1;
+            Some(stage as u16)
+        } else {
+            None
+        }
+    }
+}
+
+/// Sender side: stage → rate lookup (the Rate Adjuster).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GfcBufferSender {
+    table: StageTable,
+    rate: Rate,
+}
+
+impl GfcBufferSender {
+    /// New sender starting at line rate.
+    pub fn new(table: StageTable) -> Self {
+        let rate = table.capacity();
+        GfcBufferSender { table, rate }
+    }
+
+    /// Apply a received stage ID; returns the new rate to program into the
+    /// Rate Limiter. Unknown (too-deep) stage IDs saturate to the deepest
+    /// stage rather than blocking.
+    pub fn on_feedback(&mut self, stage: u16) -> Rate {
+        self.rate = self.table.rate_for_stage(stage as usize);
+        self.rate
+    }
+
+    /// Currently assigned rate.
+    pub fn rate(&self) -> Rate {
+        self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::kb;
+
+    fn table() -> StageTable {
+        StageTable::new(kb(300), kb(281), Rate::from_gbps(10))
+    }
+
+    #[test]
+    fn emits_on_stage_crossings_only() {
+        let mut rx = GfcBufferReceiver::new(table());
+        assert_eq!(rx.on_queue_update(kb(100)), None);
+        assert_eq!(rx.on_queue_update(kb(280)), None);
+        assert_eq!(rx.on_queue_update(kb(282)), Some(1));
+        assert_eq!(rx.on_queue_update(kb(283)), None); // same stage
+        // kb(295) lies in stage 2: B2 = 300K − 9.5K = 290.5K ≤ 295K < B3.
+        assert_eq!(rx.on_queue_update(kb(295)), Some(2));
+        // Back down across two stages in one update.
+        assert_eq!(rx.on_queue_update(kb(100)), Some(0));
+        assert_eq!(rx.messages_sent(), 3);
+    }
+
+    #[test]
+    fn sender_follows_stage_ids() {
+        let mut tx = GfcBufferSender::new(table());
+        assert_eq!(tx.rate(), Rate::from_gbps(10));
+        assert_eq!(tx.on_feedback(1), Rate::from_gbps(5));
+        assert_eq!(tx.on_feedback(2), Rate(2_500_000_000));
+        assert_eq!(tx.on_feedback(0), Rate::from_gbps(10));
+    }
+
+    #[test]
+    fn deep_stage_saturates() {
+        let mut tx = GfcBufferSender::new(table());
+        let deepest = tx.table.rate_for_stage(tx.table.num_stages());
+        assert_eq!(tx.on_feedback(u16::MAX), deepest);
+        assert!(deepest > Rate::ZERO, "GFC never maps to a zero rate");
+    }
+
+    #[test]
+    fn closed_loop_converges_without_zero_rate() {
+        // A crude fluid loop: drain at 5G, sender at table rates with a
+        // 10 µs delay discretized in 1 µs ticks. The queue must stabilize
+        // strictly below Bm and the rate must never hit zero.
+        let tbl = table();
+        let mut rx = GfcBufferReceiver::new(tbl.clone());
+        let mut tx = GfcBufferSender::new(tbl.clone());
+        let drain = Rate::from_gbps(5);
+        let mut q: i64 = 0;
+        let mut pipeline: std::collections::VecDeque<Option<u16>> =
+            std::collections::VecDeque::from(vec![None; 10]);
+        for _ in 0..20_000 {
+            let in_bytes = tx.rate().0 as i64 / 8 / 1_000_000; // per µs
+            let out_bytes = drain.0 as i64 / 8 / 1_000_000;
+            q = (q + in_bytes - out_bytes).max(0);
+            assert!(q < kb(300) as i64, "queue exceeded Bm");
+            assert!(tx.rate() > Rate::ZERO, "rate hit zero");
+            pipeline.push_back(rx.on_queue_update(q as u64));
+            if let Some(Some(stage)) = pipeline.pop_front() {
+                tx.on_feedback(stage);
+            }
+        }
+        // Steady state: the rate must be pinned at the stage matching the
+        // drain rate (5G = stage 1).
+        assert_eq!(tx.rate(), Rate::from_gbps(5));
+    }
+}

@@ -1,0 +1,180 @@
+//! Parameter bounds from the paper's theorems and §5.4.
+//!
+//! * Theorem 4.1 (conceptual / buffer-based GFC):
+//!   hold-and-wait is avoided when `B0 ≤ Bm − 4·C·τ`.
+//! * Theorem 5.1 (time-based GFC):
+//!   hold-and-wait is avoided when `B0 ≤ Bm − (√(τ/T)+1)²·C·T`.
+//! * Eq. (6): worst-case feedback latency
+//!   `τ ≤ 2·MTU/C + 2·t_w + t_r`.
+
+use crate::units::{Dur, Rate};
+
+/// Worst-case feedback latency per Eq. (6): the feedback frame waits out an
+/// in-flight MTU, crosses the wire, is processed, the new rate waits out
+/// another in-flight MTU, and the change crosses the wire back.
+pub fn worst_case_tau(mtu_bytes: u64, capacity: Rate, t_wire: Dur, t_proc: Dur) -> Dur {
+    Dur::for_bytes(mtu_bytes, capacity).mul_u64(2) + t_wire.mul_u64(2) + t_proc
+}
+
+/// Theorem 4.1: the largest admissible `B0` for conceptual GFC,
+/// `Bm − 4·C·τ`. Returns `None` when the buffer is too small to satisfy
+/// the theorem at all (`Bm < 4·C·τ`).
+pub fn conceptual_b0_bound(bm_bytes: u64, capacity: Rate, tau: Dur) -> Option<u64> {
+    let four_ctau = capacity.bytes_in(tau).checked_mul(4)?;
+    bm_bytes.checked_sub(four_ctau)
+}
+
+/// §4.2 / §5.4: the largest admissible `B1` for buffer-based GFC,
+/// `Bm − 2·C·τ` (derived from Eq. (5) with k = 1 under Theorem 4.1).
+/// Returns `None` when `Bm < 2·C·τ`.
+pub fn buffer_based_b1_bound(bm_bytes: u64, capacity: Rate, tau: Dur) -> Option<u64> {
+    let two_ctau = capacity.bytes_in(tau).checked_mul(2)?;
+    bm_bytes.checked_sub(two_ctau)
+}
+
+/// Theorem 5.1: the largest admissible `B0` for time-based GFC,
+/// `Bm − (√(τ/T)+1)²·C·T`. Returns `None` when the buffer cannot satisfy
+/// the bound.
+pub fn time_based_b0_bound(bm_bytes: u64, capacity: Rate, tau: Dur, period: Dur) -> Option<u64> {
+    assert!(period.0 > 0, "feedback period must be positive");
+    let ratio = tau.0 as f64 / period.0 as f64;
+    let factor = (ratio.sqrt() + 1.0).powi(2);
+    let ct_bytes = capacity.bytes_in(period) as f64;
+    let margin = (factor * ct_bytes).ceil() as u64;
+    bm_bytes.checked_sub(margin)
+}
+
+/// The reserve `(√(τ/T)+1)²·C·T` in bytes (the amount Theorem 5.1 keeps
+/// free above `B0`).
+pub fn time_based_margin(capacity: Rate, tau: Dur, period: Dur) -> u64 {
+    assert!(period.0 > 0, "feedback period must be positive");
+    let ratio = tau.0 as f64 / period.0 as f64;
+    let factor = (ratio.sqrt() + 1.0).powi(2);
+    (factor * capacity.bytes_in(period) as f64).ceil() as u64
+}
+
+/// The PFC headroom requirement (802.1Qbb): at least `C·τ` beyond XOFF so
+/// in-flight bytes are absorbed after PAUSE takes effect.
+pub fn pfc_headroom(capacity: Rate, tau: Dur) -> u64 {
+    capacity.bytes_in(tau)
+}
+
+/// The CBFC-recommended feedback period: the time to transmit 65535 bytes
+/// (§5.4, following the InfiniBand/Mellanox guidance).
+pub fn cbfc_recommended_period(capacity: Rate) -> Dur {
+    Dur::for_bytes(65_535, capacity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::kb;
+
+    /// §5.4: CEE MTU 1.5 KB, t_w = 1 µs, t_r = 3 µs.
+    fn cee_tau(gbps: u64) -> Dur {
+        worst_case_tau(1536, Rate::from_gbps(gbps), Dur::from_micros(1), Dur::from_micros(3))
+    }
+
+    #[test]
+    fn tau_matches_paper_cee() {
+        // Paper: worst-case τ is 7.4 / 5.6 / 5.2 µs at 10/40/100 Gb/s
+        // (paper uses MTU = 1.5 KB; we use 1536 B — within 50 ns).
+        let t10 = cee_tau(10).as_micros_f64();
+        let t40 = cee_tau(40).as_micros_f64();
+        let t100 = cee_tau(100).as_micros_f64();
+        assert!((t10 - 7.4).abs() < 0.1, "tau10={t10}");
+        assert!((t40 - 5.6).abs() < 0.1, "tau40={t40}");
+        assert!((t100 - 5.2).abs() < 0.1, "tau100={t100}");
+    }
+
+    #[test]
+    fn tau_matches_paper_infiniband() {
+        // IB MTU 4 KB: 11.4 / 6.6 / 5.6 µs at 10/40/100 Gb/s.
+        let tau = |g| {
+            worst_case_tau(4096, Rate::from_gbps(g), Dur::from_micros(1), Dur::from_micros(3))
+                .as_micros_f64()
+        };
+        assert!((tau(10) - 11.4).abs() < 0.2);
+        assert!((tau(40) - 6.6).abs() < 0.2);
+        assert!((tau(100) - 5.6).abs() < 0.2);
+    }
+
+    #[test]
+    fn buffer_based_2ctau_matches_paper() {
+        // §5.4: 2·C·τ ≤ 18.5 / 56 / 130 KB at 10/40/100 Gb/s.
+        let need = |g| 2 * Rate::from_gbps(g).bytes_in(cee_tau(g));
+        assert!(need(10) <= kb(19), "10G: {}", need(10));
+        assert!(need(40) <= kb(57), "40G: {}", need(40));
+        assert!(need(100) <= kb(131), "100G: {}", need(100));
+    }
+
+    #[test]
+    fn time_based_margin_matches_paper() {
+        // §5.4: (√(τ/T)+1)²·C·T ≤ 140.8 / 191.4 / 271 KB at 10/40/100G,
+        // with T = time to send 65535 B.
+        for (g, limit_kb) in [(10u64, 141.5), (40, 192.5), (100, 272.0)] {
+            let c = Rate::from_gbps(g);
+            let t = cbfc_recommended_period(c);
+            let m = time_based_margin(c, cee_tau(g), t) as f64 / 1024.0;
+            assert!(m <= limit_kb, "{g}G margin {m} KB > {limit_kb} KB");
+            assert!(m >= limit_kb * 0.85, "{g}G margin {m} KB suspiciously small");
+        }
+    }
+
+    #[test]
+    fn conceptual_bound_example() {
+        // Fig. 5 example: C = 10G, τ = 25 µs → 4Cτ = 125 KB > Bm = 100 KB,
+        // so the strict theorem cannot hold with that buffer...
+        assert_eq!(conceptual_b0_bound(kb(100), Rate::from_gbps(10), Dur::from_micros(25)), None);
+        // ...but with a 1 MB buffer it can.
+        let b0 = conceptual_b0_bound(kb(1024), Rate::from_gbps(10), Dur::from_micros(25)).unwrap();
+        assert_eq!(b0, kb(1024) - 4 * 31_250);
+    }
+
+    #[test]
+    fn bounds_are_monotone_in_tau() {
+        let bm = kb(1024);
+        let c = Rate::from_gbps(10);
+        let mut last = u64::MAX;
+        for us in [1u64, 5, 10, 25, 50, 90] {
+            let b = conceptual_b0_bound(bm, c, Dur::from_micros(us)).unwrap();
+            assert!(b < last);
+            last = b;
+        }
+    }
+
+    #[test]
+    fn pfc_headroom_value() {
+        // C·τ at 10G with τ = 7.4 µs ≈ 9.25 KB.
+        let h = pfc_headroom(Rate::from_gbps(10), Dur::from_micros_f64(7.4));
+        assert_eq!(h, 9250);
+    }
+
+    #[test]
+    fn cbfc_period_at_10g() {
+        // 65535 B at 10 Gb/s = 52.4 µs — the paper's testbed period.
+        let t = cbfc_recommended_period(Rate::from_gbps(10));
+        assert!((t.as_micros_f64() - 52.4).abs() < 0.1);
+    }
+
+    #[test]
+    fn testbed_time_based_b0() {
+        // §6.1.1: 1 MB buffer, τ = 90 µs, T = 52.4 µs → paper sets
+        // B0 = 492 KB, below the admissible maximum; the bound must admit
+        // it ("the deduced bound of B0 in time-based GFC is relatively
+        // slack", §6.1.2).
+        let bound = time_based_b0_bound(
+            mbytes(1),
+            Rate::from_gbps(10),
+            Dur::from_micros(90),
+            Dur::from_micros_f64(52.4),
+        )
+        .unwrap();
+        assert!(bound >= kb(492), "bound = {} KB admits less than the paper's B0", bound / 1024);
+        assert!(bound < mbytes(1));
+    }
+
+    fn mbytes(m: u64) -> u64 {
+        m * 1024 * 1024
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests of the §5.3 rate limiter: for any assigned rate
+//! and packet-size sequence, a backlogged queue's achieved long-run rate
+//! equals the assignment, and a rate change takes effect immediately.
+
+use gfc_core::rate_limiter::RateLimiter;
+use gfc_core::units::{Dur, Rate, Time};
+use proptest::prelude::*;
+
+const C: Rate = Rate(10_000_000_000);
+
+proptest! {
+    #[test]
+    fn backlogged_queue_achieves_assigned_rate(
+        rate_mbps in 10u64..10_000,
+        sizes in proptest::collection::vec(64u64..9000, 50..300),
+    ) {
+        let mut rl = RateLimiter::with_min_unit(C, Rate::ZERO);
+        let assigned = Rate::from_mbps(rate_mbps);
+        rl.set_rate(assigned);
+        let mut now = Time::ZERO;
+        let mut sent = 0u64;
+        for &s in &sizes {
+            let start = rl.earliest_send(now);
+            let tx = Dur::for_bytes(s, C);
+            let done = start + tx;
+            rl.on_packet_sent(tx, done);
+            sent += s;
+            now = done;
+        }
+        // The span until the next eligible instant covers exactly the
+        // sent bytes at the assigned rate.
+        let span = rl.earliest_send(now) - Time::ZERO;
+        let achieved = sent as f64 * 8.0 * 1e12 / span.0 as f64;
+        let err = (achieved - assigned.0 as f64).abs() / assigned.0 as f64;
+        prop_assert!(err < 0.01, "achieved {achieved} vs assigned {}", assigned.0);
+    }
+
+    #[test]
+    fn gap_is_monotone_in_rate(r1_mbps in 10u64..9_000, r2_mbps in 10u64..9_000) {
+        prop_assume!(r1_mbps < r2_mbps);
+        let tx = Dur::for_bytes(1500, C);
+        let mut rl = RateLimiter::new(C);
+        rl.set_rate(Rate::from_mbps(r1_mbps));
+        let slow = rl.gap_after(tx);
+        rl.set_rate(Rate::from_mbps(r2_mbps));
+        let fast = rl.gap_after(tx);
+        prop_assert!(slow >= fast, "lower rate must wait at least as long");
+    }
+
+    #[test]
+    fn rate_updates_apply_immediately(
+        first_mbps in 10u64..1_000,
+        second_mbps in 1_000u64..10_000,
+    ) {
+        let mut rl = RateLimiter::with_min_unit(C, Rate::ZERO);
+        rl.set_rate(Rate::from_mbps(first_mbps));
+        let tx = Dur::for_bytes(1500, C);
+        let done = Time::ZERO + tx;
+        rl.on_packet_sent(tx, done);
+        let before = rl.earliest_send(done);
+        rl.set_rate(Rate::from_mbps(second_mbps));
+        let after = rl.earliest_send(done);
+        prop_assert!(after <= before, "raising the rate must not extend the wait");
+    }
+
+    #[test]
+    fn never_eligible_before_completion_gap(rate_mbps in 1u64..9_999, bytes in 64u64..9000) {
+        let mut rl = RateLimiter::with_min_unit(C, Rate::ZERO);
+        let r = Rate::from_mbps(rate_mbps);
+        rl.set_rate(r);
+        let tx = Dur::for_bytes(bytes, C);
+        let done = Time::ZERO + tx;
+        rl.on_packet_sent(tx, done);
+        // Total spacing from transmission start must be >= bytes*8/rate.
+        let next = rl.earliest_send(done);
+        let spacing = next - Time::ZERO;
+        let ideal = Dur::for_bytes(bytes, r);
+        prop_assert!(
+            spacing.0 + 1 >= ideal.0,
+            "spacing {} < ideal {} at rate {}",
+            spacing.0,
+            ideal.0,
+            r.0
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! # gfc-dcqcn — DCQCN congestion control
+//!
+//! A faithful-in-structure implementation of DCQCN (Zhu et al.,
+//! SIGCOMM'15) as three pure state machines, used by the §7 / Fig. 20
+//! interaction study between end-to-end congestion control and GFC:
+//!
+//! * [`cp::EcnMarker`] — the congestion point (switch egress): RED-style
+//!   probabilistic ECN marking between `Kmin` and `Kmax` (the paper's
+//!   Fig. 20 study uses a single 40 KB threshold, i.e. `Kmin = Kmax`);
+//! * [`np::CnpGenerator`] — the notification point (receiver NIC): at most
+//!   one Congestion Notification Packet per flow per `N` interval;
+//! * [`rp::ReactionPoint`] — the sender NIC: multiplicative decrease on
+//!   CNP, α-decay, and the fast-recovery / additive-increase /
+//!   hyper-increase ladder driven by a timer and a byte counter.
+//!
+//! All time is in picoseconds (matching `gfc-core::units`); the machines
+//! are deterministic — the one probabilistic choice (RED marking) takes
+//! the uniform sample as an argument so the simulator controls the RNG.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cp;
+pub mod np;
+pub mod rp;
+
+pub use cp::EcnMarker;
+pub use np::CnpGenerator;
+pub use rp::{DcqcnParams, ReactionPoint};

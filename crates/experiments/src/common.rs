@@ -1,0 +1,166 @@
+//! Shared scaffolding for the per-figure experiment modules.
+
+use gfc_core::theorems;
+use gfc_core::units::{kb, Dur, Rate};
+use gfc_sim::config::PumpPolicy;
+use gfc_sim::{FcMode, SimConfig};
+use gfc_topology::fattree::{find_fig11_failures, FatTree, Fig11Scenario};
+use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+/// The four flow-control schemes under comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scheme {
+    /// IEEE 802.1Qbb Priority Flow Control (baseline).
+    Pfc,
+    /// InfiniBand credit-based flow control (baseline).
+    Cbfc,
+    /// Buffer-based GFC (§5.1).
+    GfcBuffer,
+    /// Time-based GFC (§5.2).
+    GfcTime,
+}
+
+impl Scheme {
+    /// All four schemes in the paper's column order.
+    pub const ALL: [Scheme; 4] = [Scheme::Pfc, Scheme::GfcBuffer, Scheme::Cbfc, Scheme::GfcTime];
+
+    /// Human-readable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::Pfc => "PFC",
+            Scheme::Cbfc => "CBFC",
+            Scheme::GfcBuffer => "Buffer-based GFC",
+            Scheme::GfcTime => "Time-based GFC",
+        }
+    }
+
+    /// Whether this is one of the paper's GFC contributions.
+    pub fn is_gfc(&self) -> bool {
+        matches!(self, Scheme::GfcBuffer | Scheme::GfcTime)
+    }
+
+    /// The paper's §6.2.2 parameterization on 300 KB buffers at 10 Gb/s:
+    /// PFC XOFF/XON = 280/277 KB, buffer-GFC B1 = 281 KB, time-GFC
+    /// B0 = 159 KB, CBFC/time-GFC period = 65535 B worth (52.4 µs).
+    pub fn fc_mode_300k(&self) -> FcMode {
+        let c = Rate::from_gbps(10);
+        let period = theorems::cbfc_recommended_period(c);
+        match self {
+            Scheme::Pfc => FcMode::Pfc { xoff: kb(280), xon: kb(277) },
+            Scheme::Cbfc => FcMode::Cbfc { period },
+            Scheme::GfcBuffer => FcMode::GfcBuffer { bm: kb(300), b1: kb(281) },
+            Scheme::GfcTime => FcMode::GfcTime { b0: kb(159), bm: kb(300), period },
+        }
+    }
+
+    /// The paper's §6.1.1 testbed parameterization on 1 MB buffers:
+    /// PFC XOFF/XON = 800/797 KB, buffer-GFC B1 = 750 KB, time-GFC
+    /// B0 = 492 KB.
+    pub fn fc_mode_testbed(&self) -> FcMode {
+        let c = Rate::from_gbps(10);
+        let period = theorems::cbfc_recommended_period(c);
+        match self {
+            Scheme::Pfc => FcMode::Pfc { xoff: kb(800), xon: kb(797) },
+            Scheme::Cbfc => FcMode::Cbfc { period },
+            Scheme::GfcBuffer => FcMode::GfcBuffer { bm: kb(1024), b1: kb(750) },
+            Scheme::GfcTime => FcMode::GfcTime { b0: kb(492), bm: kb(1024), period },
+        }
+    }
+
+    /// The switch discipline under which this scheme's *deadlock panel*
+    /// runs (see DESIGN.md §8): proportional sharing for the baselines
+    /// (the literature's deadlock model), fair sharing for GFC (the
+    /// testbed's forwarding loop, where its trajectories reproduce).
+    pub fn headline_pump(&self) -> PumpPolicy {
+        if self.is_gfc() {
+            PumpPolicy::RoundRobin
+        } else {
+            PumpPolicy::OutputQueued
+        }
+    }
+}
+
+/// Base simulator configuration for the §6.2.2 fat-tree simulations:
+/// 10 Gb/s, 1 µs propagation, 300 KB buffers (+4 MTU of creep headroom
+/// for GFC, see EXPERIMENTS.md), 1.5 KB MTU.
+pub fn sim_config_300k(scheme: Scheme, seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::default_10g();
+    cfg.buffer_bytes = kb(300) + 4 * 1500;
+    cfg.fc = scheme.fc_mode_300k();
+    cfg.pump = scheme.headline_pump();
+    cfg.seed = seed;
+    cfg.progress_window = Dur::from_millis(2);
+    cfg.validate();
+    cfg
+}
+
+/// Base simulator configuration for the §6.1 testbed scenarios (1 MB
+/// buffers, measured τ = 90 µs modeled via the control-processing delay).
+pub fn sim_config_testbed(scheme: Scheme, seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::default_10g();
+    cfg.buffer_bytes = kb(1024) + 4 * 1500;
+    cfg.fc = scheme.fc_mode_testbed();
+    cfg.pump = scheme.headline_pump();
+    cfg.ctrl_proc_delay = Dur::from_micros(86); // τ ≈ 90 µs end to end
+    cfg.seed = seed;
+    cfg.progress_window = Dur::from_millis(2);
+    cfg.validate();
+    cfg
+}
+
+/// The memoized Fig. 11 scenario (k = 4 fat-tree, three failed links whose
+/// SPF re-routing gives the four flows a CBD).
+pub fn fig11_scenario() -> &'static (FatTree, Fig11Scenario) {
+    static SCENARIO: OnceLock<(FatTree, Fig11Scenario)> = OnceLock::new();
+    SCENARIO.get_or_init(|| {
+        find_fig11_failures(8).expect("a 3-failure Fig. 11 scenario must exist on the k=4 fat-tree")
+    })
+}
+
+/// Experiment scale: `Quick` for benches/tests, `Paper` approaches the
+/// paper's sample counts (hours of CPU).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Reduced sample counts, minutes of CPU.
+    Quick,
+    /// Paper-scale sample counts.
+    Paper,
+}
+
+/// Render a two-column paper-vs-measured table row.
+pub fn row(label: &str, paper: &str, measured: &str) -> String {
+    format!("{label:<44} | paper: {paper:<24} | measured: {measured}\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_schemes_have_valid_300k_configs() {
+        for s in Scheme::ALL {
+            sim_config_300k(s, 1);
+        }
+    }
+
+    #[test]
+    fn all_schemes_have_valid_testbed_configs() {
+        for s in Scheme::ALL {
+            sim_config_testbed(s, 1);
+        }
+    }
+
+    #[test]
+    fn headline_disciplines() {
+        assert_eq!(Scheme::Pfc.headline_pump(), PumpPolicy::OutputQueued);
+        assert_eq!(Scheme::GfcBuffer.headline_pump(), PumpPolicy::RoundRobin);
+    }
+
+    #[test]
+    fn fig11_scenario_is_reusable() {
+        let (ft, sc) = fig11_scenario();
+        assert_eq!(sc.failed.len(), 3);
+        assert!(ft.topo.hosts_connected());
+    }
+}

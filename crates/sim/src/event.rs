@@ -1,0 +1,184 @@
+//! The discrete-event queue.
+//!
+//! Events are totally ordered by `(time, sequence)`: the sequence number is
+//! assigned at insertion, so same-instant events run in insertion order and
+//! every run with the same seed replays bit-identically.
+
+use crate::packet::Packet;
+use crate::fc::CtrlPayload;
+use gfc_core::units::Time;
+use gfc_topology::NodeId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A scheduled occurrence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A data packet finished arriving at `(node, port)`.
+    Arrive {
+        /// Receiving node.
+        node: NodeId,
+        /// Receiving port index.
+        port: usize,
+        /// The packet.
+        pkt: Packet,
+    },
+    /// A flow-control message takes effect at `(node, port)` (arrival plus
+    /// the receiver's processing delay `t_r`).
+    CtrlApply {
+        /// Node whose egress the message controls.
+        node: NodeId,
+        /// Port index the message arrived on.
+        port: usize,
+        /// Priority / virtual lane the message addresses.
+        prio: u8,
+        /// Decoded payload.
+        payload: CtrlPayload,
+    },
+    /// Try to start a transmission on `(node, port)`.
+    TxKick {
+        /// Transmitting node.
+        node: NodeId,
+        /// Port index.
+        port: usize,
+    },
+    /// The in-flight transmission on `(node, port)` completes.
+    TxComplete {
+        /// Transmitting node.
+        node: NodeId,
+        /// Port index.
+        port: usize,
+    },
+    /// Periodic feedback generation on ingress `(node, port)` (CBFC /
+    /// time-based GFC).
+    PeriodicFeedback {
+        /// Node generating feedback.
+        node: NodeId,
+        /// Ingress port index.
+        port: usize,
+    },
+    /// Re-evaluate a host's flow packetization.
+    HostTick {
+        /// The host.
+        host: NodeId,
+    },
+    /// Per-flow DCQCN α/increase timer at the source host.
+    DcqcnTimer {
+        /// The source host.
+        host: NodeId,
+        /// The flow id.
+        flow: u64,
+    },
+    /// A CNP reaches the source host.
+    Cnp {
+        /// The source host.
+        host: NodeId,
+        /// The flow id.
+        flow: u64,
+    },
+    /// Progress / deadlock monitor sample.
+    MonitorTick,
+}
+
+/// Min-heap of events keyed by `(time, seq)`.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<(Time, u64, EventBox)>>,
+    seq: u64,
+}
+
+/// Wrapper giving events a total order (by insertion sequence only —
+/// the heap key already includes the sequence, so the event content never
+/// participates in comparisons).
+#[derive(Debug)]
+struct EventBox(Event);
+
+impl PartialEq for EventBox {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl Eq for EventBox {}
+impl PartialOrd for EventBox {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EventBox {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl EventQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `ev` at time `t`.
+    pub fn push(&mut self, t: Time, ev: Event) {
+        self.seq += 1;
+        self.heap.push(Reverse((t, self.seq, EventBox(ev))));
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<(Time, Event)> {
+        self.heap.pop().map(|Reverse((t, _, b))| (t, b.0))
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Time(30), Event::MonitorTick);
+        q.push(Time(10), Event::MonitorTick);
+        q.push(Time(20), Event::MonitorTick);
+        assert_eq!(q.pop().unwrap().0, Time(10));
+        assert_eq!(q.pop().unwrap().0, Time(20));
+        assert_eq!(q.pop().unwrap().0, Time(30));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut q = EventQueue::new();
+        q.push(Time(5), Event::TxKick { node: NodeId(1), port: 0 });
+        q.push(Time(5), Event::TxKick { node: NodeId(2), port: 0 });
+        match q.pop().unwrap().1 {
+            Event::TxKick { node, .. } => assert_eq!(node, NodeId(1)),
+            _ => unreachable!(),
+        }
+        match q.pop().unwrap().1 {
+            Event::TxKick { node, .. } => assert_eq!(node, NodeId(2)),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn peek_does_not_pop() {
+        let mut q = EventQueue::new();
+        q.push(Time(7), Event::MonitorTick);
+        assert_eq!(q.peek_time(), Some(Time(7)));
+        assert_eq!(q.len(), 1);
+    }
+}

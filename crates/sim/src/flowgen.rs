@@ -1,0 +1,137 @@
+//! Flow generation: the workload interface and the standard generators.
+
+use gfc_core::units::Time;
+use gfc_workload::{DestPolicy, FlowSizeDist};
+use rand::rngs::StdRng;
+
+/// A request for one new flow from a host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowRequest {
+    /// Destination host index (into the topology's host list).
+    pub dst_index: usize,
+    /// Payload size; `None` = infinite (line-rate greedy source).
+    pub bytes: Option<u64>,
+    /// Priority class.
+    pub prio: u8,
+}
+
+/// Supplies flows to hosts. `next_flow` is called once per host at t = 0
+/// and again each time one of the host's flows completes (the paper's
+/// closed-loop model, §6.2.3). Returning `None` leaves the host idle
+/// permanently (it is not polled again).
+pub trait Workload {
+    /// The next flow for `host_index`, or `None` to stop.
+    fn next_flow(&mut self, host_index: usize, now: Time, rng: &mut StdRng) -> Option<FlowRequest>;
+}
+
+/// A fixed flow list: each host sends its listed flows one after another
+/// (in order), then stops.
+#[derive(Debug, Clone)]
+pub struct ListWorkload {
+    /// `per_host[i]` = queue of flows for host `i`.
+    per_host: Vec<Vec<FlowRequest>>,
+    cursor: Vec<usize>,
+}
+
+impl ListWorkload {
+    /// Build from per-host flow lists (indexed by host index).
+    pub fn new(per_host: Vec<Vec<FlowRequest>>) -> Self {
+        let cursor = vec![0; per_host.len()];
+        ListWorkload { per_host, cursor }
+    }
+
+    /// Convenience: every host in `flows` gets exactly one flow.
+    pub fn one_each(num_hosts: usize, flows: &[(usize, FlowRequest)]) -> Self {
+        let mut per_host = vec![Vec::new(); num_hosts];
+        for &(src, req) in flows {
+            per_host[src].push(req);
+        }
+        ListWorkload::new(per_host)
+    }
+}
+
+impl Workload for ListWorkload {
+    fn next_flow(&mut self, host_index: usize, _now: Time, _rng: &mut StdRng) -> Option<FlowRequest> {
+        let c = self.cursor.get_mut(host_index)?;
+        let req = self.per_host.get(host_index)?.get(*c)?;
+        *c += 1;
+        Some(*req)
+    }
+}
+
+/// The paper's closed-loop workload: every completion immediately triggers
+/// a new flow with an empirically distributed size towards a destination
+/// picked by the policy (inter-rack in §6.2.3).
+#[derive(Debug, Clone)]
+pub struct ClosedLoopWorkload {
+    /// Flow-size model.
+    pub sizes: FlowSizeDist,
+    /// Destination policy.
+    pub dests: DestPolicy,
+    /// Number of hosts (for destination sampling).
+    pub num_hosts: usize,
+    /// Priority assigned to generated flows.
+    pub prio: u8,
+    /// Stop generating new flows after this instant (lets runs drain).
+    pub stop_after: Option<Time>,
+}
+
+impl Workload for ClosedLoopWorkload {
+    fn next_flow(&mut self, host_index: usize, now: Time, rng: &mut StdRng) -> Option<FlowRequest> {
+        if let Some(stop) = self.stop_after {
+            if now >= stop {
+                return None;
+            }
+        }
+        let dst = self.dests.pick(host_index, self.num_hosts, rng)?;
+        Some(FlowRequest { dst_index: dst, bytes: Some(self.sizes.sample(rng)), prio: self.prio })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn list_workload_sequences() {
+        let req = |d| FlowRequest { dst_index: d, bytes: Some(100), prio: 0 };
+        let mut w = ListWorkload::new(vec![vec![req(1), req(2)], vec![]]);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(w.next_flow(0, Time::ZERO, &mut rng), Some(req(1)));
+        assert_eq!(w.next_flow(0, Time::ZERO, &mut rng), Some(req(2)));
+        assert_eq!(w.next_flow(0, Time::ZERO, &mut rng), None);
+        assert_eq!(w.next_flow(1, Time::ZERO, &mut rng), None);
+        assert_eq!(w.next_flow(9, Time::ZERO, &mut rng), None);
+    }
+
+    #[test]
+    fn closed_loop_respects_stop() {
+        let mut w = ClosedLoopWorkload {
+            sizes: FlowSizeDist::Fixed(1000),
+            dests: DestPolicy::UniformOther,
+            num_hosts: 4,
+            prio: 0,
+            stop_after: Some(Time::from_micros(10)),
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(w.next_flow(0, Time::ZERO, &mut rng).is_some());
+        assert!(w.next_flow(0, Time::from_micros(10), &mut rng).is_none());
+    }
+
+    #[test]
+    fn closed_loop_never_sends_to_self() {
+        let mut w = ClosedLoopWorkload {
+            sizes: FlowSizeDist::Fixed(1000),
+            dests: DestPolicy::UniformOther,
+            num_hosts: 4,
+            prio: 0,
+            stop_after: None,
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            let f = w.next_flow(2, Time::ZERO, &mut rng).unwrap();
+            assert_ne!(f.dst_index, 2);
+        }
+    }
+}

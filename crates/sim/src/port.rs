@@ -1,0 +1,144 @@
+//! Per-port simulator state: ingress accounting, egress queues, control
+//! queue, and the transmission scheduler's bookkeeping.
+
+use crate::config::SimConfig;
+use crate::fc::{CtrlPayload, FcReceiver, FcSender};
+use crate::packet::Packet;
+use gfc_topology::{LinkId, NodeId};
+use std::collections::VecDeque;
+
+/// A packet staged at an egress, remembering which local ingress buffer is
+/// charged for it (None for locally sourced traffic, i.e. host NICs).
+#[derive(Debug, Clone)]
+pub struct StagedPacket {
+    /// The packet.
+    pub pkt: Packet,
+    /// The local ingress port charged for the packet's buffer occupancy.
+    pub ingress_port: Option<usize>,
+}
+
+/// A packet waiting in an ingress FIFO with its forwarding decision.
+#[derive(Debug, Clone)]
+pub struct IngressPacket {
+    /// The packet.
+    pub pkt: Packet,
+    /// The egress port it will leave through.
+    pub out_port: usize,
+    /// Node-local arrival sequence number (for arrival-ordered pumping).
+    pub arrival_seq: u64,
+}
+
+/// One egress priority queue: a *small* staging area (the switch is
+/// input-buffered, per the paper's Fig. 2 — packets wait in ingress FIFOs
+/// and move to the egress only when a staging slot frees).
+#[derive(Debug, Clone, Default)]
+pub struct EgressQueue {
+    /// FIFO of staged packets (at most [`EgressQueue::STAGE_SLOTS`]).
+    pub q: VecDeque<StagedPacket>,
+    /// Total bytes staged.
+    pub bytes: u64,
+    /// Virtual-output-queue byte count: everything in this node currently
+    /// destined to this egress/priority (staged + waiting in ingress FIFOs
+    /// + in flight on this port). This is the congestion signal ECN marks
+    /// against.
+    pub voq_bytes: u64,
+}
+
+impl EgressQueue {
+    /// Staging slots per egress priority queue. Two slots keep the wire
+    /// busy (one transmitting, one next) while preserving the paper's
+    /// input-buffer semantics: everything else queues — and head-of-line
+    /// waits — at the ingress.
+    pub const STAGE_SLOTS: usize = 2;
+}
+
+/// A control message queued for transmission on the reverse channel.
+#[derive(Debug, Clone)]
+pub struct QueuedCtrl {
+    /// Decoded payload.
+    pub payload: CtrlPayload,
+    /// Priority / VL it addresses.
+    pub prio: u8,
+}
+
+/// Everything one port of one node owns.
+#[derive(Debug, Clone)]
+pub struct PortState {
+    /// The attached cable.
+    pub link: LinkId,
+    /// The node on the other end.
+    pub peer: NodeId,
+    /// The port index this cable occupies on the peer.
+    pub peer_port: usize,
+    /// Per-priority ingress buffer occupancy, bytes (FIFO + staged +
+    /// in-flight; released when the last bit leaves the node).
+    pub ing_bytes: Vec<u64>,
+    /// Per-priority ingress FIFOs (the input buffers of Fig. 2; subject to
+    /// head-of-line blocking exactly like the paper's switches).
+    pub ing_q: Vec<VecDeque<IngressPacket>>,
+    /// Per-priority ingress flow-control receivers.
+    pub ing_rx: Vec<FcReceiver>,
+    /// Per-priority egress queues.
+    pub eg: Vec<EgressQueue>,
+    /// Control frames awaiting the wire (strict priority over data).
+    pub ctrl_q: VecDeque<QueuedCtrl>,
+    /// Per-priority egress flow-control senders (+ rate limiters).
+    pub tx_fc: Vec<FcSender>,
+    /// Whether a transmission is in flight on this port.
+    pub tx_busy: bool,
+    /// The control frame in flight, if the current transmission is one.
+    pub current_ctrl: Option<QueuedCtrl>,
+    /// The data frame in flight (with its priority), if any.
+    pub current_data: Option<(StagedPacket, u8)>,
+    /// Weighted-round-robin pointer across priorities.
+    pub wrr_next: usize,
+    /// Earliest outstanding `TxKick` for this port, if any. Scheduling a
+    /// kick earlier than this replaces the bound (the stale later kick
+    /// still fires but is a harmless no-op); without tracking the time, a
+    /// port that once scheduled a far-future wakeup (deep-stage pacing)
+    /// would refuse earlier wakeups after its rate recovered.
+    pub kick_at: Option<gfc_core::units::Time>,
+    /// Received feedback bytes (Fig. 19 accounting).
+    pub ctrl_bytes_rx: u64,
+    /// Received feedback message count.
+    pub ctrl_msgs_rx: u64,
+    /// Packets dropped at this ingress (buffer overflow — must stay 0 in
+    /// lossless configs).
+    pub drops: u64,
+}
+
+impl PortState {
+    /// Fresh port state wired to `(link, peer, peer_port)`.
+    pub fn new(cfg: &SimConfig, link: LinkId, peer: NodeId, peer_port: usize) -> Self {
+        let np = cfg.num_priorities;
+        PortState {
+            link,
+            peer,
+            peer_port,
+            ing_bytes: vec![0; np],
+            ing_q: (0..np).map(|_| VecDeque::new()).collect(),
+            ing_rx: (0..np).map(|_| FcReceiver::for_config(cfg)).collect(),
+            eg: (0..np).map(|_| EgressQueue::default()).collect(),
+            ctrl_q: VecDeque::new(),
+            tx_fc: (0..np).map(|_| FcSender::for_config(cfg)).collect(),
+            tx_busy: false,
+            current_ctrl: None,
+            current_data: None,
+            wrr_next: 0,
+            kick_at: None,
+            ctrl_bytes_rx: 0,
+            ctrl_msgs_rx: 0,
+            drops: 0,
+        }
+    }
+
+    /// Total bytes staged across all egress priorities.
+    pub fn egress_backlog(&self) -> u64 {
+        self.eg.iter().map(|e| e.bytes).sum()
+    }
+
+    /// Total ingress occupancy across priorities.
+    pub fn ingress_backlog(&self) -> u64 {
+        self.ing_bytes.iter().sum()
+    }
+}

@@ -1,0 +1,74 @@
+//! Trace configuration and collected traces.
+//!
+//! Tracing is opt-in per observation point so that large sweeps pay
+//! nothing for instrumentation they don't use.
+
+use gfc_analysis::{ThroughputMeter, TimeSeries};
+use gfc_core::units::Dur;
+use gfc_topology::NodeId;
+use std::collections::HashMap;
+
+/// Identifies one `(node, port, priority)` observation point.
+pub type PortKey = (NodeId, usize, u8);
+
+/// What to record.
+#[derive(Debug, Clone, Default)]
+pub struct TraceConfig {
+    /// Ingress-queue length series at these points (sampled on every
+    /// change).
+    pub ingress_queue: Vec<PortKey>,
+    /// Ingress arrival-rate meters at these points, with this bin width.
+    pub ingress_rate: Vec<PortKey>,
+    /// Bin width for `ingress_rate` (default 10 µs).
+    pub ingress_rate_bin: Dur,
+    /// Assigned egress-limiter rate series at these points (sampled on
+    /// every flow-control update).
+    pub egress_rate: Vec<PortKey>,
+    /// DCQCN per-flow rate series for these flow ids.
+    pub dcqcn_flows: Vec<u64>,
+    /// Per-source-host delivered-throughput meters with this bin width
+    /// (`None` disables).
+    pub host_throughput_bin: Option<Dur>,
+}
+
+impl TraceConfig {
+    /// No tracing.
+    pub fn none() -> Self {
+        TraceConfig { ingress_rate_bin: Dur::from_micros(10), ..Default::default() }
+    }
+}
+
+/// Collected traces, keyed as configured.
+#[derive(Debug, Default)]
+pub struct Traces {
+    /// Ingress queue length (bytes) series.
+    pub ingress_queue: HashMap<PortKey, TimeSeries>,
+    /// Ingress arrival meters (input rate).
+    pub ingress_rate: HashMap<PortKey, ThroughputMeter>,
+    /// Assigned egress rate (bits/s) series.
+    pub egress_rate: HashMap<PortKey, TimeSeries>,
+    /// DCQCN rate (bits/s) series per flow.
+    pub dcqcn_rate: HashMap<u64, TimeSeries>,
+    /// Delivered bytes metered per *source* host.
+    pub host_throughput: HashMap<NodeId, ThroughputMeter>,
+}
+
+impl Traces {
+    /// Initialize storage for a configuration.
+    pub fn for_config(tc: &TraceConfig) -> Self {
+        let mut t = Traces::default();
+        for &k in &tc.ingress_queue {
+            t.ingress_queue.insert(k, TimeSeries::new());
+        }
+        for &k in &tc.ingress_rate {
+            t.ingress_rate.insert(k, ThroughputMeter::new(tc.ingress_rate_bin.0));
+        }
+        for &k in &tc.egress_rate {
+            t.egress_rate.insert(k, TimeSeries::new());
+        }
+        for &f in &tc.dcqcn_flows {
+            t.dcqcn_rate.insert(f, TimeSeries::new());
+        }
+        t
+    }
+}

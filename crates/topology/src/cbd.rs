@@ -1,0 +1,392 @@
+//! Cyclic-buffer-dependency (CBD) analysis (§2.1, *circular wait*).
+//!
+//! A buffer dependency exists from directed link `u→v` to directed link
+//! `v→w` when some flow's path traverses `u→v` then `v→w`: packets held in
+//! `v`'s ingress buffer (arrived over `u→v`) wait for buffer space behind
+//! `v→w`. A cycle in this dependency graph is a CBD — the structural
+//! precondition of deadlock.
+//!
+//! Two analyses are provided:
+//!
+//! * [`depgraph_for_flows`] — dependencies induced by a concrete flow set
+//!   (used to verify scenario constructions such as Fig. 1 and Fig. 11);
+//! * [`cbd_prone`] — dependencies induced by *every possible host pair*
+//!   under SPF/ECMP (every equal-cost DAG edge), the paper's Table 1
+//!   prefilter for "cases which are prone to generate CBD".
+
+use crate::graph::{DirLink, NodeId, NodeKind, Topology};
+use crate::routing::{path_dirlinks, DstTree};
+use std::collections::{HashMap, HashSet};
+
+/// A buffer-dependency graph over directed links.
+#[derive(Debug, Default, Clone)]
+pub struct DepGraph {
+    /// Adjacency: directed-link index → set of successor directed links.
+    edges: HashMap<u64, HashSet<u64>>,
+}
+
+impl DepGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert the dependency `from → to`.
+    pub fn add_edge(&mut self, from: DirLink, to: DirLink) {
+        self.edges.entry(from.index()).or_default().insert(to.index());
+    }
+
+    /// Number of dependency edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.values().map(|s| s.len()).sum()
+    }
+
+    /// Whether the graph contains a cycle.
+    pub fn has_cycle(&self) -> bool {
+        self.find_cycle().is_some()
+    }
+
+    /// Find one cycle, as a sequence of directed-link indices (first
+    /// element repeated implicitly), if any exists.
+    pub fn find_cycle(&self) -> Option<Vec<u64>> {
+        // Iterative DFS with colors: 0 = white, 1 = on stack, 2 = done.
+        let mut color: HashMap<u64, u8> = HashMap::new();
+        let mut parent: HashMap<u64, u64> = HashMap::new();
+        let mut roots: Vec<u64> = self.edges.keys().copied().collect();
+        roots.sort_unstable(); // determinism
+        for &root in &roots {
+            if color.get(&root).copied().unwrap_or(0) != 0 {
+                continue;
+            }
+            // Stack of (node, next-successor cursor).
+            let mut stack: Vec<(u64, Vec<u64>)> = Vec::new();
+            let mut succs: Vec<u64> =
+                self.edges.get(&root).map(|s| s.iter().copied().collect()).unwrap_or_default();
+            succs.sort_unstable();
+            color.insert(root, 1);
+            stack.push((root, succs));
+            while let Some((v, rest)) = stack.last_mut() {
+                let v = *v;
+                if let Some(u) = rest.pop() {
+                    match color.get(&u).copied().unwrap_or(0) {
+                        0 => {
+                            parent.insert(u, v);
+                            color.insert(u, 1);
+                            let mut s: Vec<u64> = self
+                                .edges
+                                .get(&u)
+                                .map(|s| s.iter().copied().collect())
+                                .unwrap_or_default();
+                            s.sort_unstable();
+                            stack.push((u, s));
+                        }
+                        1 => {
+                            // Back edge v → u closes a cycle u → … → v → u.
+                            let mut cyc = vec![v];
+                            let mut w = v;
+                            while w != u {
+                                w = parent[&w];
+                                cyc.push(w);
+                            }
+                            cyc.reverse();
+                            return Some(cyc);
+                        }
+                        _ => {}
+                    }
+                } else {
+                    color.insert(v, 2);
+                    stack.pop();
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Build the dependency graph induced by concrete flows, each given as
+/// `(src node, path links)`.
+pub fn depgraph_for_flows(
+    topo: &Topology,
+    flows: &[(NodeId, Vec<crate::graph::LinkId>)],
+) -> DepGraph {
+    let mut g = DepGraph::new();
+    for (src, path) in flows {
+        let dirs = path_dirlinks(topo, *src, path);
+        for w in dirs.windows(2) {
+            // Only dependencies through a switch buffer matter; the middle
+            // node of consecutive links is the buffer holder.
+            let mid = topo.dir_dst(w[0]);
+            if topo.node(mid).kind == NodeKind::Switch {
+                g.add_edge(w[0], w[1]);
+            }
+        }
+    }
+    g
+}
+
+/// Build the dependency graph of *all possible* SPF/ECMP host-to-host
+/// paths: for every destination host, every equal-cost DAG edge pair
+/// `(u→v, v→w)` through a switch `v` contributes a dependency. Returns the
+/// graph; [`DepGraph::has_cycle`] on it is the Table 1 "CBD-prone"
+/// predicate.
+pub fn all_pairs_depgraph(topo: &Topology) -> DepGraph {
+    let mut g = DepGraph::new();
+    for dst in topo.hosts() {
+        let tree = DstTree::compute(topo, dst);
+        for v in topo.node_ids() {
+            if topo.node(v).kind != NodeKind::Switch {
+                continue;
+            }
+            let dv = tree.dist[v.0 as usize];
+            if dv == u32::MAX || dv == 0 {
+                continue;
+            }
+            // Outgoing candidates from v toward dst.
+            let outs = &tree.next_hops[v.0 as usize];
+            if outs.is_empty() {
+                continue;
+            }
+            // Incoming candidates: links (u,v) where u routes via v,
+            // i.e. dist[u] == dv + 1 (and u is not the destination side).
+            for (u, l) in topo.neighbors(v) {
+                if tree.dist[u.0 as usize] == dv + 1 {
+                    let incoming = topo.dir_from(l, u);
+                    for &lo in outs {
+                        let outgoing = topo.dir_from(lo, v);
+                        g.add_edge(incoming, outgoing);
+                    }
+                }
+            }
+        }
+    }
+    g
+}
+
+/// The Table 1 prefilter: can any combination of host-to-host SPF/ECMP
+/// flows form a CBD in this topology?
+pub fn cbd_prone(topo: &Topology) -> bool {
+    all_pairs_depgraph(topo).has_cycle()
+}
+
+/// Construct a concrete flow set realizing a dependency cycle: for each
+/// consecutive pair of directed links `(u→v, v→w)` in `cycle`, one
+/// host-to-host flow whose explicit path traverses `u→v` then `v→w`.
+/// Starting these flows together recreates the circular buffer dependency
+/// the all-pairs analysis predicted — the accelerated Table 1 procedure
+/// (the paper instead waits for random churn to produce the combination).
+///
+/// Returns `(src, dst, path)` per cycle edge, or `None` if some edge
+/// cannot be realized with simple (node-disjoint prefix/suffix) paths.
+pub fn realize_cycle(
+    topo: &Topology,
+    cycle: &[u64],
+) -> Option<Vec<(NodeId, NodeId, Vec<crate::graph::LinkId>)>> {
+    use crate::routing::walk_nodes;
+    let hosts = topo.hosts();
+    let decode = |idx: u64| DirLink {
+        link: crate::graph::LinkId((idx / 2) as u32),
+        reversed: idx % 2 == 1,
+    };
+    let mut flows = Vec::new();
+    let mut tree_cache: HashMap<NodeId, DstTree> = HashMap::new();
+    let n = cycle.len();
+    for i in 0..n {
+        let d1 = decode(cycle[i]);
+        let d2 = decode(cycle[(i + 1) % n]);
+        let (u, v) = (topo.dir_src(d1), topo.dir_dst(d1));
+        let w = topo.dir_dst(d2);
+        debug_assert_eq!(topo.dir_src(d2), v, "cycle edges must chain");
+        let tree_u = DstTree::compute(topo, u);
+        let mut found = None;
+        'search: for &src in &hosts {
+            // Prefix src → u avoiding v and w.
+            let Some(prefix) = walk_toward(topo, &tree_u, src, u, &[v, w]) else { continue };
+            let prefix_nodes = walk_nodes(topo, src, &prefix).expect("prefix is a valid walk");
+            for &dst in &hosts {
+                if dst == src {
+                    continue;
+                }
+                let tree_dst = tree_cache
+                    .entry(dst)
+                    .or_insert_with(|| DstTree::compute(topo, dst));
+                // Suffix w → dst avoiding every node already visited.
+                let mut avoid = prefix_nodes.clone();
+                avoid.push(v);
+                let Some(suffix) = walk_toward(topo, &tree_dst, w, dst, &avoid) else {
+                    continue;
+                };
+                let mut path = prefix.clone();
+                path.push(d1.link);
+                path.push(d2.link);
+                path.extend(suffix);
+                if walk_nodes(topo, src, &path).is_ok() {
+                    found = Some((src, dst, path));
+                    break 'search;
+                }
+            }
+        }
+        flows.push(found?);
+    }
+    Some(flows)
+}
+
+/// Greedy walk from `from` to the root of `tree` (its destination),
+/// refusing to enter any node in `avoid`. Returns the link list, or `None`
+/// if the greedy choice hits an avoided node with no alternative.
+fn walk_toward(
+    topo: &Topology,
+    tree: &DstTree,
+    from: NodeId,
+    to: NodeId,
+    avoid: &[NodeId],
+) -> Option<Vec<crate::graph::LinkId>> {
+    if avoid.contains(&from) {
+        return None;
+    }
+    if tree.dist[from.0 as usize] == u32::MAX {
+        return None;
+    }
+    let mut path = Vec::new();
+    let mut at = from;
+    while at != to {
+        let mut stepped = false;
+        for &l in &tree.next_hops[at.0 as usize] {
+            let peer = topo.peer(l, at);
+            if !avoid.contains(&peer) {
+                path.push(l);
+                at = peer;
+                stepped = true;
+                break;
+            }
+        }
+        if !stepped {
+            return None;
+        }
+    }
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::LinkId;
+    use crate::routing::SpfRouting;
+
+    /// The Fig. 1 scenario: 3 switches in a triangle, one host each, flows
+    /// routed clockwise through two inter-switch links.
+    fn fig1() -> (Topology, Vec<(NodeId, Vec<LinkId>)>) {
+        let mut t = Topology::new();
+        let h: Vec<NodeId> = (0..3).map(|i| t.add_host(format!("H{}", i + 1))).collect();
+        let s: Vec<NodeId> = (0..3).map(|i| t.add_switch(format!("S{}", i + 1))).collect();
+        let hl: Vec<LinkId> = (0..3).map(|i| t.add_link(h[i], s[i])).collect();
+        let sl: Vec<LinkId> = (0..3).map(|i| t.add_link(s[i], s[(i + 1) % 3])).collect();
+        // Flow i: H_i → H_{i+2}, clockwise: h→s_i→s_{i+1}→s_{i+2}→h.
+        let flows = (0..3)
+            .map(|i| {
+                (h[i], vec![hl[i], sl[i], sl[(i + 1) % 3], hl[(i + 2) % 3]])
+            })
+            .collect();
+        (t, flows)
+    }
+
+    #[test]
+    fn fig1_has_cbd() {
+        let (t, flows) = fig1();
+        let g = depgraph_for_flows(&t, &flows);
+        assert!(g.has_cycle(), "Fig. 1 clockwise flows must form a CBD");
+        let cyc = g.find_cycle().unwrap();
+        assert!(cyc.len() >= 3, "triangle CBD spans three links, got {cyc:?}");
+    }
+
+    #[test]
+    fn fig1_shortest_paths_have_no_cbd() {
+        // With SPF the triangle routes every flow over its direct link —
+        // no two-switch segments, hence no CBD.
+        let (t, _) = fig1();
+        let hosts = t.hosts();
+        let mut r = SpfRouting::new();
+        let mut flows = Vec::new();
+        for &a in &hosts {
+            for &b in &hosts {
+                if a != b {
+                    flows.push((a, r.path(&t, a, b, 1).unwrap()));
+                }
+            }
+        }
+        let g = depgraph_for_flows(&t, &flows);
+        assert!(!g.has_cycle());
+    }
+
+    #[test]
+    fn single_flow_no_cycle() {
+        let (t, flows) = fig1();
+        let g = depgraph_for_flows(&t, &flows[..1]);
+        assert!(!g.has_cycle());
+        // Three switch-buffer dependencies: at S_i, S_{i+1}, S_{i+2}.
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn two_of_three_flows_no_cycle() {
+        let (t, flows) = fig1();
+        let g = depgraph_for_flows(&t, &flows[..2]);
+        assert!(!g.has_cycle(), "the CBD needs all three clockwise flows");
+    }
+
+    #[test]
+    fn triangle_all_pairs_is_cbd_free_under_spf() {
+        let (t, _) = fig1();
+        assert!(!cbd_prone(&t));
+    }
+
+    #[test]
+    fn depgraph_cycle_finder_on_known_graph() {
+        let mut g = DepGraph::new();
+        let d = |i: u32| DirLink { link: LinkId(i), reversed: false };
+        g.add_edge(d(0), d(1));
+        g.add_edge(d(1), d(2));
+        assert!(!g.has_cycle());
+        g.add_edge(d(2), d(0));
+        let cyc = g.find_cycle().unwrap();
+        assert_eq!(cyc.len(), 3);
+    }
+
+    #[test]
+    fn realized_cycles_reproduce_the_cbd() {
+        // Find CBD-prone failed fat-trees and check the realized flow set
+        // actually forms a cycle in the flow-level dependency graph.
+        use crate::fattree::FatTree;
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut tested = 0;
+        for seed in 0..200u64 {
+            let mut ft = FatTree::new(4);
+            let mut rng = StdRng::seed_from_u64(seed);
+            ft.inject_failures(&mut rng, 0.08);
+            let g = all_pairs_depgraph(&ft.topo);
+            let Some(cycle) = g.find_cycle() else { continue };
+            let Some(flows) = realize_cycle(&ft.topo, &cycle) else { continue };
+            let fg = depgraph_for_flows(
+                &ft.topo,
+                &flows.iter().map(|(s, _, p)| (*s, p.clone())).collect::<Vec<_>>(),
+            );
+            assert!(fg.has_cycle(), "realized flows do not form a CBD (seed {seed})");
+            for (s, d, p) in &flows {
+                let nodes = crate::routing::walk_nodes(&ft.topo, *s, p).expect("valid walk");
+                assert_eq!(nodes.last(), Some(d), "path must end at dst");
+            }
+            tested += 1;
+            if tested >= 3 {
+                return;
+            }
+        }
+        assert!(tested > 0, "no realizable CBD-prone topology found in 200 seeds");
+    }
+
+    #[test]
+    fn self_loop_detected() {
+        let mut g = DepGraph::new();
+        let d = DirLink { link: LinkId(7), reversed: true };
+        g.add_edge(d, d);
+        assert_eq!(g.find_cycle().unwrap(), vec![d.index()]);
+    }
+}

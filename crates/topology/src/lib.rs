@@ -1,0 +1,28 @@
+//! # gfc-topology — topologies, routing, and CBD analysis
+//!
+//! The structural substrate of the GFC reproduction:
+//!
+//! * [`graph`] — hosts/switches/links with stable port numbering and
+//!   failure injection;
+//! * [`routing`] — BFS shortest-path-first with deterministic per-flow
+//!   ECMP, plus explicit static routes for configured scenarios;
+//! * [`cbd`] — buffer-dependency graphs and cycle (CBD) detection, both
+//!   for concrete flow sets and the all-pairs "CBD-prone" prefilter of
+//!   Table 1;
+//! * [`fattree`] — k-ary fat-trees (Fig. 11), random fabric failures, and
+//!   the deterministic search for the Fig. 11 deadlock scenario;
+//! * [`scenarios`] — the Fig. 1 deadlock ring and the §7 incast dumbbell.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cbd;
+pub mod fattree;
+pub mod graph;
+pub mod routing;
+pub mod scenarios;
+
+pub use fattree::FatTree;
+pub use graph::{DirLink, LinkId, NodeId, NodeKind, Topology};
+pub use routing::{Routing, SpfRouting};
+pub use scenarios::{Incast, Ring};

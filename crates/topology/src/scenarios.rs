@@ -1,0 +1,179 @@
+//! Small configured topologies used by the paper's experiments:
+//! the Fig. 1 deadlock ring and the §7 dumbbell/incast.
+
+use crate::graph::{LinkId, NodeId, Topology};
+use std::collections::HashMap;
+
+/// The Fig. 1 scenario: `n` switches in a cycle, one host per switch, and
+/// one flow per host routed *clockwise across two inter-switch links*
+/// (`H_i → H_{i+2 mod n}` via `S_i, S_{i+1}, S_{i+2}`). Those routes form
+/// the canonical CBD; the paper's testbed and §6.1 experiments use `n = 3`.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// The graph.
+    pub topo: Topology,
+    /// Host ids, index i ↔ "H{i+1}" attached to switch i.
+    pub hosts: Vec<NodeId>,
+    /// Switch ids around the cycle.
+    pub switches: Vec<NodeId>,
+    /// Host access links, host order.
+    pub host_links: Vec<LinkId>,
+    /// Inter-switch links, `ring_links[i]` connecting `S_i → S_{i+1}`.
+    pub ring_links: Vec<LinkId>,
+}
+
+impl Ring {
+    /// Build an `n`-switch ring (n ≥ 3).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 3, "a deadlock ring needs at least 3 switches");
+        let mut topo = Topology::new();
+        let hosts: Vec<NodeId> = (0..n).map(|i| topo.add_host(format!("H{}", i + 1))).collect();
+        let switches: Vec<NodeId> =
+            (0..n).map(|i| topo.add_switch(format!("S{}", i + 1))).collect();
+        let host_links: Vec<LinkId> =
+            (0..n).map(|i| topo.add_link(hosts[i], switches[i])).collect();
+        let ring_links: Vec<LinkId> =
+            (0..n).map(|i| topo.add_link(switches[i], switches[(i + 1) % n])).collect();
+        Ring { topo, hosts, switches, host_links, ring_links }
+    }
+
+    /// The number of switches.
+    pub fn len(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Whether the ring is empty (never true; satisfies the `len` idiom).
+    pub fn is_empty(&self) -> bool {
+        self.switches.is_empty()
+    }
+
+    /// The clockwise two-switch-link route `H_i → H_{i+2}`.
+    pub fn clockwise_path(&self, i: usize) -> (NodeId, NodeId, Vec<LinkId>) {
+        let n = self.len();
+        let src = self.hosts[i];
+        let dst = self.hosts[(i + 2) % n];
+        let path = vec![
+            self.host_links[i],
+            self.ring_links[i],
+            self.ring_links[(i + 1) % n],
+            self.host_links[(i + 2) % n],
+        ];
+        (src, dst, path)
+    }
+
+    /// The full clockwise flow set (one per host) as a static routing map —
+    /// the configuration whose buffer dependencies form the Fig. 1 CBD.
+    pub fn clockwise_routes(&self) -> HashMap<(NodeId, NodeId), Vec<LinkId>> {
+        (0..self.len())
+            .map(|i| {
+                let (s, d, p) = self.clockwise_path(i);
+                ((s, d), p)
+            })
+            .collect()
+    }
+
+    /// Source/destination pairs of the clockwise flow set.
+    pub fn clockwise_flows(&self) -> Vec<(NodeId, NodeId)> {
+        (0..self.len())
+            .map(|i| {
+                let (s, d, _) = self.clockwise_path(i);
+                (s, d)
+            })
+            .collect()
+    }
+}
+
+/// The §7 incast scenario: `n` sender hosts and one receiver on a single
+/// switch (Fig. 20 uses 8 senders). Every sender's traffic converges on
+/// the receiver's access link.
+#[derive(Debug, Clone)]
+pub struct Incast {
+    /// The graph.
+    pub topo: Topology,
+    /// Sender hosts `H1…Hn`.
+    pub senders: Vec<NodeId>,
+    /// The receiver host (`H{n+1}`).
+    pub receiver: NodeId,
+    /// The switch.
+    pub switch: NodeId,
+    /// Sender access links, sender order.
+    pub sender_links: Vec<LinkId>,
+    /// The receiver's access link (the bottleneck).
+    pub receiver_link: LinkId,
+}
+
+impl Incast {
+    /// Build an `n`-to-1 incast (n ≥ 1).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1);
+        let mut topo = Topology::new();
+        let senders: Vec<NodeId> =
+            (0..n).map(|i| topo.add_host(format!("H{}", i + 1))).collect();
+        let receiver = topo.add_host(format!("H{}", n + 1));
+        let switch = topo.add_switch("S1");
+        let sender_links: Vec<LinkId> =
+            (0..n).map(|i| topo.add_link(senders[i], switch)).collect();
+        let receiver_link = topo.add_link(receiver, switch);
+        Incast { topo, senders, receiver, switch, sender_links, receiver_link }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cbd::depgraph_for_flows;
+    use crate::routing::{walk_nodes, Routing};
+
+    #[test]
+    fn ring3_clockwise_is_a_cbd() {
+        let ring = Ring::new(3);
+        let flows: Vec<_> = (0..3)
+            .map(|i| {
+                let (s, _, p) = ring.clockwise_path(i);
+                (s, p)
+            })
+            .collect();
+        assert!(depgraph_for_flows(&ring.topo, &flows).has_cycle());
+    }
+
+    #[test]
+    fn ring5_clockwise_is_a_cbd() {
+        let ring = Ring::new(5);
+        let flows: Vec<_> = (0..5)
+            .map(|i| {
+                let (s, _, p) = ring.clockwise_path(i);
+                (s, p)
+            })
+            .collect();
+        assert!(depgraph_for_flows(&ring.topo, &flows).has_cycle());
+    }
+
+    #[test]
+    fn clockwise_paths_are_valid_walks() {
+        let ring = Ring::new(3);
+        for i in 0..3 {
+            let (s, d, p) = ring.clockwise_path(i);
+            let nodes = walk_nodes(&ring.topo, s, &p).unwrap();
+            assert_eq!(*nodes.last().unwrap(), d);
+            assert_eq!(nodes.len(), 5, "host, 3 switches, host");
+        }
+    }
+
+    #[test]
+    fn static_routing_serves_clockwise() {
+        let ring = Ring::new(3);
+        let mut routing = Routing::fixed(ring.clockwise_routes());
+        let (s, d, p) = ring.clockwise_path(0);
+        assert_eq!(routing.path(&ring.topo, s, d, 99).unwrap(), p);
+    }
+
+    #[test]
+    fn incast_shape() {
+        let inc = Incast::new(8);
+        assert_eq!(inc.senders.len(), 8);
+        assert_eq!(inc.topo.hosts().len(), 9);
+        assert_eq!(inc.topo.switches().len(), 1);
+        assert_eq!(inc.topo.ports(inc.switch).len(), 9);
+        assert!(inc.topo.hosts_connected());
+    }
+}

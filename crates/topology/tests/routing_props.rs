@@ -1,0 +1,94 @@
+//! Property-based tests of routing and CBD analysis on randomly failed
+//! fat-trees.
+
+use gfc_topology::cbd::{all_pairs_depgraph, depgraph_for_flows, realize_cycle};
+use gfc_topology::fattree::FatTree;
+use gfc_topology::routing::{walk_nodes, SpfRouting};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn failed_fat_tree(k: usize, seed: u64, prob: f64) -> FatTree {
+    let mut ft = FatTree::new(k);
+    let mut rng = StdRng::seed_from_u64(seed);
+    ft.inject_failures(&mut rng, prob);
+    ft
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every SPF path between reachable hosts is a valid walk over alive
+    /// links, ends at the destination, and is no longer than a loose
+    /// diameter bound.
+    #[test]
+    fn spf_paths_are_valid_walks(seed in 0u64..500, s in 0usize..16, d in 0usize..16, hash: u64) {
+        prop_assume!(s != d);
+        let ft = failed_fat_tree(4, seed, 0.08);
+        let mut r = SpfRouting::new();
+        if let Some(p) = r.path(&ft.topo, ft.hosts[s], ft.hosts[d], hash) {
+            let nodes = walk_nodes(&ft.topo, ft.hosts[s], &p).expect("valid walk");
+            prop_assert_eq!(*nodes.last().unwrap(), ft.hosts[d]);
+            prop_assert!(p.len() <= 12, "path suspiciously long: {} links", p.len());
+            // Shortest: every ECMP variant has the same length.
+            let q = r.path(&ft.topo, ft.hosts[s], ft.hosts[d], hash.wrapping_add(1)).unwrap();
+            prop_assert_eq!(p.len(), q.len());
+        }
+    }
+
+    /// The hop distance is symmetric on an undirected graph.
+    #[test]
+    fn distance_is_symmetric(seed in 0u64..500, s in 0usize..16, d in 0usize..16) {
+        prop_assume!(s != d);
+        let ft = failed_fat_tree(4, seed, 0.08);
+        let mut r = SpfRouting::new();
+        let ab = r.distance(&ft.topo, ft.hosts[s], ft.hosts[d]);
+        let ba = r.distance(&ft.topo, ft.hosts[d], ft.hosts[s]);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// A realized cycle's flows always reproduce a CBD in the flow-level
+    /// dependency graph, and every realized path is valid.
+    #[test]
+    fn realized_cycles_are_sound(seed in 0u64..300) {
+        let ft = failed_fat_tree(4, seed, 0.08);
+        let g = all_pairs_depgraph(&ft.topo);
+        let Some(cycle) = g.find_cycle() else { return Ok(()) };
+        let Some(flows) = realize_cycle(&ft.topo, &cycle) else { return Ok(()) };
+        for (s, d, p) in &flows {
+            let nodes = walk_nodes(&ft.topo, *s, p).expect("valid walk");
+            prop_assert_eq!(nodes.last(), Some(d));
+        }
+        let fg = depgraph_for_flows(
+            &ft.topo,
+            &flows.iter().map(|(s, _, p)| (*s, p.clone())).collect::<Vec<_>>(),
+        );
+        prop_assert!(fg.has_cycle(), "realized flows lost the CBD");
+    }
+
+    /// The all-pairs CBD predicate is sound: if any concrete SPF flow set
+    /// has a cycle, the all-pairs graph must have one too.
+    #[test]
+    fn all_pairs_graph_is_a_superset(
+        seed in 0u64..300,
+        pairs in proptest::collection::vec((0usize..16, 0usize..16, any::<u64>()), 1..12),
+    ) {
+        let ft = failed_fat_tree(4, seed, 0.08);
+        let mut r = SpfRouting::new();
+        let mut flows = Vec::new();
+        for (s, d, h) in pairs {
+            if s == d {
+                continue;
+            }
+            if let Some(p) = r.path(&ft.topo, ft.hosts[s], ft.hosts[d], h) {
+                flows.push((ft.hosts[s], p));
+            }
+        }
+        let concrete = depgraph_for_flows(&ft.topo, &flows);
+        if concrete.has_cycle() {
+            prop_assert!(
+                all_pairs_depgraph(&ft.topo).has_cycle(),
+                "concrete CBD missed by the all-pairs prefilter"
+            );
+        }
+    }
+}

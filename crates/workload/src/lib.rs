@@ -1,0 +1,14 @@
+//! # gfc-workload — traffic generation
+//!
+//! Flow-size distributions ([`dist`], including the Fig. 15 enterprise
+//! workload) and destination/arrival patterns ([`patterns`], including the
+//! paper's closed-loop inter-rack selection).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod patterns;
+
+pub use dist::{EmpiricalCdf, FlowSizeDist};
+pub use patterns::{DestPolicy, Poisson};

@@ -1,0 +1,25 @@
+//! The §7 congestion-control interaction study (Fig. 20): an 8-to-1
+//! incast with DCQCN at the hosts and buffer-based GFC in the fabric.
+//! GFC acts as a safeguard during the incast transient and hands control
+//! back to DCQCN in steady state.
+//!
+//! ```text
+//! cargo run --release --example dcqcn_interaction
+//! ```
+
+use gfc_experiments::fig20::{run, Fig20Params};
+
+fn main() {
+    let r = run(Fig20Params::default());
+    print!("{}", r.report());
+    println!();
+    println!("time     queue      DCQCN rate   GFC rate");
+    for us in (0..=10_000u64).step_by(500) {
+        let t = us * 1_000_000;
+        let q = r.queue.value_at(t).unwrap_or(0.0) / 1024.0;
+        let d = r.dcqcn_rate.value_at(t).unwrap_or(10e9) / 1e9;
+        let g = r.gfc_rate.value_at(t).unwrap_or(10e9) / 1e9;
+        let bar = "#".repeat((q / 10.0) as usize);
+        println!("{:>5} us {:>7.1} KB {:>8.2} G {:>8.2} G  {bar}", us, q, d, g);
+    }
+}

@@ -1,0 +1,70 @@
+//! # gfc — Gentle Flow Control, reproduced in Rust
+//!
+//! A from-scratch reproduction of *Gentle Flow Control: Avoiding Deadlock
+//! in Lossless Networks* (Qian, Cheng, Zhang, Ren — SIGCOMM 2019),
+//! including every substrate the paper depends on:
+//!
+//! * [`core`](gfc_core) — the flow-control state machines (PFC, CBFC, and
+//!   the three GFC variants), wire codecs, rate limiter, and the
+//!   Theorem 4.1/5.1 parameter mathematics;
+//! * [`sim`](gfc_sim) — a deterministic packet-level discrete-event
+//!   simulator for lossless fabrics;
+//! * [`topology`](gfc_topology) — fat-trees, rings, routing, failures,
+//!   and cyclic-buffer-dependency analysis;
+//! * [`workload`](gfc_workload) — empirical flow-size distributions and
+//!   traffic patterns;
+//! * [`dcqcn`](gfc_dcqcn) — DCQCN congestion control for the interaction
+//!   study;
+//! * [`analysis`](gfc_analysis) — traces, statistics, and deadlock
+//!   verdicts;
+//! * [`experiments`](gfc_experiments) — one module per table/figure of
+//!   the paper's evaluation.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the architecture and
+//! model-fidelity notes, and `EXPERIMENTS.md` for paper-vs-measured
+//! results.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gfc::prelude::*;
+//!
+//! // The paper's Fig. 1 scenario: three switches in a ring, clockwise
+//! // two-hop flows. Under PFC this deadlocks; under buffer-based GFC the
+//! // flows keep moving at their 5 Gb/s fair shares.
+//! let ring = Ring::new(3);
+//! let mut cfg = SimConfig::default_10g();
+//! cfg.fc = FcMode::GfcBuffer { bm: kb(300), b1: kb(281) };
+//! let routing = Routing::fixed(ring.clockwise_routes());
+//! let mut net = Network::new(ring.topo.clone(), routing, cfg, TraceConfig::none());
+//! for (src, dst) in ring.clockwise_flows() {
+//!     net.start_flow(src, dst, None, 0).unwrap();
+//! }
+//! net.run_until(Time::from_millis(5));
+//! assert!(!net.structurally_deadlocked());
+//! assert_eq!(net.stats().drops, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use gfc_analysis as analysis;
+pub use gfc_core as core;
+pub use gfc_dcqcn as dcqcn;
+pub use gfc_experiments as experiments;
+pub use gfc_sim as sim;
+pub use gfc_topology as topology;
+pub use gfc_workload as workload;
+
+/// The most common imports for driving simulations.
+pub mod prelude {
+    pub use gfc_core::params::LinkClass;
+    pub use gfc_core::units::{kb, mb, Dur, Rate, Time};
+    pub use gfc_core::{LinearMapping, RateLimiter, StageTable};
+    pub use gfc_sim::{
+        ClosedLoopWorkload, FcMode, FlowRequest, ListWorkload, Network, SimConfig, TraceConfig,
+        Workload,
+    };
+    pub use gfc_topology::{FatTree, Incast, Ring, Routing, Topology};
+    pub use gfc_workload::{DestPolicy, EmpiricalCdf, FlowSizeDist};
+}

@@ -1,0 +1,184 @@
+//! Property-based validation of Theorems 4.1 and 5.1: under the derived
+//! parameter bounds, a fluid single-hop model with delayed feedback and an
+//! *adversarial* (proptest-chosen) draining-rate trace never fills the
+//! buffer and never drives the input rate to zero — i.e. *hold and wait*
+//! cannot occur.
+
+use gfc_core::mapping::{LinearMapping, StageTable};
+use gfc_core::theorems::{buffer_based_b1_bound, conceptual_b0_bound, time_based_b0_bound};
+use gfc_core::units::{kb, Dur, Rate};
+use proptest::prelude::*;
+
+const C: Rate = Rate(10_000_000_000);
+const TICK_US: u64 = 1; // fluid step
+
+/// Fluid single-hop loop: the receiver queue is fed at the mapped rate
+/// delayed by `tau`, drained by the adversarial trace. Returns
+/// `(max queue, min mapped rate)` over the run.
+fn conceptual_loop(
+    mapping: &LinearMapping,
+    tau_us: u64,
+    drains: &[u64], // drain rate per tick, bits/s
+) -> (u64, Rate) {
+    let mut q: f64 = 0.0;
+    let mut max_q = 0u64;
+    let mut min_rate = C;
+    // Rate pipeline: rate applied now was computed `tau` ago.
+    let mut pipe: std::collections::VecDeque<Rate> =
+        (0..tau_us).map(|_| C).collect();
+    for &drain in drains {
+        let rate = if tau_us == 0 {
+            mapping.rate_for_queue(q as u64)
+        } else {
+            pipe.push_back(mapping.rate_for_queue(q as u64));
+            pipe.pop_front().unwrap()
+        };
+        min_rate = min_rate.min(rate);
+        let in_bytes = rate.0 as f64 * TICK_US as f64 / 8e6;
+        let out_bytes = (drain as f64) * TICK_US as f64 / 8e6;
+        q = (q + in_bytes - out_bytes).max(0.0);
+        max_q = max_q.max(q as u64);
+    }
+    (max_q, min_rate)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 4.1: with `B0 = Bm − 4·C·τ`, the conceptual mapping keeps
+    /// `q < Bm` and the rate positive for ANY drain trace.
+    #[test]
+    fn theorem_4_1_holds_under_adversarial_drain(
+        tau_us in 1u64..20,
+        drains in proptest::collection::vec(0u64..10_000_000_000, 200..800),
+    ) {
+        let bm = kb(1024);
+        let tau = Dur::from_micros(tau_us);
+        let b0 = conceptual_b0_bound(bm, C, tau).expect("1 MB admits the bound");
+        let mapping = LinearMapping::new(b0, bm, C);
+        let (max_q, min_rate) = conceptual_loop(&mapping, tau_us, &drains);
+        prop_assert!(max_q < bm, "queue reached Bm: {max_q} >= {bm}");
+        prop_assert!(min_rate > Rate::ZERO, "input rate reached zero");
+    }
+
+    /// The multi-stage table under `B1 = Bm − 2·C·τ` (§4.2): same fluid
+    /// loop driven by stage-quantized feedback.
+    #[test]
+    fn stage_mapping_never_reaches_zero_rate(
+        tau_us in 1u64..20,
+        drains in proptest::collection::vec(0u64..10_000_000_000, 200..800),
+    ) {
+        let bm = kb(1024);
+        let tau = Dur::from_micros(tau_us);
+        let b1 = buffer_based_b1_bound(bm, C, tau).expect("bound");
+        let table = StageTable::new(bm, b1, C);
+        let mut q: f64 = 0.0;
+        let mut pipe: std::collections::VecDeque<Rate> = (0..tau_us).map(|_| C).collect();
+        for &drain in &drains {
+            pipe.push_back(table.rate_for_stage(table.stage_for_queue(q as u64)));
+            let rate = pipe.pop_front().unwrap();
+            prop_assert!(rate > Rate::ZERO, "stage rate hit zero at q={q}");
+            let in_b = rate.0 as f64 / 8e6;
+            let out_b = drain as f64 / 8e6;
+            q = (q + in_b - out_b).max(0.0);
+            // The fluid stage model allows queue to approach Bm
+            // asymptotically; it must never exceed it by more than the
+            // single-tick inflow at the deepest stage.
+            prop_assert!(
+                (q as u64) < bm + 200,
+                "queue overran Bm: {q} vs {bm}"
+            );
+        }
+    }
+
+    /// Theorem 5.1: time-based feedback every `T`, applied after `tau`,
+    /// with `B0` at the bound.
+    #[test]
+    fn theorem_5_1_holds_under_adversarial_drain(
+        tau_us in 1u64..20,
+        period_us in 20u64..80,
+        drains in proptest::collection::vec(0u64..10_000_000_000, 200..800),
+    ) {
+        let bm = kb(2048);
+        let tau = Dur::from_micros(tau_us);
+        let period = Dur::from_micros(period_us);
+        let Some(b0) = time_based_b0_bound(bm, C, tau, period) else {
+            // Margin exceeds the buffer for this (tau, T): vacuous.
+            return Ok(());
+        };
+        prop_assume!(b0 > 0);
+        let mapping = LinearMapping::new(b0, bm, C);
+        let mut q: f64 = 0.0;
+        let mut rate = C;
+        let mut pending: Option<(u64, Rate)> = None; // (apply tick, rate)
+        let mut max_q = 0u64;
+        let mut min_rate = C;
+        for (t, &drain) in drains.iter().enumerate() {
+            let t = t as u64;
+            if t % period_us == 0 {
+                // Feedback generated now, takes effect after tau.
+                pending = Some((t + tau_us, mapping.rate_for_queue(q as u64)));
+            }
+            if let Some((due, r)) = pending {
+                if t >= due {
+                    rate = r;
+                    pending = None;
+                }
+            }
+            min_rate = min_rate.min(rate);
+            let in_b = rate.0 as f64 / 8e6;
+            let out_b = drain as f64 / 8e6;
+            q = (q + in_b - out_b).max(0.0);
+            max_q = max_q.max(q as u64);
+        }
+        prop_assert!(max_q < bm, "queue reached Bm: {max_q} >= {bm}");
+        prop_assert!(min_rate > Rate::ZERO, "input rate reached zero");
+    }
+
+    /// The bounds are monotone: more feedback latency means less
+    /// admissible threshold.
+    #[test]
+    fn bounds_monotone_in_latency(tau1 in 1u64..50, tau2 in 1u64..50) {
+        prop_assume!(tau1 < tau2);
+        let bm = kb(4096);
+        let b1 = conceptual_b0_bound(bm, C, Dur::from_micros(tau1)).unwrap();
+        let b2 = conceptual_b0_bound(bm, C, Dur::from_micros(tau2)).unwrap();
+        prop_assert!(b1 > b2);
+    }
+
+    /// Stage tables keep their structural invariants for arbitrary
+    /// geometry: strictly increasing thresholds, halving rates, nonzero
+    /// deepest rate.
+    #[test]
+    fn stage_table_invariants(
+        bm_kb in 64u64..4096,
+        gap_kb in 2u64..64,
+    ) {
+        prop_assume!(gap_kb < bm_kb);
+        let bm = kb(bm_kb);
+        let b1 = bm - kb(gap_kb);
+        let t = StageTable::new(bm, b1, C);
+        let mut prev_start = None;
+        let mut prev_rate = None;
+        for (i, s) in t.iter() {
+            if let Some(p) = prev_start {
+                prop_assert!(s.start > p, "stage starts must increase");
+            }
+            if let Some(r) = prev_rate {
+                if i >= 2 {
+                    prop_assert_eq!(s.rate.0, r / 2, "rates must halve");
+                }
+            }
+            prev_start = Some(s.start);
+            prev_rate = Some(s.rate.0);
+        }
+        prop_assert!(t.rate_for_stage(t.num_stages()) > Rate::ZERO);
+        // Lookup is the inverse of the table geometry.
+        for (i, s) in t.iter() {
+            prop_assert_eq!(t.stage_for_queue(s.start), i);
+            if s.start > 0 {
+                prop_assert!(t.stage_for_queue(s.start - 1) < i || i == 0);
+            }
+        }
+    }
+}
