@@ -31,7 +31,9 @@ impl FlowRecord {
     /// store-and-forward of individual MTUs) is absorbed by using one MTU
     /// of serialization per intermediate hop.
     pub fn ideal_fct_ps(&self, capacity_bps: u64, link_delay_ps: u64, mtu: u64) -> u64 {
-        let ser = |bytes: u64| bytes.saturating_mul(8).saturating_mul(1_000_000) / (capacity_bps / 1_000_000);
+        let ser = |bytes: u64| {
+            bytes.saturating_mul(8).saturating_mul(1_000_000) / (capacity_bps / 1_000_000)
+        };
         let body = ser(self.bytes);
         let per_hop = ser(mtu.min(self.bytes));
         let hops = self.path_links.max(1) as u64;
@@ -94,10 +96,7 @@ impl FlowLedger {
 
     /// Slowdowns of all finished flows.
     pub fn slowdowns(&self, capacity_bps: u64, link_delay_ps: u64, mtu: u64) -> Vec<f64> {
-        self.records
-            .iter()
-            .filter_map(|r| r.slowdown(capacity_bps, link_delay_ps, mtu))
-            .collect()
+        self.records.iter().filter_map(|r| r.slowdown(capacity_bps, link_delay_ps, mtu)).collect()
     }
 
     /// Total bytes delivered by finished flows.

@@ -92,9 +92,7 @@ impl TimeSeries {
             return self.clone();
         }
         let step = (self.points.len() - 1) as f64 / (n - 1) as f64;
-        let points = (0..n)
-            .map(|i| self.points[(i as f64 * step).round() as usize])
-            .collect();
+        let points = (0..n).map(|i| self.points[(i as f64 * step).round() as usize]).collect();
         TimeSeries { points }
     }
 }

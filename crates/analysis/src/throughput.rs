@@ -104,7 +104,7 @@ mod tests {
     fn tail_mean_sees_collapse() {
         let mut m = ThroughputMeter::new(100);
         m.record(0, 1000); // healthy early
-        // Nothing after t=100.
+                           // Nothing after t=100.
         assert_eq!(m.mean_bps_after(100, 1100), 0.0);
         assert!(m.mean_bps(1100) > 0.0);
     }

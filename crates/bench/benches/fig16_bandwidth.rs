@@ -20,9 +20,4 @@ fn micro() -> PerfParams {
     }
 }
 
-gfc_bench::figure_bench!(
-    fig16,
-    "fig16_bandwidth",
-    || run(micro()),
-    || run(tiny()).report_fig16()
-);
+gfc_bench::figure_bench!(fig16, "fig16_bandwidth", || run(micro()), || run(tiny()).report_fig16());

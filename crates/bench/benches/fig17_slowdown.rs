@@ -20,9 +20,4 @@ fn micro() -> PerfParams {
     }
 }
 
-gfc_bench::figure_bench!(
-    fig17,
-    "fig17_slowdown",
-    || run(micro()),
-    || run(tiny()).report_fig17()
-);
+gfc_bench::figure_bench!(fig17, "fig17_slowdown", || run(micro()), || run(tiny()).report_fig17());

@@ -14,9 +14,6 @@ fn tiny(topologies: usize, horizon_ms: u64) -> Table1Params {
     }
 }
 
-gfc_bench::figure_bench!(
-    table1,
-    "table1_deadlock_census",
-    || run(tiny(4, 3)),
-    || run(tiny(20, 8)).report()
-);
+gfc_bench::figure_bench!(table1, "table1_deadlock_census", || run(tiny(4, 3)), || {
+    run(tiny(20, 8)).report()
+});

@@ -31,7 +31,7 @@ pub fn blocks_for(bytes: u64) -> u64 {
 /// `v ≡ wire (mod 2^bits)`. Exact as long as the counter advances by less
 /// than `2^bits` between consecutive messages.
 pub fn wrap_advance(prev: u64, wire: u64, bits: u32) -> u64 {
-    assert!(bits >= 1 && bits < 64);
+    assert!((1..64).contains(&bits));
     let modulus = 1u64 << bits;
     debug_assert!(wire < modulus, "wrapped field out of range");
     let base = prev & !(modulus - 1);

@@ -1,0 +1,101 @@
+//! The fabric-wide flow-control scheme selector.
+//!
+//! [`FcMode`] names one of the paper's schemes together with its tunable
+//! thresholds. It lives in `gfc-core` (rather than the simulator) so that
+//! parameter analysis — `gfc-verify`'s preflight checks against the
+//! Theorem 4.1/5.1 bounds — can reason about a configuration without
+//! pulling in the simulator.
+
+use crate::units::Dur;
+use serde::{Deserialize, Serialize};
+
+/// Which hop-by-hop flow control every link in the fabric runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FcMode {
+    /// No flow control (lossy fabric): overflowing ingress buffers drop.
+    None,
+    /// IEEE 802.1Qbb PFC with explicit thresholds (bytes).
+    Pfc {
+        /// Pause threshold.
+        xoff: u64,
+        /// Resume threshold.
+        xon: u64,
+    },
+    /// InfiniBand credit-based flow control with the given feedback period.
+    Cbfc {
+        /// Feedback period `T`.
+        period: Dur,
+    },
+    /// Buffer-based GFC (§5.1): multi-stage table over `[b1, bm)`.
+    GfcBuffer {
+        /// `Bm` — treated as the full buffer.
+        bm: u64,
+        /// `B1` — first rate-reducing threshold (`≤ Bm − 2·C·τ` for the
+        /// hold-and-wait guarantee).
+        b1: u64,
+    },
+    /// Time-based GFC (§5.2): periodic credit feedback, linear mapping.
+    GfcTime {
+        /// `B0` of the linear mapping (Theorem 5.1 bound applies).
+        b0: u64,
+        /// `Bm` (the buffer size).
+        bm: u64,
+        /// Feedback period `T`.
+        period: Dur,
+    },
+    /// Conceptual GFC (§4.1): continuous out-of-band queue feedback with a
+    /// fixed latency `tau`.
+    Conceptual {
+        /// `B0` of the linear mapping (Theorem 4.1 bound applies).
+        b0: u64,
+        /// `Bm` (the buffer size).
+        bm: u64,
+        /// Feedback latency τ.
+        tau: Dur,
+    },
+}
+
+impl FcMode {
+    /// Short scheme name for reports and diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FcMode::None => "lossy",
+            FcMode::Pfc { .. } => "PFC",
+            FcMode::Cbfc { .. } => "CBFC",
+            FcMode::GfcBuffer { .. } => "buffer-based GFC",
+            FcMode::GfcTime { .. } => "time-based GFC",
+            FcMode::Conceptual { .. } => "conceptual GFC",
+        }
+    }
+
+    /// Whether this scheme stops an upstream sender outright (a hard gate:
+    /// PAUSE or credit exhaustion). Hard-gated schemes hold-and-wait, so a
+    /// cyclic buffer dependency can deadlock them; GFC's lowest stage keeps
+    /// trickling and cannot (§4, Theorem 4.1/5.1).
+    pub fn has_hard_gate(&self) -> bool {
+        matches!(self, FcMode::Pfc { .. } | FcMode::Cbfc { .. })
+    }
+
+    /// Whether this is one of the paper's GFC variants.
+    pub fn is_gfc(&self) -> bool {
+        matches!(
+            self,
+            FcMode::GfcBuffer { .. } | FcMode::GfcTime { .. } | FcMode::Conceptual { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_classification() {
+        assert!(FcMode::Pfc { xoff: 2, xon: 1 }.has_hard_gate());
+        assert!(FcMode::Cbfc { period: Dur::from_micros(52) }.has_hard_gate());
+        assert!(!FcMode::GfcBuffer { bm: 2, b1: 1 }.has_hard_gate());
+        assert!(!FcMode::None.has_hard_gate());
+        assert!(FcMode::GfcTime { b0: 1, bm: 2, period: Dur::from_micros(52) }.is_gfc());
+        assert!(!FcMode::Pfc { xoff: 2, xon: 1 }.is_gfc());
+    }
+}

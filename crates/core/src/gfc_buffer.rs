@@ -99,7 +99,7 @@ mod tests {
         assert_eq!(rx.on_queue_update(kb(280)), None);
         assert_eq!(rx.on_queue_update(kb(282)), Some(1));
         assert_eq!(rx.on_queue_update(kb(283)), None); // same stage
-        // kb(295) lies in stage 2: B2 = 300K − 9.5K = 290.5K ≤ 295K < B3.
+                                                       // kb(295) lies in stage 2: B2 = 300K − 9.5K = 290.5K ≤ 295K < B3.
         assert_eq!(rx.on_queue_update(kb(295)), Some(2));
         // Back down across two stages in one update.
         assert_eq!(rx.on_queue_update(kb(100)), Some(0));

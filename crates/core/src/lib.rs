@@ -10,6 +10,7 @@
 //! | module | what it implements |
 //! |---|---|
 //! | [`units`] | picosecond time, bit-rate, byte arithmetic |
+//! | [`fc_mode`] | the fabric-wide scheme selector ([`FcMode`]) shared by the simulator and the preflight analyzer |
 //! | [`mapping`] | the conceptual linear mapping (Fig. 4b) and the practical multi-stage step function (Fig. 6, Eq. 4/5) |
 //! | [`theorems`] | Theorem 4.1 / 5.1 parameter bounds and the Eq. (6) τ model |
 //! | [`pfc`] | IEEE 802.1Qbb Priority Flow Control (baseline) |
@@ -51,6 +52,7 @@
 
 pub mod cbfc;
 pub mod conceptual;
+pub mod fc_mode;
 pub mod frames;
 pub mod gfc_buffer;
 pub mod gfc_time;
@@ -61,6 +63,7 @@ pub mod rate_limiter;
 pub mod theorems;
 pub mod units;
 
+pub use fc_mode::FcMode;
 pub use mapping::{LinearMapping, StageTable};
 pub use rate_limiter::RateLimiter;
 pub use units::{Dur, Rate, Time};

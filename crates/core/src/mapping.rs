@@ -214,11 +214,7 @@ mod tests {
         // §5.4: with 10 Gb/s and Bm − B1 ≈ 18.5 KB the paper reports
         // N = 16; the exact N depends on rounding of 2Cτ, accept 14..=17.
         let t = StageTable::new(kb(300), kb(300) - 18_944, Rate::from_gbps(10));
-        assert!(
-            (14..=17).contains(&t.num_stages()),
-            "unexpected N = {}",
-            t.num_stages()
-        );
+        assert!((14..=17).contains(&t.num_stages()), "unexpected N = {}", t.num_stages());
     }
 
     #[test]

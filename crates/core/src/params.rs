@@ -48,12 +48,8 @@ impl LinkClass {
 /// headroom plus hysteresis.
 pub fn derive_pfc(buffer_bytes: u64, link: &LinkClass) -> PfcConfig {
     let headroom = theorems::pfc_headroom(link.capacity, link.tau());
-    let xoff = buffer_bytes
-        .checked_sub(headroom)
-        .expect("buffer smaller than PFC headroom");
-    let xon = xoff
-        .checked_sub(2 * link.mtu)
-        .expect("buffer smaller than PFC headroom + 2 MTU");
+    let xoff = buffer_bytes.checked_sub(headroom).expect("buffer smaller than PFC headroom");
+    let xon = xoff.checked_sub(2 * link.mtu).expect("buffer smaller than PFC headroom + 2 MTU");
     PfcConfig::new(xoff, xon)
 }
 

@@ -77,11 +77,8 @@ impl RateLimiter {
     /// capacity. The pacing gap in progress is re-evaluated against the new
     /// rate (see the type-level docs).
     pub fn set_rate(&mut self, r: Rate) {
-        self.rate = if r == Rate::ZERO {
-            Rate::ZERO
-        } else {
-            r.max(self.min_unit).min(self.capacity)
-        };
+        self.rate =
+            if r == Rate::ZERO { Rate::ZERO } else { r.max(self.min_unit).min(self.capacity) };
     }
 
     /// Earliest instant a new packet may begin transmission, given `now`:

@@ -18,18 +18,24 @@ pub const PS_PER_MS: u64 = 1_000_000_000;
 pub const PS_PER_SEC: u64 = 1_000_000_000_000;
 
 /// An instant of simulated time, in picoseconds since simulation start.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Time(pub u64);
 
 /// A span of simulated time, in picoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Dur(pub u64);
 
 /// A transmission rate in bits per second.
 ///
 /// `Rate::ZERO` means "blocked": a rate limiter assigned zero rate never
 /// becomes eligible to send.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Rate(pub u64);
 
 impl Time {
@@ -211,7 +217,7 @@ impl Rate {
 impl Add<Dur> for Time {
     type Output = Time;
     fn add(self, d: Dur) -> Time {
-        Time(self.0.checked_add(d.0).unwrap_or(u64::MAX))
+        Time(self.0.saturating_add(d.0))
     }
 }
 
@@ -231,7 +237,7 @@ impl Sub<Time> for Time {
 impl Add for Dur {
     type Output = Dur;
     fn add(self, other: Dur) -> Dur {
-        Dur(self.0.checked_add(other.0).unwrap_or(u64::MAX))
+        Dur(self.0.saturating_add(other.0))
     }
 }
 

@@ -38,8 +38,8 @@ impl EcnMarker {
         } else if queue_bytes >= self.kmax_bytes {
             true
         } else {
-            let frac = (queue_bytes - self.kmin_bytes) as f64
-                / (self.kmax_bytes - self.kmin_bytes) as f64;
+            let frac =
+                (queue_bytes - self.kmin_bytes) as f64 / (self.kmax_bytes - self.kmin_bytes) as f64;
             u < frac * self.pmax
         }
     }

@@ -221,9 +221,8 @@ mod tests {
         }
         // The paper's 1/2 is no worse than the alternatives on goodput
         // (the ring's fair share 5G sits exactly on a stage for 1/2).
-        let by_ratio = |n: u64, d: u64| {
-            r.outcomes.iter().find(|o| o.ratio == (n, d)).unwrap().tail_goodput
-        };
+        let by_ratio =
+            |n: u64, d: u64| r.outcomes.iter().find(|o| o.ratio == (n, d)).unwrap().tail_goodput;
         assert!(by_ratio(1, 2) >= by_ratio(1, 4) * 0.99);
     }
 }

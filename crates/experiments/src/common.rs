@@ -3,8 +3,9 @@
 use gfc_core::theorems;
 use gfc_core::units::{kb, Dur, Rate};
 use gfc_sim::config::PumpPolicy;
-use gfc_sim::{FcMode, SimConfig};
+use gfc_sim::{FcMode, PreflightPolicy, SimConfig};
 use gfc_topology::fattree::{find_fig11_failures, FatTree, Fig11Scenario};
+use gfc_topology::{Routing, Topology};
 use serde::{Deserialize, Serialize};
 use std::sync::OnceLock;
 
@@ -91,6 +92,10 @@ pub fn sim_config_300k(scheme: Scheme, seed: u64) -> SimConfig {
     cfg.pump = scheme.headline_pump();
     cfg.seed = seed;
     cfg.progress_window = Dur::from_millis(2);
+    // The deadlock studies are adversarial by design (baselines on
+    // CBD-prone routes); the harness reports the static verdict alongside
+    // the runtime one instead of refusing to run.
+    cfg.preflight = PreflightPolicy::Acknowledge;
     cfg.validate();
     cfg
 }
@@ -105,8 +110,34 @@ pub fn sim_config_testbed(scheme: Scheme, seed: u64) -> SimConfig {
     cfg.ctrl_proc_delay = Dur::from_micros(86); // τ ≈ 90 µs end to end
     cfg.seed = seed;
     cfg.progress_window = Dur::from_millis(2);
+    cfg.preflight = PreflightPolicy::Acknowledge; // see sim_config_300k
     cfg.validate();
     cfg
+}
+
+/// The `gfc-verify` static verdict for a scenario, as the one-line summary
+/// every figure records next to its runtime deadlock verdict (e.g.
+/// `"CBD + hard gate: deadlock reachable (1 errors, 0 warnings)"`).
+pub fn static_verdict(topo: &Topology, routing: &Routing, cfg: &SimConfig) -> String {
+    gfc_sim::preflight(topo, routing, cfg).verdict().to_string()
+}
+
+/// Render the full preflight report for a scenario, prefixed with the
+/// scheme name — printed by the experiment harness before each run.
+pub fn preflight_banner(
+    label: &str,
+    topo: &Topology,
+    routing: &Routing,
+    cfg: &SimConfig,
+) -> String {
+    let report = gfc_sim::preflight(topo, routing, cfg);
+    let mut out = format!("[preflight] {label}: {}\n", report.summary());
+    for line in report.render().lines() {
+        out.push_str("    ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
 }
 
 /// The memoized Fig. 11 scenario (k = 4 fat-tree, three failed links whose

@@ -12,7 +12,7 @@
 use crate::common::row;
 use gfc_analysis::TimeSeries;
 use gfc_core::units::{kb, Dur, Time};
-use gfc_sim::{FcMode, Network, SimConfig, TraceConfig};
+use gfc_sim::{FcMode, Network, PreflightPolicy, SimConfig, TraceConfig};
 use gfc_topology::{Incast, Routing};
 use serde::{Deserialize, Serialize};
 
@@ -83,6 +83,9 @@ fn run_one(params: &Fig05Params, fc: FcMode, extra_proc: Dur) -> SchemeTrace {
     cfg.buffer_bytes = params.bm;
     cfg.fc = fc;
     cfg.seed = params.seed;
+    // The figure's PFC column deliberately provisions zero headroom above
+    // XOFF (the paper's abstract model) — preflight flags it, we run anyway.
+    cfg.preflight = PreflightPolicy::Acknowledge;
     // Model the figure's abstract τ: for PFC the feedback shares the wire,
     // so raise the processing delay until the Eq. (6) total matches τ.
     cfg.ctrl_proc_delay = extra_proc;
@@ -192,20 +195,10 @@ mod tests {
         // PFC's rate trace must contain zero bins (pauses); GFC's steady
         // tail must not.
         let tail = r.params.horizon.0 * 3 / 4;
-        let pfc_zero_bins = r
-            .pfc
-            .rate
-            .points()
-            .iter()
-            .filter(|&&(t, v)| t >= tail && v == 0.0)
-            .count();
-        let gfc_zero_bins = r
-            .gfc
-            .rate
-            .points()
-            .iter()
-            .filter(|&&(t, v)| t >= tail && v == 0.0)
-            .count();
+        let pfc_zero_bins =
+            r.pfc.rate.points().iter().filter(|&&(t, v)| t >= tail && v == 0.0).count();
+        let gfc_zero_bins =
+            r.gfc.rate.points().iter().filter(|&&(t, v)| t >= tail && v == 0.0).count();
         assert!(pfc_zero_bins > 0, "PFC never paused?");
         assert_eq!(gfc_zero_bins, 0, "conceptual GFC rate touched zero");
     }

@@ -10,7 +10,7 @@
 //! host rate, i.e. stage 2), then parks in stage 1 (paper: 840 KB) with
 //! the input rate steady at 5 Gb/s.
 
-use crate::common::{row, sim_config_testbed, Scheme};
+use crate::common::{row, sim_config_testbed, static_verdict, Scheme};
 use gfc_analysis::TimeSeries;
 use gfc_core::units::{Dur, Time};
 use gfc_sim::{Network, TraceConfig};
@@ -59,6 +59,9 @@ pub struct RingTrace {
     pub drops: u64,
     /// Hold-and-wait episodes entered network-wide.
     pub hold_and_wait: u64,
+    /// The `gfc-verify` static preflight verdict for this scenario,
+    /// recorded next to the runtime deadlock verdicts above.
+    pub static_verdict: String,
 }
 
 /// Run one scheme on the testbed ring.
@@ -71,6 +74,7 @@ pub fn run_scheme(params: &RingParams, scheme: Scheme) -> RingTrace {
     tc.ingress_rate.push(watched);
     tc.ingress_rate_bin = Dur::from_micros(50);
     let routing = Routing::fixed(ring.clockwise_routes());
+    let verdict = static_verdict(&ring.topo, &routing, &cfg);
     let mut net = Network::new(ring.topo.clone(), routing, cfg, tc);
     for (i, (src, dst)) in ring.clockwise_flows().into_iter().enumerate() {
         net.run_until(Time(params.stagger.0 * i as u64));
@@ -97,10 +101,11 @@ pub fn run_scheme(params: &RingParams, scheme: Scheme) -> RingTrace {
         deadlock_at_ms: net
             .structural_deadlock_at()
             .or(net.deadlock_at())
-            .map(|t| t.as_millis_f64()),
+            .map(gfc_core::units::Time::as_millis_f64),
         tail_goodput,
         drops: net.stats().drops,
         hold_and_wait: net.hold_and_wait_episodes(),
+        static_verdict: verdict,
     }
 }
 
@@ -161,6 +166,8 @@ impl Fig09Result {
             "PFC many / GFC none",
             &format!("PFC {} / GFC {}", self.pfc.hold_and_wait, self.gfc.hold_and_wait),
         );
+        s += &row("static preflight (PFC)", "deadlock reachable", &self.pfc.static_verdict);
+        s += &row("static preflight (GFC)", "scheme immune", &self.gfc.static_verdict);
         s
     }
 }
@@ -185,5 +192,16 @@ mod tests {
         assert!((r.gfc.steady_rate / 1e9 - 5.0).abs() < 0.5, "GFC steady rate");
         // Aggregate: three flows at ~5 Gb/s.
         assert!(r.gfc.tail_goodput / 1e9 > 13.0, "GFC tail goodput");
+        // Static analysis called both outcomes before the runs started.
+        assert!(
+            r.pfc.static_verdict.contains("deadlock reachable"),
+            "static PFC verdict: {}",
+            r.pfc.static_verdict
+        );
+        assert!(
+            r.gfc.static_verdict.contains("scheme immune"),
+            "static GFC verdict: {}",
+            r.gfc.static_verdict
+        );
     }
 }

@@ -64,6 +64,8 @@ impl Fig10Result {
             "CBFC many / GFC none",
             &format!("CBFC {} / GFC {}", self.cbfc.hold_and_wait, self.gfc.hold_and_wait),
         );
+        s += &row("static preflight (CBFC)", "deadlock reachable", &self.cbfc.static_verdict);
+        s += &row("static preflight (GFC)", "scheme immune", &self.gfc.static_verdict);
         s
     }
 }
@@ -79,7 +81,11 @@ mod tests {
         // run to 80 ms so the tail window [60, 80] ms is post-deadlock.
         let r = run(RingParams { horizon: Time::from_millis(80), ..Default::default() });
         assert!(r.cbfc.structural_deadlock, "CBFC must deadlock on the ring");
-        assert!(r.cbfc.tail_goodput < 1e8, "post-deadlock goodput {:.3} Gb/s", r.cbfc.tail_goodput / 1e9);
+        assert!(
+            r.cbfc.tail_goodput < 1e8,
+            "post-deadlock goodput {:.3} Gb/s",
+            r.cbfc.tail_goodput / 1e9
+        );
         assert!(!r.gfc.structural_deadlock, "time-based GFC must not deadlock");
         assert_eq!(r.gfc.drops, 0);
         assert_eq!(r.gfc.hold_and_wait, 0, "the credit backstop must never engage");
@@ -88,5 +94,7 @@ mod tests {
         assert!((492.0..1000.0).contains(&q_kb), "GFC-time steady queue {q_kb:.0} KB");
         assert!((r.gfc.steady_rate / 1e9 - 5.0).abs() < 1.0, "GFC-time steady rate");
         assert!(r.gfc.tail_goodput / 1e9 > 12.0);
+        assert!(r.cbfc.static_verdict.contains("deadlock reachable"));
+        assert!(r.gfc.static_verdict.contains("scheme immune"));
     }
 }

@@ -5,7 +5,7 @@
 //! deadlocks and every flow's throughput collapses to zero; under GFC
 //! each flow holds its ~5 Gb/s share.
 
-use crate::common::{fig11_scenario, row, sim_config_300k, Scheme};
+use crate::common::{fig11_scenario, row, sim_config_300k, static_verdict, Scheme};
 use gfc_analysis::TimeSeries;
 use gfc_core::units::{Dur, Time};
 use gfc_sim::{Network, TraceConfig};
@@ -51,6 +51,9 @@ pub struct FatTreeCaseTrace {
     pub deadlock_at_ms: Option<f64>,
     /// Drops (must be 0).
     pub drops: u64,
+    /// The `gfc-verify` static preflight verdict over the pinned
+    /// case-study paths, recorded next to the runtime verdicts above.
+    pub static_verdict: String,
 }
 
 /// Run one scheme on the Fig. 11 scenario with the four case-study flows
@@ -62,6 +65,21 @@ pub fn run_scheme_with_extra(
 ) -> FatTreeCaseTrace {
     let (ft, sc) = fig11_scenario();
     let cfg = sim_config_300k(scheme, params.seed);
+
+    // Static verdict over exactly the paths the flows are pinned to below.
+    let mut r = SpfRouting::new();
+    let mut pinned = std::collections::HashMap::new();
+    for (i, &(s, d)) in FIG11_FLOWS.iter().enumerate() {
+        let p =
+            r.path(&ft.topo, ft.hosts[s], ft.hosts[d], sc.flow_hashes[i]).expect("scenario path");
+        pinned.insert((ft.hosts[s], ft.hosts[d]), p);
+    }
+    for &(s, d) in extra {
+        let p = r.path(&ft.topo, ft.hosts[s], ft.hosts[d], 0).expect("extra flow route");
+        pinned.insert((ft.hosts[s], ft.hosts[d]), p);
+    }
+    let verdict = static_verdict(&ft.topo, &Routing::fixed(pinned), &cfg);
+
     let mut tc = TraceConfig::none();
     tc.host_throughput_bin = Some(Dur::from_micros(100));
     let mut net = Network::new(ft.topo.clone(), Routing::spf(), cfg, tc);
@@ -86,9 +104,8 @@ pub fn run_scheme_with_extra(
     }
     for (i, &(s, d)) in FIG11_FLOWS.iter().enumerate() {
         net.run_until(Time(params.stagger.0 * i as u64));
-        let p = r
-            .path(&ft.topo, ft.hosts[s], ft.hosts[d], sc.flow_hashes[i])
-            .expect("scenario path");
+        let p =
+            r.path(&ft.topo, ft.hosts[s], ft.hosts[d], sc.flow_hashes[i]).expect("scenario path");
         net.start_flow_on_path(ft.hosts[s], ft.hosts[d], None, 0, Arc::from(p.into_boxed_slice()))
             .expect("flow start");
     }
@@ -117,8 +134,9 @@ pub fn run_scheme_with_extra(
         deadlock_at_ms: net
             .structural_deadlock_at()
             .or(net.deadlock_at())
-            .map(|t| t.as_millis_f64()),
+            .map(gfc_core::units::Time::as_millis_f64),
         drops: net.stats().drops,
+        static_verdict: verdict,
     }
 }
 
@@ -156,7 +174,11 @@ impl Fig12Result {
                 "structural={} at {:?} ms, tails {:?} Gb/s",
                 self.pfc.structural_deadlock,
                 self.pfc.deadlock_at_ms,
-                self.pfc.flow_tail_mean.iter().map(|x| (x / 1e8).round() / 10.0).collect::<Vec<_>>()
+                self.pfc
+                    .flow_tail_mean
+                    .iter()
+                    .map(|x| (x / 1e8).round() / 10.0)
+                    .collect::<Vec<_>>()
             ),
         );
         s += &row(
@@ -165,7 +187,11 @@ impl Fig12Result {
             &format!(
                 "structural={}, tails {:?} Gb/s",
                 self.gfc.structural_deadlock,
-                self.gfc.flow_tail_mean.iter().map(|x| (x / 1e8).round() / 10.0).collect::<Vec<_>>()
+                self.gfc
+                    .flow_tail_mean
+                    .iter()
+                    .map(|x| (x / 1e8).round() / 10.0)
+                    .collect::<Vec<_>>()
             ),
         );
         s += &row(
@@ -173,6 +199,8 @@ impl Fig12Result {
             "0 drops",
             &format!("PFC {} / GFC {}", self.pfc.drops, self.gfc.drops),
         );
+        s += &row("static preflight (PFC)", "deadlock reachable", &self.pfc.static_verdict);
+        s += &row("static preflight (GFC)", "scheme immune", &self.gfc.static_verdict);
         s
     }
 }
@@ -197,5 +225,16 @@ mod tests {
                 t / 1e9
             );
         }
+        // Static analysis predicted both outcomes from the pinned paths.
+        assert!(
+            r.pfc.static_verdict.contains("deadlock reachable"),
+            "static PFC verdict: {}",
+            r.pfc.static_verdict
+        );
+        assert!(
+            r.gfc.static_verdict.contains("scheme immune"),
+            "static GFC verdict: {}",
+            r.gfc.static_verdict
+        );
     }
 }

@@ -35,7 +35,11 @@ impl Fig13Result {
                 "structural={} at {:?} ms, tails {:?} Gb/s",
                 self.cbfc.structural_deadlock,
                 self.cbfc.deadlock_at_ms,
-                self.cbfc.flow_tail_mean.iter().map(|x| (x / 1e8).round() / 10.0).collect::<Vec<_>>()
+                self.cbfc
+                    .flow_tail_mean
+                    .iter()
+                    .map(|x| (x / 1e8).round() / 10.0)
+                    .collect::<Vec<_>>()
             ),
         );
         s += &row(
@@ -44,7 +48,11 @@ impl Fig13Result {
             &format!(
                 "structural={}, tails {:?} Gb/s",
                 self.gfc.structural_deadlock,
-                self.gfc.flow_tail_mean.iter().map(|x| (x / 1e8).round() / 10.0).collect::<Vec<_>>()
+                self.gfc
+                    .flow_tail_mean
+                    .iter()
+                    .map(|x| (x / 1e8).round() / 10.0)
+                    .collect::<Vec<_>>()
             ),
         );
         s += &row(

@@ -33,23 +33,23 @@ pub fn find_victim() -> (usize, usize) {
     let cycle: HashSet<u64> =
         depgraph_for_flows(&ft.topo, &flows).find_cycle().expect("CBD").into_iter().collect();
 
-    let used: HashSet<usize> =
-        FIG11_FLOWS.iter().flat_map(|&(s, d)| [s, d]).collect();
+    let used: HashSet<usize> = FIG11_FLOWS.iter().flat_map(|&(s, d)| [s, d]).collect();
     for s in 0..ft.hosts.len() {
         for d in 0..ft.hosts.len() {
             if s == d || used.contains(&s) || used.contains(&d) {
                 continue;
             }
-            let Some(p) = r.path(&ft.topo, ft.hosts[s], ft.hosts[d], 0) else { continue };
+            let Some(p) = r.path(&ft.topo, ft.hosts[s], ft.hosts[d], 0) else {
+                continue;
+            };
             let dirs = path_dirlinks(&ft.topo, ft.hosts[s], &p);
             let shares = dirs.iter().any(|dl| usage.contains_key(&dl.index()));
             let in_cycle = dirs.iter().any(|dl| cycle.contains(&dl.index()));
             // Every victim link must carry at most one case-study flow, so
             // under GFC the victim's fair share on each shared 10 Gb/s
             // link is ~5 Gb/s (the paper's "deserving" share).
-            let oversubscribed = dirs
-                .iter()
-                .any(|dl| usage.get(&dl.index()).copied().unwrap_or(0) > 1);
+            let oversubscribed =
+                dirs.iter().any(|dl| usage.get(&dl.index()).copied().unwrap_or(0) > 1);
             if shares && !in_cycle && !oversubscribed {
                 return (s, d);
             }

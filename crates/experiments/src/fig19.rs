@@ -120,11 +120,7 @@ impl Fig19Result {
     /// Paper-vs-measured report.
     pub fn report(&self) -> String {
         let mut s = String::from("FIG 19 — buffer-based GFC feedback-bandwidth occupation\n");
-        s += &row(
-            "mean occupied bandwidth",
-            "0.21 %",
-            &format!("{:.3} %", self.mean * 100.0),
-        );
+        s += &row("mean occupied bandwidth", "0.21 %", &format!("{:.3} %", self.mean * 100.0));
         s += &row("99 % of ports below", "0.4 %", &format!("{:.3} %", self.p99 * 100.0));
         s += &row("maximum observed", "0.49 %", &format!("{:.3} %", self.max * 100.0));
         s += &row(

@@ -32,12 +32,7 @@ pub struct Fig20Params {
 
 impl Default for Fig20Params {
     fn default() -> Self {
-        Fig20Params {
-            senders: 8,
-            ecn_threshold: kb(40),
-            horizon: Time::from_millis(10),
-            seed: 20,
-        }
+        Fig20Params { senders: 8, ecn_threshold: kb(40), horizon: Time::from_millis(10), seed: 20 }
     }
 }
 
@@ -139,11 +134,7 @@ mod tests {
         // our DCQCN converges a little faster relative to queue growth, so
         // the dip reaches stage 1 — same safeguard behaviour, recorded in
         // EXPERIMENTS.md.)
-        assert!(
-            r.min_gfc_rate < 9e9,
-            "GFC never engaged: min rate {:.2} G",
-            r.min_gfc_rate / 1e9
-        );
+        assert!(r.min_gfc_rate < 9e9, "GFC never engaged: min rate {:.2} G", r.min_gfc_rate / 1e9);
         // ...and released once DCQCN took over.
         assert!(
             r.final_gfc_rate > 9e9,

@@ -19,9 +19,9 @@ use gfc_topology::cbd::{all_pairs_depgraph, realize_cycle};
 use gfc_topology::fattree::FatTree;
 use gfc_topology::Routing;
 use gfc_workload::{DestPolicy, EmpiricalCdf, FlowSizeDist};
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Parameters for the performance comparison.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -216,9 +216,9 @@ pub fn run(params: PerfParams) -> PerfResult {
             Scheme::ALL.iter().map(|s| (s.name().to_string(), SchemePerf::new())).collect(),
         );
         let next = std::sync::atomic::AtomicUsize::new(0);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..params.threads.max(1) {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if i >= cases.len() * Scheme::ALL.len() {
                         break;
@@ -233,7 +233,7 @@ pub fn run(params: PerfParams) -> PerfResult {
                         &params,
                         params.seed ^ (case_idx as u64) << 16 ^ scheme_idx as u64,
                     );
-                    let mut out = out.lock();
+                    let mut out = out.lock().expect("perf mutex poisoned");
                     let e = out.get_mut(scheme.name()).expect("scheme row");
                     e.throughput_samples.push(tput);
                     if let Some(sd) = sd {
@@ -244,9 +244,8 @@ pub fn run(params: PerfParams) -> PerfResult {
                     e.deadlocks += dead as usize;
                 });
             }
-        })
-        .expect("perf worker panicked");
-        out.into_inner()
+        });
+        out.into_inner().expect("perf mutex poisoned")
     };
 
     let cbd_free = run_panel(&free_cases);

@@ -18,9 +18,9 @@ use gfc_sim::{Network, TraceConfig};
 use gfc_topology::fattree::FatTree;
 use gfc_topology::Routing;
 use gfc_workload::{DestPolicy, EmpiricalCdf, FlowSizeDist};
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Census parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -85,6 +85,11 @@ pub struct KCensus {
     pub cbd_prone: usize,
     /// Structural-deadlock cases per scheme.
     pub deadlock_cases: HashMap<String, usize>,
+    /// CBD-prone topologies the `gfc-verify` static analysis marks
+    /// deadlock-susceptible, per scheme — the static prediction recorded
+    /// next to the runtime census above. Static analysis over-approximates:
+    /// every runtime case must also be a static case.
+    pub static_cases: HashMap<String, usize>,
 }
 
 /// The Table 1 result.
@@ -136,11 +141,12 @@ pub fn run(params: Table1Params) -> Table1Result {
             sampled: params.topologies_per_k,
             cbd_prone: 0,
             deadlock_cases: Scheme::ALL.iter().map(|s| (s.name().to_string(), 0)).collect(),
+            static_cases: Scheme::ALL.iter().map(|s| (s.name().to_string(), 0)).collect(),
         });
         let next = std::sync::atomic::AtomicUsize::new(0);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..params.threads.max(1) {
-                scope.spawn(|_| {
+                scope.spawn(|| {
                     use rand::{rngs::StdRng, SeedableRng};
                     loop {
                         let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -152,8 +158,10 @@ pub fn run(params: Table1Params) -> Table1Result {
                         let mut rng = StdRng::seed_from_u64(topo_seed);
                         ft.inject_failures(&mut rng, params.failure_prob);
                         let g = gfc_topology::cbd::all_pairs_depgraph(&ft.topo);
-                        let Some(cycle) = g.find_cycle() else { continue };
-                        census.lock().cbd_prone += 1;
+                        let Some(cycle) = g.find_cycle() else {
+                            continue;
+                        };
+                        census.lock().expect("census mutex poisoned").cbd_prone += 1;
                         // Realize the adversarial flow combination once per
                         // topology (the paper waits for churn to find it).
                         let Some(cycle_flows) = gfc_topology::cbd::realize_cycle(&ft.topo, &cycle)
@@ -161,12 +169,31 @@ pub fn run(params: Table1Params) -> Table1Result {
                             continue;
                         };
                         for scheme in Scheme::ALL {
+                            // Static prediction for this (topology, scheme)
+                            // pair, recorded next to the runtime census.
+                            let cfg = sim_config_300k(scheme, topo_seed);
+                            let verdict =
+                                gfc_sim::preflight(&ft.topo, &Routing::spf(), &cfg).verdict();
+                            if verdict.deadlock_susceptible {
+                                *census
+                                    .lock()
+                                    .expect("census mutex poisoned")
+                                    .static_cases
+                                    .get_mut(scheme.name())
+                                    .expect("scheme row") += 1;
+                            }
                             for r in 0..params.repeats {
                                 let run_seed = topo_seed.wrapping_mul(31).wrapping_add(r as u64);
-                                if simulate_once(&ft, &cycle_flows, scheme, params.horizon, run_seed)
-                                {
+                                if simulate_once(
+                                    &ft,
+                                    &cycle_flows,
+                                    scheme,
+                                    params.horizon,
+                                    run_seed,
+                                ) {
                                     *census
                                         .lock()
+                                        .expect("census mutex poisoned")
                                         .deadlock_cases
                                         .get_mut(scheme.name())
                                         .expect("scheme row") += 1;
@@ -177,9 +204,8 @@ pub fn run(params: Table1Params) -> Table1Result {
                     }
                 });
             }
-        })
-        .expect("census worker panicked");
-        per_k.push(census.into_inner());
+        });
+        per_k.push(census.into_inner().expect("census mutex poisoned"));
     }
     Table1Result { params, per_k }
 }
@@ -207,6 +233,18 @@ impl Table1Result {
                     get("Time-based GFC"),
                     c.sampled,
                     c.cbd_prone
+                ),
+            );
+            let stat = |n: &str| c.static_cases.get(n).copied().unwrap_or(0);
+            s += &row(
+                &format!("k={}: static susceptible", c.k),
+                "baselines = CBD-prone, GFC 0",
+                &format!(
+                    "PFC {} / CBFC {} / bGFC {} / tGFC {}",
+                    stat("PFC"),
+                    stat("CBFC"),
+                    stat("Buffer-based GFC"),
+                    stat("Time-based GFC"),
                 ),
             );
         }
@@ -247,5 +285,13 @@ mod tests {
             "no baseline deadlock among {} CBD-prone topologies",
             c.cbd_prone
         );
+        // The static analysis must over-approximate the runtime census:
+        // every topology that deadlocked at runtime was flagged, and no
+        // GFC run is ever flagged.
+        let stat = |n: &str| c.static_cases.get(n).copied().unwrap_or(0);
+        assert!(stat("PFC") >= get("PFC"), "static PFC missed a runtime deadlock");
+        assert!(stat("CBFC") >= get("CBFC"), "static CBFC missed a runtime deadlock");
+        assert_eq!(stat("Buffer-based GFC"), 0, "static analysis flagged buffer GFC");
+        assert_eq!(stat("Time-based GFC"), 0, "static analysis flagged time GFC");
     }
 }

@@ -3,53 +3,11 @@
 use gfc_core::params::LinkClass;
 use gfc_core::units::{Dur, Rate};
 use gfc_dcqcn::{DcqcnParams, EcnMarker};
+use gfc_verify::FabricSpec;
 use serde::{Deserialize, Serialize};
 
-/// Which hop-by-hop flow control every link in the fabric runs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub enum FcMode {
-    /// No flow control (lossy fabric): overflowing ingress buffers drop.
-    None,
-    /// IEEE 802.1Qbb PFC with explicit thresholds (bytes).
-    Pfc {
-        /// Pause threshold.
-        xoff: u64,
-        /// Resume threshold.
-        xon: u64,
-    },
-    /// InfiniBand credit-based flow control with the given feedback period.
-    Cbfc {
-        /// Feedback period `T`.
-        period: Dur,
-    },
-    /// Buffer-based GFC (§5.1): multi-stage table over `[b1, bm)`.
-    GfcBuffer {
-        /// `Bm` — treated as the full buffer.
-        bm: u64,
-        /// `B1` — first rate-reducing threshold (`≤ Bm − 2·C·τ` for the
-        /// hold-and-wait guarantee).
-        b1: u64,
-    },
-    /// Time-based GFC (§5.2): periodic credit feedback, linear mapping.
-    GfcTime {
-        /// `B0` of the linear mapping (Theorem 5.1 bound applies).
-        b0: u64,
-        /// `Bm` (the buffer size).
-        bm: u64,
-        /// Feedback period `T`.
-        period: Dur,
-    },
-    /// Conceptual GFC (§4.1): continuous out-of-band queue feedback with a
-    /// fixed latency `tau`.
-    Conceptual {
-        /// `B0` of the linear mapping (Theorem 4.1 bound applies).
-        b0: u64,
-        /// `Bm` (the buffer size).
-        bm: u64,
-        /// Feedback latency τ.
-        tau: Dur,
-    },
-}
+pub use gfc_core::fc_mode::FcMode;
+pub use gfc_verify::PreflightPolicy;
 
 /// How a switch moves packets from ingress FIFOs into free egress staging
 /// slots — i.e. how competing inputs share an output.
@@ -123,6 +81,13 @@ pub struct SimConfig {
     /// Record per-port received-control-message bandwidth in bins of this
     /// width (Fig. 19); `None` disables the counters.
     pub ctrl_bw_bin: Option<Dur>,
+    /// What [`Network::new`](crate::Network::new) does with the static
+    /// preflight analysis (`gfc-verify`): refuse Error-level diagnostics
+    /// ([`PreflightPolicy::Enforce`], the default), run the analysis but
+    /// proceed anyway ([`PreflightPolicy::Acknowledge`] — for deliberately
+    /// unsound adversarial setups such as the Fig. 9/12 deadlock studies),
+    /// or skip it entirely ([`PreflightPolicy::Skip`]).
+    pub preflight: PreflightPolicy,
 }
 
 impl SimConfig {
@@ -152,6 +117,22 @@ impl SimConfig {
             monitor_interval: Dur::from_micros(100),
             stop_on_deadlock: false,
             ctrl_bw_bin: None,
+            preflight: PreflightPolicy::Enforce,
+        }
+    }
+
+    /// The physical/flow-control parameters `gfc-verify` analyzes, lifted
+    /// out of the full simulator configuration.
+    pub fn fabric_spec(&self) -> FabricSpec {
+        FabricSpec {
+            capacity: self.capacity,
+            mtu: self.mtu,
+            buffer_bytes: self.buffer_bytes,
+            t_wire: self.prop_delay,
+            t_proc: self.ctrl_proc_delay,
+            fc: self.fc,
+            gfc_stage_ratio: self.gfc_stage_ratio,
+            min_rate_unit: self.min_rate_unit,
         }
     }
 
@@ -160,10 +141,7 @@ impl SimConfig {
     pub fn validate(&self) {
         assert!(self.capacity > Rate::ZERO, "capacity must be positive");
         assert!(self.mtu > 0 && self.mtu <= self.buffer_bytes, "MTU must fit the buffer");
-        assert!(
-            (1..=8).contains(&self.num_priorities),
-            "1..=8 priorities supported (802.1Qbb)"
-        );
+        assert!((1..=8).contains(&self.num_priorities), "1..=8 priorities supported (802.1Qbb)");
         match self.fc {
             FcMode::Pfc { xoff, xon } => {
                 assert!(xon < xoff, "XON must be below XOFF");

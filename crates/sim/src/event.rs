@@ -4,8 +4,8 @@
 //! assigned at insertion, so same-instant events run in insertion order and
 //! every run with the same seed replays bit-identically.
 
-use crate::packet::Packet;
 use crate::fc::CtrlPayload;
+use crate::packet::Packet;
 use gfc_core::units::Time;
 use gfc_topology::NodeId;
 use std::cmp::Reverse;

@@ -101,7 +101,9 @@ impl FcReceiver {
     pub fn for_config(cfg: &SimConfig) -> FcReceiver {
         match cfg.fc {
             FcMode::None => FcReceiver::None,
-            FcMode::Pfc { xoff, xon } => FcReceiver::Pfc(PfcReceiver::new(PfcConfig::new(xoff, xon))),
+            FcMode::Pfc { xoff, xon } => {
+                FcReceiver::Pfc(PfcReceiver::new(PfcConfig::new(xoff, xon)))
+            }
             FcMode::Cbfc { .. } => FcReceiver::Cbfc(CbfcReceiver::new(cfg.buffer_bytes)),
             FcMode::GfcBuffer { bm, b1 } => {
                 let (n, d) = cfg.gfc_stage_ratio;
@@ -135,7 +137,9 @@ impl FcReceiver {
                 rx.on_packet_received(pkt_bytes);
                 None // feedback is periodic
             }
-            FcReceiver::Conceptual(rx) => Some(CtrlPayload::QueueSample(rx.on_queue_update(q_bytes))),
+            FcReceiver::Conceptual(rx) => {
+                Some(CtrlPayload::QueueSample(rx.on_queue_update(q_bytes)))
+            }
         }
     }
 
@@ -154,7 +158,9 @@ impl FcReceiver {
                 rx.on_packet_drained(pkt_bytes);
                 None
             }
-            FcReceiver::Conceptual(rx) => Some(CtrlPayload::QueueSample(rx.on_queue_update(q_bytes))),
+            FcReceiver::Conceptual(rx) => {
+                Some(CtrlPayload::QueueSample(rx.on_queue_update(q_bytes)))
+            }
         }
     }
 
@@ -162,7 +168,9 @@ impl FcReceiver {
     /// event-driven schemes.
     pub fn periodic(&mut self) -> Option<CtrlPayload> {
         match self {
-            FcReceiver::Cbfc(rx) => Some(CtrlPayload::FcclWire((rx.make_feedback() & 0xFFFF) as u16)),
+            FcReceiver::Cbfc(rx) => {
+                Some(CtrlPayload::FcclWire((rx.make_feedback() & 0xFFFF) as u16))
+            }
             FcReceiver::GfcTime(rx) => {
                 Some(CtrlPayload::FcclWire((rx.make_feedback() & 0xFFFF) as u16))
             }
@@ -204,6 +212,32 @@ pub enum Gate {
     Blocked,
 }
 
+/// A control payload delivered to a sender running a different scheme.
+///
+/// The receiver/sender pairing is fixed by [`SimConfig::fc`] at network
+/// construction, so this error indicates miswired plumbing (a message
+/// routed to the wrong port state), never a runtime condition of a
+/// correctly built network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchemeMismatch {
+    /// The payload that could not be applied.
+    pub payload: CtrlPayload,
+    /// Human-readable name of the scheme the sender is running.
+    pub sender_scheme: &'static str,
+}
+
+impl std::fmt::Display for SchemeMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "flow-control message {:?} does not match a {} sender",
+            self.payload, self.sender_scheme
+        )
+    }
+}
+
+impl std::error::Error for SchemeMismatch {}
+
 /// Sender-side (egress) flow-control state for one `(port, priority)`.
 #[derive(Debug, Clone)]
 pub struct FcSender {
@@ -227,6 +261,19 @@ enum FcSenderKind {
         fccl_recon: u64,
     },
     Conceptual(ConceptualSender),
+}
+
+impl FcSenderKind {
+    fn scheme_name(&self) -> &'static str {
+        match self {
+            FcSenderKind::None => "lossy (no flow control)",
+            FcSenderKind::Pfc(_) => "PFC",
+            FcSenderKind::Cbfc { .. } => "CBFC",
+            FcSenderKind::GfcBuffer(_) => "buffer-based GFC",
+            FcSenderKind::GfcTime { .. } => "time-based GFC",
+            FcSenderKind::Conceptual(_) => "conceptual GFC",
+        }
+    }
 }
 
 impl FcSender {
@@ -256,32 +303,37 @@ impl FcSender {
             FcMode::GfcTime { b0, bm, .. } => {
                 let blocks = cfg.buffer_bytes / gfc_core::cbfc::BLOCK_BYTES;
                 let mapping = LinearMapping::new(b0, bm, cfg.capacity);
-                FcSenderKind::GfcTime { tx: GfcTimeSender::new(blocks, mapping), fccl_recon: blocks }
+                FcSenderKind::GfcTime {
+                    tx: GfcTimeSender::new(blocks, mapping),
+                    fccl_recon: blocks,
+                }
             }
-            FcMode::Conceptual { b0, bm, .. } => {
-                FcSenderKind::Conceptual(ConceptualSender::new(LinearMapping::new(b0, bm, cfg.capacity)))
-            }
+            FcMode::Conceptual { b0, bm, .. } => FcSenderKind::Conceptual(ConceptualSender::new(
+                LinearMapping::new(b0, bm, cfg.capacity),
+            )),
         };
         FcSender { kind, limiter }
     }
 
-    /// Apply a received control message at `now`. Returns `true` if the
-    /// gate may have opened (the caller should kick the transmitter).
-    pub fn on_ctrl(&mut self, payload: CtrlPayload, now: Time) -> bool {
+    /// Apply a received control message at `now`. Returns `Ok(true)` if
+    /// the gate may have opened (the caller should kick the transmitter),
+    /// or [`SchemeMismatch`] when the payload belongs to a different
+    /// scheme than this sender runs.
+    pub fn on_ctrl(&mut self, payload: CtrlPayload, now: Time) -> Result<bool, SchemeMismatch> {
         match (&mut self.kind, payload) {
             (FcSenderKind::Pfc(tx), CtrlPayload::Pfc(ev)) => {
                 tx.on_event(ev, now);
-                !tx.is_paused(now)
+                Ok(!tx.is_paused(now))
             }
             (FcSenderKind::Cbfc { tx, fccl_recon }, CtrlPayload::FcclWire(w)) => {
                 *fccl_recon = wrap16_advance(*fccl_recon, w);
                 tx.on_feedback(*fccl_recon);
-                true
+                Ok(true)
             }
             (FcSenderKind::GfcBuffer(tx), CtrlPayload::GfcStage(stage)) => {
                 let rate = tx.on_feedback(stage);
                 self.limiter.set_rate(rate);
-                true
+                Ok(true)
             }
             (FcSenderKind::GfcTime { tx, fccl_recon }, CtrlPayload::FcclWire(w)) => {
                 *fccl_recon = wrap16_advance(*fccl_recon, w);
@@ -290,16 +342,14 @@ impl FcSender {
                 // eliminates hold-and-wait.
                 let rate = tx.on_feedback(*fccl_recon).max(Rate(1));
                 self.limiter.set_rate(rate);
-                true
+                Ok(true)
             }
             (FcSenderKind::Conceptual(tx), CtrlPayload::QueueSample(q)) => {
                 let rate = tx.on_feedback(q).max(Rate(1));
                 self.limiter.set_rate(rate);
-                true
+                Ok(true)
             }
-            (kind, payload) => {
-                panic!("flow-control message {payload:?} does not match sender state {kind:?}")
-            }
+            (kind, payload) => Err(SchemeMismatch { payload, sender_scheme: kind.scheme_name() }),
         }
     }
 
@@ -400,10 +450,10 @@ mod tests {
         let mut tx = FcSender::for_config(&c);
         assert_eq!(tx.gate(1500, Time::ZERO), Gate::Ready);
         let msg = rx.on_arrival(kb(281), 1500).expect("pause expected");
-        assert!(!tx.on_ctrl(msg, Time::ZERO));
+        assert!(!tx.on_ctrl(msg, Time::ZERO).unwrap());
         assert_eq!(tx.gate(1500, Time::ZERO), Gate::Blocked);
         let msg = rx.on_drain(kb(276), 1500).expect("resume expected");
-        assert!(tx.on_ctrl(msg, Time::ZERO));
+        assert!(tx.on_ctrl(msg, Time::ZERO).unwrap());
         assert_eq!(tx.gate(1500, Time::ZERO), Gate::Ready);
     }
 
@@ -413,7 +463,7 @@ mod tests {
         let mut rx = FcReceiver::for_config(&c);
         let mut tx = FcSender::for_config(&c);
         let msg = rx.on_arrival(kb(282), 1500).expect("stage change");
-        assert!(tx.on_ctrl(msg, Time::ZERO));
+        assert!(tx.on_ctrl(msg, Time::ZERO).unwrap());
         assert_eq!(tx.assigned_rate(), Rate::from_gbps(5));
         // GFC never hard-blocks.
         assert!(!tx.hard_blocked(1500, Time::ZERO));
@@ -443,17 +493,13 @@ mod tests {
         rx.on_arrival(0, sent);
         rx.on_drain(0, sent);
         let msg = rx.periodic().expect("periodic FCCL");
-        assert!(tx.on_ctrl(msg, Time::ZERO));
+        assert!(tx.on_ctrl(msg, Time::ZERO).unwrap());
         assert_eq!(tx.gate(1500, Time::ZERO), Gate::Ready);
     }
 
     #[test]
     fn gfc_time_pair_rate_follows_credits() {
-        let c = cfg(FcMode::GfcTime {
-            b0: kb(100),
-            bm: kb(300),
-            period: Dur::from_micros(52),
-        });
+        let c = cfg(FcMode::GfcTime { b0: kb(100), bm: kb(300), period: Dur::from_micros(52) });
         let mut rx = FcReceiver::for_config(&c);
         let mut tx = FcSender::for_config(&c);
         assert_eq!(tx.assigned_rate(), Rate::from_gbps(10));
@@ -467,7 +513,7 @@ mod tests {
         // Packets arrived but NOT drained: occupancy = sent.
         rx.on_arrival(sent, sent);
         let msg = rx.periodic().unwrap();
-        tx.on_ctrl(msg, Time::ZERO);
+        tx.on_ctrl(msg, Time::ZERO).unwrap();
         let r = tx.assigned_rate();
         assert!(r < Rate::from_gbps(10) && r > Rate::ZERO, "rate {r}");
     }
@@ -478,7 +524,7 @@ mod tests {
         let mut rx = FcReceiver::for_config(&c);
         let mut tx = FcSender::for_config(&c);
         let msg = rx.on_arrival(kb(75), 1500).unwrap();
-        tx.on_ctrl(msg, Time::ZERO);
+        tx.on_ctrl(msg, Time::ZERO).unwrap();
         assert_eq!(tx.assigned_rate(), Rate::from_gbps(5));
     }
 
@@ -504,10 +550,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "does not match")]
-    fn mismatched_ctrl_panics() {
+    fn mismatched_ctrl_is_a_typed_error() {
         let c = cfg(FcMode::Pfc { xoff: kb(280), xon: kb(277) });
         let mut tx = FcSender::for_config(&c);
-        tx.on_ctrl(CtrlPayload::GfcStage(1), Time::ZERO);
+        let err = tx.on_ctrl(CtrlPayload::GfcStage(1), Time::ZERO).unwrap_err();
+        assert_eq!(err.payload, CtrlPayload::GfcStage(1));
+        assert_eq!(err.sender_scheme, "PFC");
+        assert!(err.to_string().contains("does not match a PFC sender"), "{err}");
     }
 }

@@ -51,7 +51,12 @@ impl ListWorkload {
 }
 
 impl Workload for ListWorkload {
-    fn next_flow(&mut self, host_index: usize, _now: Time, _rng: &mut StdRng) -> Option<FlowRequest> {
+    fn next_flow(
+        &mut self,
+        host_index: usize,
+        _now: Time,
+        _rng: &mut StdRng,
+    ) -> Option<FlowRequest> {
         let c = self.cursor.get_mut(host_index)?;
         let req = self.per_host.get(host_index)?.get(*c)?;
         *c += 1;

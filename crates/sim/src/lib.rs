@@ -48,7 +48,19 @@ pub mod packet;
 pub mod port;
 pub mod trace;
 
-pub use config::{FcMode, SimConfig};
+pub use config::{FcMode, PreflightPolicy, SimConfig};
 pub use flowgen::{ClosedLoopWorkload, FlowRequest, ListWorkload, Workload};
 pub use network::{Network, SimStats};
 pub use trace::{TraceConfig, Traces};
+
+/// Run the `gfc-verify` static preflight analysis on a full simulator
+/// configuration — the ergonomic entry point for vetting a scenario
+/// without building a [`Network`] (the builder runs the same pass per
+/// [`SimConfig::preflight`]).
+pub fn preflight(
+    topo: &gfc_topology::Topology,
+    routing: &gfc_topology::Routing,
+    cfg: &SimConfig,
+) -> gfc_verify::Report {
+    gfc_verify::preflight(topo, routing, &cfg.fabric_spec())
+}

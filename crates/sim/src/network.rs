@@ -120,16 +120,40 @@ pub struct Network {
     last_monitor_delivered: u64,
     /// First observation of a wait-for cycle during a stalled tick.
     structural_deadlock_at: Option<Time>,
+    /// The static preflight report (None when the policy was `Skip`).
+    preflight_report: Option<gfc_verify::Report>,
 }
 
 impl Network {
     /// Build a simulator over `topo` with the given routing and config.
+    ///
+    /// Unless `cfg.preflight` opts out, the `gfc-verify` static analysis
+    /// runs first and the builder panics (with the full lint report) on
+    /// Error-level findings — a theorem-precondition violation, an unsound
+    /// PFC threshold, or a hard-gated scheme on a CBD-prone routing.
+    /// Adversarial experiments that run unsound configurations on purpose
+    /// (the Fig. 9/12 deadlock studies) set
+    /// [`PreflightPolicy::Acknowledge`](gfc_verify::PreflightPolicy).
     pub fn new(topo: Topology, routing: Routing, cfg: SimConfig, trace_cfg: TraceConfig) -> Self {
+        let preflight_report = match cfg.preflight {
+            gfc_verify::PreflightPolicy::Skip => None,
+            policy => {
+                let report = gfc_verify::preflight(&topo, &routing, &cfg.fabric_spec());
+                if policy == gfc_verify::PreflightPolicy::Enforce && report.has_errors() {
+                    panic!(
+                        "preflight rejected this configuration (set SimConfig::preflight to \
+                         PreflightPolicy::Acknowledge to run it anyway):\n{}",
+                        report.render()
+                    );
+                }
+                Some(report)
+            }
+        };
         cfg.validate();
         let mut ports: Vec<Vec<PortState>> = Vec::with_capacity(topo.num_nodes());
         for n in topo.node_ids() {
             let mut node_ports = Vec::new();
-            for &(peer, link) in topo.ports(n).iter() {
+            for &(peer, link) in topo.ports(n) {
                 let peer_port = topo.port_of(peer, link);
                 node_ports.push(PortState::new(&cfg, link, peer, peer_port));
             }
@@ -176,8 +200,15 @@ impl Network {
             halted: false,
             last_monitor_delivered: 0,
             structural_deadlock_at: None,
+            preflight_report,
             cfg,
         }
+    }
+
+    /// The static preflight report computed when this network was built
+    /// (`None` when `cfg.preflight` was [`gfc_verify::PreflightPolicy::Skip`]).
+    pub fn preflight_report(&self) -> Option<&gfc_verify::Report> {
+        self.preflight_report.as_ref()
     }
 
     /// Install a workload; each host is primed with its first flow when the
@@ -263,7 +294,7 @@ impl Network {
             .iter()
             .flatten()
             .flat_map(|p| p.ing_rx.iter())
-            .map(|rx| rx.messages_sent())
+            .map(super::fc::FcReceiver::messages_sent)
             .sum()
     }
 
@@ -274,7 +305,7 @@ impl Network {
             .iter()
             .flatten()
             .flat_map(|p| p.tx_fc.iter())
-            .map(|fc| fc.hold_and_wait_episodes())
+            .map(super::fc::FcSender::hold_and_wait_episodes)
             .sum()
     }
 
@@ -343,7 +374,9 @@ impl Network {
     pub fn run_until(&mut self, t_end: Time) {
         self.ensure_started();
         while !self.halted {
-            let Some(t) = self.queue.peek_time() else { break };
+            let Some(t) = self.queue.peek_time() else {
+                break;
+            };
             if t > t_end {
                 break;
             }
@@ -399,7 +432,9 @@ impl Network {
         if self.host_state[&host].workload_done {
             return;
         }
-        let Some(mut w) = self.workload.take() else { return };
+        let Some(mut w) = self.workload.take() else {
+            return;
+        };
         for _attempt in 0..64 {
             match w.next_flow(idx, self.now, &mut self.rng) {
                 None => {
@@ -429,7 +464,7 @@ impl Network {
         match ev {
             Event::Arrive { node, port, pkt } => self.on_arrive(node, port, pkt),
             Event::CtrlApply { node, port, prio, payload } => {
-                self.on_ctrl_apply(node, port, prio, payload)
+                self.on_ctrl_apply(node, port, prio, payload);
             }
             Event::TxKick { node, port } => {
                 let ps = &mut self.ports[node.0 as usize][port];
@@ -504,7 +539,9 @@ impl Network {
         }
         // Flow completion.
         let finished = {
-            let Some(meta) = self.flows.get_mut(&pkt.flow) else { return };
+            let Some(meta) = self.flows.get_mut(&pkt.flow) else {
+                return;
+            };
             meta.delivered += pkt.bytes;
             match meta.total {
                 Some(total) if !meta.finished && meta.delivered >= total => {
@@ -556,8 +593,11 @@ impl Network {
         let arrival_seq = self.arrival_seq[node.0 as usize];
         self.arrival_seq[node.0 as usize] += 1;
         self.ports[node.0 as usize][out_port].eg[prio].voq_bytes += bytes;
-        self.ports[node.0 as usize][port].ing_q[prio]
-            .push_back(IngressPacket { pkt, out_port, arrival_seq });
+        self.ports[node.0 as usize][port].ing_q[prio].push_back(IngressPacket {
+            pkt,
+            out_port,
+            arrival_seq,
+        });
         self.pump(node);
     }
 
@@ -580,7 +620,9 @@ impl Network {
             for i in 0..num_ports {
                 let ing = (start + i) % num_ports;
                 for prio in 0..np {
-                    let Some(head) = self.ports[n][ing].ing_q[prio].front() else { continue };
+                    let Some(head) = self.ports[n][ing].ing_q[prio].front() else {
+                        continue;
+                    };
                     if self.ports[n][head.out_port].eg[prio].q.len() >= slots {
                         continue; // head-of-line wait at the ingress FIFO
                     }
@@ -596,8 +638,7 @@ impl Network {
                         }
                     }
                 }
-                if matches!(self.cfg.pump, crate::config::PumpPolicy::RoundRobin)
-                    && best.is_some()
+                if matches!(self.cfg.pump, crate::config::PumpPolicy::RoundRobin) && best.is_some()
                 {
                     break;
                 }
@@ -607,7 +648,9 @@ impl Network {
             // (the DPDK testbed switch forwards in such bursts).
             let mut granted = 0usize;
             while granted < self.cfg.pump_batch {
-                let Some(head) = self.ports[n][ing].ing_q[prio].front() else { break };
+                let Some(head) = self.ports[n][ing].ing_q[prio].front() else {
+                    break;
+                };
                 if self.ports[n][head.out_port].eg[prio].q.len() >= slots {
                     break;
                 }
@@ -636,13 +679,18 @@ impl Network {
         if let Some(meters) = &mut self.ctrl_meters {
             meters[node.0 as usize][port].record(self.now.0, wire);
         }
-        let opened =
-            self.ports[node.0 as usize][port].tx_fc[prio as usize].on_ctrl(payload, self.now);
+        let opened = self.ports[node.0 as usize][port].tx_fc[prio as usize]
+            .on_ctrl(payload, self.now)
+            .expect("control payload matches the scheme fixed at construction");
         // Trace the assigned egress rate if this point is observed.
         let key = (node, port, prio);
         if self.traces.egress_rate.contains_key(&key) {
             let rate = self.ports[node.0 as usize][port].tx_fc[prio as usize].assigned_rate();
-            self.traces.egress_rate.get_mut(&key).expect("traced key").push(self.now.0, rate.0 as f64);
+            self.traces
+                .egress_rate
+                .get_mut(&key)
+                .expect("traced key")
+                .push(self.now.0, rate.0 as f64);
         }
         if opened {
             self.try_transmit(node, port);
@@ -668,7 +716,9 @@ impl Network {
         let Some(dc) = self.cfg.dcqcn else { return };
         let rate = {
             let hs = self.host_state.get_mut(&host).expect("host");
-            let Some(f) = hs.flows.iter_mut().find(|f| f.id == flow) else { return };
+            let Some(f) = hs.flows.iter_mut().find(|f| f.id == flow) else {
+                return;
+            };
             let Some(rp) = &mut f.rp else { return };
             rp.on_alpha_timer();
             rp.on_increase_timer();
@@ -684,7 +734,9 @@ impl Network {
     fn on_cnp(&mut self, host: NodeId, flow: u64) {
         let rate = {
             let hs = self.host_state.get_mut(&host).expect("host");
-            let Some(f) = hs.flows.iter_mut().find(|f| f.id == flow) else { return };
+            let Some(f) = hs.flows.iter_mut().find(|f| f.id == flow) else {
+                return;
+            };
             let Some(rp) = &mut f.rp else { return };
             rp.on_cnp();
             rp.rate_bps()
@@ -700,10 +752,12 @@ impl Network {
         // Structural check only on stalled ticks (free when healthy): a
         // wait-for cycle observed while nothing moves is a deadlock in the
         // paper's sense — circular hold-and-wait.
-        if self.structural_deadlock_at.is_none() && backlog && !progressed {
-            if self.waitfor_cycle_exists() {
-                self.structural_deadlock_at = Some(self.now);
-            }
+        if self.structural_deadlock_at.is_none()
+            && backlog
+            && !progressed
+            && self.waitfor_cycle_exists()
+        {
+            self.structural_deadlock_at = Some(self.now);
         }
         let dead = self.monitor.deadlocked() || self.structural_deadlock_at.is_some();
         if dead && self.cfg.stop_on_deadlock {
@@ -731,8 +785,10 @@ impl Network {
                 let ps = &self.ports[node.0 as usize][port];
                 (ps.peer, ps.peer_port)
             };
-            self.queue
-                .push(self.now + tau, Event::CtrlApply { node: peer, port: peer_port, prio, payload });
+            self.queue.push(
+                self.now + tau,
+                Event::CtrlApply { node: peer, port: peer_port, prio, payload },
+            );
             return;
         }
         self.ports[node.0 as usize][port].ctrl_q.push_back(QueuedCtrl { payload, prio });
@@ -928,7 +984,7 @@ impl Network {
                     }
                     match chosen {
                         None => match earliest {
-                            Some(t) if hs.tick_at.map_or(true, |cur| t < cur) => {
+                            Some(t) if hs.tick_at.is_none_or(|cur| t < cur) => {
                                 hs.tick_at = Some(t);
                                 Step::Wake(t)
                             }
@@ -1062,10 +1118,7 @@ impl Network {
                 // Ingress FIFO heads wait on their target egress.
                 for fifo in &ps.ing_q {
                     if let Some(head) = fifo.front() {
-                        edges
-                            .entry(ingress_v(n, p))
-                            .or_default()
-                            .push(egress_v(n, head.out_port));
+                        edges.entry(ingress_v(n, p)).or_default().push(egress_v(n, head.out_port));
                     }
                 }
             }
@@ -1081,7 +1134,7 @@ impl Network {
             let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
             color.insert(root, 1);
             while let Some(&mut (v, ref mut i)) = stack.last_mut() {
-                let succs = edges.get(&v).map(|s| s.as_slice()).unwrap_or(&[]);
+                let succs = edges.get(&v).map(Vec::as_slice).unwrap_or(&[]);
                 if *i < succs.len() {
                     let u = succs[*i];
                     *i += 1;

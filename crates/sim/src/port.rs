@@ -38,8 +38,8 @@ pub struct EgressQueue {
     /// Total bytes staged.
     pub bytes: u64,
     /// Virtual-output-queue byte count: everything in this node currently
-    /// destined to this egress/priority (staged + waiting in ingress FIFOs
-    /// + in flight on this port). This is the congestion signal ECN marks
+    /// destined to this egress/priority (staged, waiting in ingress FIFOs,
+    /// or in flight on this port). This is the congestion signal ECN marks
     /// against.
     pub voq_bytes: u64,
 }

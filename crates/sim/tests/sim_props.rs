@@ -4,7 +4,7 @@
 use gfc_core::theorems::cbfc_recommended_period;
 use gfc_core::units::{kb, Rate, Time};
 use gfc_sim::flowgen::ClosedLoopWorkload;
-use gfc_sim::{FcMode, Network, SimConfig, TraceConfig};
+use gfc_sim::{FcMode, Network, PreflightPolicy, SimConfig, TraceConfig};
 use gfc_topology::{FatTree, Routing};
 use gfc_workload::{DestPolicy, FlowSizeDist};
 use proptest::prelude::*;
@@ -28,6 +28,9 @@ fn run_once(seed: u64, scheme_idx: usize, failure_prob: f64) -> (u64, u64, u64, 
     cfg.buffer_bytes = kb(300) + 6000;
     cfg.fc = scheme(scheme_idx);
     cfg.seed = seed;
+    // Random failures can hand SPF a CBD-forming re-route, which preflight
+    // flags under the baselines — losslessness must hold regardless.
+    cfg.preflight = PreflightPolicy::Acknowledge;
     let racks: Vec<u32> = (0..ft.hosts.len()).map(|h| ft.rack_of_host(h) as u32).collect();
     let mut net = Network::new(ft.topo.clone(), Routing::spf(), cfg, TraceConfig::none());
     net.install_workload(Box::new(ClosedLoopWorkload {

@@ -38,7 +38,7 @@ impl DepGraph {
 
     /// Number of dependency edges.
     pub fn num_edges(&self) -> usize {
-        self.edges.values().map(|s| s.len()).sum()
+        self.edges.values().map(std::collections::HashSet::len).sum()
     }
 
     /// Whether the graph contains a cycle.
@@ -183,10 +183,8 @@ pub fn realize_cycle(
 ) -> Option<Vec<(NodeId, NodeId, Vec<crate::graph::LinkId>)>> {
     use crate::routing::walk_nodes;
     let hosts = topo.hosts();
-    let decode = |idx: u64| DirLink {
-        link: crate::graph::LinkId((idx / 2) as u32),
-        reversed: idx % 2 == 1,
-    };
+    let decode =
+        |idx: u64| DirLink { link: crate::graph::LinkId((idx / 2) as u32), reversed: idx % 2 == 1 };
     let mut flows = Vec::new();
     let mut tree_cache: HashMap<NodeId, DstTree> = HashMap::new();
     let n = cycle.len();
@@ -200,19 +198,19 @@ pub fn realize_cycle(
         let mut found = None;
         'search: for &src in &hosts {
             // Prefix src → u avoiding v and w.
-            let Some(prefix) = walk_toward(topo, &tree_u, src, u, &[v, w]) else { continue };
+            let Some(prefix) = walk_toward(topo, &tree_u, src, u, &[v, w]) else {
+                continue;
+            };
             let prefix_nodes = walk_nodes(topo, src, &prefix).expect("prefix is a valid walk");
             for &dst in &hosts {
                 if dst == src {
                     continue;
                 }
-                let tree_dst = tree_cache
-                    .entry(dst)
-                    .or_insert_with(|| DstTree::compute(topo, dst));
+                let tree_dst = tree_cache.entry(dst).or_insert_with(|| DstTree::compute(topo, dst));
                 // Suffix w → dst avoiding every node already visited.
                 let mut avoid = prefix_nodes.clone();
                 avoid.push(v);
-                let Some(suffix) = walk_toward(topo, &tree_dst, w, dst, &avoid) else {
+                let Some(suffix) = walk_toward(topo, tree_dst, w, dst, &avoid) else {
                     continue;
                 };
                 let mut path = prefix.clone();
@@ -281,11 +279,8 @@ mod tests {
         let hl: Vec<LinkId> = (0..3).map(|i| t.add_link(h[i], s[i])).collect();
         let sl: Vec<LinkId> = (0..3).map(|i| t.add_link(s[i], s[(i + 1) % 3])).collect();
         // Flow i: H_i → H_{i+2}, clockwise: h→s_i→s_{i+1}→s_{i+2}→h.
-        let flows = (0..3)
-            .map(|i| {
-                (h[i], vec![hl[i], sl[i], sl[(i + 1) % 3], hl[(i + 2) % 3]])
-            })
-            .collect();
+        let flows =
+            (0..3).map(|i| (h[i], vec![hl[i], sl[i], sl[(i + 1) % 3], hl[(i + 2) % 3]])).collect();
         (t, flows)
     }
 
@@ -363,8 +358,12 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed);
             ft.inject_failures(&mut rng, 0.08);
             let g = all_pairs_depgraph(&ft.topo);
-            let Some(cycle) = g.find_cycle() else { continue };
-            let Some(flows) = realize_cycle(&ft.topo, &cycle) else { continue };
+            let Some(cycle) = g.find_cycle() else {
+                continue;
+            };
+            let Some(flows) = realize_cycle(&ft.topo, &cycle) else {
+                continue;
+            };
             let fg = depgraph_for_flows(
                 &ft.topo,
                 &flows.iter().map(|(s, _, p)| (*s, p.clone())).collect::<Vec<_>>(),

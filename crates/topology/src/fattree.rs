@@ -42,16 +42,14 @@ pub struct FatTree {
 impl FatTree {
     /// Build a k-ary fat-tree; panics unless `k` is even and ≥ 4.
     pub fn new(k: usize) -> Self {
-        assert!(k >= 4 && k % 2 == 0, "fat-tree arity must be even and >= 4");
+        assert!(k >= 4 && k.is_multiple_of(2), "fat-tree arity must be even and >= 4");
         let half = k / 2;
         let mut topo = Topology::new();
 
         let hosts: Vec<NodeId> =
             (0..k * half * half).map(|i| topo.add_host(format!("H{i}"))).collect();
-        let edges: Vec<NodeId> =
-            (0..k * half).map(|i| topo.add_switch(format!("SE{i}"))).collect();
-        let aggs: Vec<NodeId> =
-            (0..k * half).map(|i| topo.add_switch(format!("SA{i}"))).collect();
+        let edges: Vec<NodeId> = (0..k * half).map(|i| topo.add_switch(format!("SE{i}"))).collect();
+        let aggs: Vec<NodeId> = (0..k * half).map(|i| topo.add_switch(format!("SA{i}"))).collect();
         let cores: Vec<NodeId> =
             (0..half * half).map(|i| topo.add_switch(format!("SC{i}"))).collect();
 
@@ -269,10 +267,7 @@ mod tests {
     #[test]
     fn fig11_scenario_exists() {
         let found = find_fig11_failures(8);
-        assert!(
-            found.is_some(),
-            "no 3-failure agg-core set yields a CBD for the Fig. 11 flows"
-        );
+        assert!(found.is_some(), "no 3-failure agg-core set yields a CBD for the Fig. 11 flows");
         let (ft, sc) = found.unwrap();
         assert_eq!(sc.failed.len(), 3);
         assert!(ft.topo.hosts_connected());

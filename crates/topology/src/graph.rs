@@ -242,7 +242,9 @@ impl Topology {
     /// Whether every host can reach every other host over alive links.
     pub fn hosts_connected(&self) -> bool {
         let hosts = self.hosts();
-        let Some(&first) = hosts.first() else { return true };
+        let Some(&first) = hosts.first() else {
+            return true;
+        };
         let mut seen = vec![false; self.num_nodes()];
         let mut stack = vec![first];
         seen[first.0 as usize] = true;

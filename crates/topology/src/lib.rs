@@ -24,5 +24,5 @@ pub mod scenarios;
 
 pub use fattree::FatTree;
 pub use graph::{DirLink, LinkId, NodeId, NodeKind, Topology};
-pub use routing::{Routing, SpfRouting};
+pub use routing::{Routing, SpfRouting, WalkError};
 pub use scenarios::{Incast, Ring};

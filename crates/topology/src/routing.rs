@@ -168,22 +168,46 @@ impl Routing {
     }
 }
 
+/// Why a link sequence is not a valid walk (see [`walk_nodes`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalkError {
+    /// The path crosses a link marked failed.
+    DeadLink(LinkId),
+    /// The path is discontiguous: this link does not touch the node the
+    /// walk had reached.
+    Discontiguous {
+        /// The offending link.
+        link: LinkId,
+        /// The node the walk had reached when the break was found.
+        at: NodeId,
+    },
+}
+
+impl std::fmt::Display for WalkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalkError::DeadLink(l) => write!(f, "link {l:?} on path is failed"),
+            WalkError::Discontiguous { link, at } => {
+                write!(f, "link {link:?} does not touch node {at:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalkError {}
+
 /// Validate that `path` is a contiguous alive walk from `src` to `dst`;
 /// returns the node sequence it visits.
-pub fn walk_nodes(
-    topo: &Topology,
-    src: NodeId,
-    path: &[LinkId],
-) -> Result<Vec<NodeId>, String> {
+pub fn walk_nodes(topo: &Topology, src: NodeId, path: &[LinkId]) -> Result<Vec<NodeId>, WalkError> {
     let mut nodes = vec![src];
     let mut v = src;
     for &l in path {
         if !topo.link_alive(l) {
-            return Err(format!("link {l:?} on path is failed"));
+            return Err(WalkError::DeadLink(l));
         }
         let link = topo.link(l);
         if link.a != v && link.b != v {
-            return Err(format!("link {l:?} does not touch node {v:?}"));
+            return Err(WalkError::Discontiguous { link: l, at: v });
         }
         v = topo.peer(l, v);
         nodes.push(v);
@@ -297,9 +321,12 @@ mod tests {
         let (mut t, [a, b, _, d]) = diamond();
         let ab = t.link_between(a, b).unwrap();
         let bd = t.link_between(b, d).unwrap();
-        assert!(walk_nodes(&t, a, &[bd]).is_err());
+        assert_eq!(
+            walk_nodes(&t, a, &[bd]).unwrap_err(),
+            WalkError::Discontiguous { link: bd, at: a }
+        );
         t.fail_link(ab);
-        assert!(walk_nodes(&t, a, &[ab, bd]).is_err());
+        assert_eq!(walk_nodes(&t, a, &[ab, bd]).unwrap_err(), WalkError::DeadLink(ab));
     }
 
     #[test]

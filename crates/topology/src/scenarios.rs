@@ -107,12 +107,10 @@ impl Incast {
     pub fn new(n: usize) -> Self {
         assert!(n >= 1);
         let mut topo = Topology::new();
-        let senders: Vec<NodeId> =
-            (0..n).map(|i| topo.add_host(format!("H{}", i + 1))).collect();
+        let senders: Vec<NodeId> = (0..n).map(|i| topo.add_host(format!("H{}", i + 1))).collect();
         let receiver = topo.add_host(format!("H{}", n + 1));
         let switch = topo.add_switch("S1");
-        let sender_links: Vec<LinkId> =
-            (0..n).map(|i| topo.add_link(senders[i], switch)).collect();
+        let sender_links: Vec<LinkId> = (0..n).map(|i| topo.add_link(senders[i], switch)).collect();
         let receiver_link = topo.add_link(receiver, switch);
         Incast { topo, senders, receiver, switch, sender_links, receiver_link }
     }

@@ -1,0 +1,535 @@
+//! The individual preflight checks (GFC001–GFC011).
+//!
+//! Every check is total: it never panics on malformed input, it reports.
+//! Checks run before the simulator's own `validate()` asserts, so the
+//! degenerate cases those asserts would kill (e.g. `B1 ≥ Bm`) must come
+//! out of here as Error diagnostics with usable hints instead.
+
+use crate::diag::{Code, Diagnostic, Report, Severity};
+use crate::spec::FabricSpec;
+use gfc_core::fc_mode::FcMode;
+use gfc_core::mapping::StageTable;
+use gfc_core::theorems;
+use gfc_core::units::{Dur, Rate};
+use gfc_topology::cbd::{all_pairs_depgraph, depgraph_for_flows, DepGraph};
+use gfc_topology::{DirLink, LinkId, Routing, Topology};
+
+fn push(
+    report: &mut Report,
+    code: Code,
+    severity: Severity,
+    subject: String,
+    message: String,
+    hint: String,
+) {
+    report.push(Diagnostic { code, severity, subject, message, hint });
+}
+
+/// Dispatch the per-scheme threshold checks (GFC001–GFC006, GFC009,
+/// GFC010) plus the scheme-independent register check (GFC008).
+pub(crate) fn check_parameters(spec: &FabricSpec, report: &mut Report) {
+    match spec.fc {
+        FcMode::None => {}
+        FcMode::Pfc { xoff, xon } => check_pfc(spec, xoff, xon, report),
+        FcMode::Cbfc { period } => check_cbfc(spec, period, report),
+        FcMode::GfcBuffer { bm, b1 } => {
+            check_bm(spec, bm, report);
+            check_buffer_gfc(spec, bm, b1, report);
+        }
+        FcMode::GfcTime { b0, bm, period } => {
+            check_bm(spec, bm, report);
+            check_time_gfc(spec, b0, bm, period, report);
+        }
+        FcMode::Conceptual { b0, bm, tau } => {
+            check_bm(spec, bm, report);
+            check_conceptual(spec, b0, bm, tau, report);
+        }
+    }
+    check_rate_limiter(spec, report);
+}
+
+/// GFC001 — Theorem 4.1: conceptual GFC needs `B0 ≤ Bm − 4·C·τ`.
+fn check_conceptual(spec: &FabricSpec, b0: u64, bm: u64, tau: Dur, report: &mut Report) {
+    if b0 >= bm {
+        push(
+            report,
+            Code::Gfc001,
+            Severity::Error,
+            format!("fc.b0 = {b0} B, fc.bm = {bm} B"),
+            "conceptual GFC needs B0 < Bm: the linear descent of Fig. 4(b) is empty".into(),
+            "choose B0 below Bm (Theorem 4.1 admits up to Bm − 4·C·τ)".into(),
+        );
+        return;
+    }
+    match theorems::conceptual_b0_bound(bm, spec.capacity, tau) {
+        None => push(
+            report,
+            Code::Gfc001,
+            Severity::Error,
+            format!("fc.bm = {bm} B, 4·C·τ = {} B", spec.capacity.bytes_in(tau) * 4),
+            "Theorem 4.1 is unsatisfiable: Bm is smaller than 4·C·τ, so no B0 avoids hold-and-wait".into(),
+            "enlarge the buffer beyond 4·C·τ or shorten the feedback latency τ".into(),
+        ),
+        Some(bound) if b0 > bound => push(
+            report,
+            Code::Gfc001,
+            Severity::Error,
+            format!("fc.b0 = {b0} B"),
+            format!(
+                "Theorem 4.1 violated: B0 = {b0} B exceeds Bm − 4·C·τ = {bound} B, so a full-rate burst can exhaust the buffer and hold-and-wait"
+            ),
+            format!("set B0 ≤ {bound} B"),
+        ),
+        Some(_) => {}
+    }
+}
+
+/// GFC002 — §4.2: buffer-based GFC needs `B1 ≤ Bm − 2·C·τ`. Returns
+/// whether `(bm, b1)` are ordered sanely (gates the stage-table check).
+fn check_buffer_gfc(spec: &FabricSpec, bm: u64, b1: u64, report: &mut Report) {
+    if b1 >= bm {
+        push(
+            report,
+            Code::Gfc002,
+            Severity::Error,
+            format!("fc.b1 = {b1} B, fc.bm = {bm} B"),
+            "buffer-based GFC needs B1 < Bm: there is no room for any rate-reducing stage".into(),
+            "choose B1 below Bm (§4.2 admits up to Bm − 2·C·τ)".into(),
+        );
+        return;
+    }
+    let tau = spec.tau();
+    match theorems::buffer_based_b1_bound(bm, spec.capacity, tau) {
+        None => push(
+            report,
+            Code::Gfc002,
+            Severity::Error,
+            format!("fc.bm = {bm} B, 2·C·τ = {} B", spec.capacity.bytes_in(tau) * 2),
+            "the §4.2 bound is unsatisfiable: Bm is smaller than 2·C·τ".into(),
+            "enlarge the buffer beyond 2·C·τ or shorten τ (Eq. 6)".into(),
+        ),
+        Some(bound) if b1 > bound => push(
+            report,
+            Code::Gfc002,
+            Severity::Error,
+            format!("fc.b1 = {b1} B"),
+            format!(
+                "§4.2 bound violated: B1 = {b1} B exceeds Bm − 2·C·τ = {bound} B, so stage-1 feedback can arrive after the buffer is exhausted"
+            ),
+            format!("set B1 ≤ {bound} B"),
+        ),
+        Some(_) => {}
+    }
+    check_stage_table(spec, bm, b1, report);
+}
+
+/// GFC003 — Theorem 5.1: time-based GFC needs
+/// `B0 ≤ Bm − (√(τ/T)+1)²·C·T`.
+fn check_time_gfc(spec: &FabricSpec, b0: u64, bm: u64, period: Dur, report: &mut Report) {
+    if !check_period(spec, period, report) {
+        return;
+    }
+    if b0 >= bm {
+        push(
+            report,
+            Code::Gfc003,
+            Severity::Error,
+            format!("fc.b0 = {b0} B, fc.bm = {bm} B"),
+            "time-based GFC needs B0 < Bm: the linear descent is empty".into(),
+            "choose B0 below Bm (Theorem 5.1 bounds the admissible maximum)".into(),
+        );
+        return;
+    }
+    match theorems::time_based_b0_bound(bm, spec.capacity, spec.tau(), period) {
+        None => push(
+            report,
+            Code::Gfc003,
+            Severity::Error,
+            format!(
+                "fc.bm = {bm} B, (√(τ/T)+1)²·C·T = {} B",
+                theorems::time_based_margin(spec.capacity, spec.tau(), period)
+            ),
+            "Theorem 5.1 is unsatisfiable: Bm is smaller than the (√(τ/T)+1)²·C·T reserve".into(),
+            "enlarge the buffer, shorten the feedback period T, or shorten τ".into(),
+        ),
+        Some(bound) if b0 > bound => push(
+            report,
+            Code::Gfc003,
+            Severity::Error,
+            format!("fc.b0 = {b0} B"),
+            format!("Theorem 5.1 violated: B0 = {b0} B exceeds Bm − (√(τ/T)+1)²·C·T = {bound} B"),
+            format!("set B0 ≤ {bound} B"),
+        ),
+        Some(_) => {}
+    }
+}
+
+/// GFC004/GFC005 — PFC threshold soundness and hysteresis.
+fn check_pfc(spec: &FabricSpec, xoff: u64, xon: u64, report: &mut Report) {
+    let ctau = spec.ctau_bytes();
+    if xoff > spec.buffer_bytes {
+        push(
+            report,
+            Code::Gfc004,
+            Severity::Error,
+            format!("fc.xoff = {xoff} B, buffer = {} B", spec.buffer_bytes),
+            "XOFF lies beyond the physical buffer: PAUSE can never fire before overflow".into(),
+            format!("set XOFF ≤ buffer − C·τ = {} B", spec.buffer_bytes.saturating_sub(ctau)),
+        );
+    } else {
+        let headroom = spec.buffer_bytes - xoff;
+        let conservative = 2 * ctau + spec.mtu;
+        if headroom < ctau {
+            push(
+                report,
+                Code::Gfc004,
+                Severity::Error,
+                format!("fc.xoff = {xoff} B (headroom {headroom} B)"),
+                format!(
+                    "XOFF headroom {headroom} B is below C·τ = {ctau} B: in-flight data arriving after PAUSE overflows the buffer — drops in a lossless fabric"
+                ),
+                format!("set XOFF ≤ {} B", spec.buffer_bytes - ctau),
+            );
+        } else if headroom < conservative {
+            push(
+                report,
+                Code::Gfc004,
+                Severity::Warning,
+                format!("fc.xoff = {xoff} B (headroom {headroom} B)"),
+                format!(
+                    "XOFF headroom {headroom} B is below the conservative 2·C·τ + MTU = {conservative} B provisioning (§2): no margin if the PAUSE round trip degrades"
+                ),
+                format!("for worst-case provisioning set XOFF ≤ {} B", spec.buffer_bytes - conservative),
+            );
+        }
+    }
+    if xon >= xoff {
+        push(
+            report,
+            Code::Gfc005,
+            Severity::Error,
+            format!("fc.xon = {xon} B, fc.xoff = {xoff} B"),
+            "XON is not below XOFF: the pause gate has no hysteresis and can never resume cleanly"
+                .into(),
+            "set XON at least one MTU below XOFF (the paper uses a 2·MTU gap)".into(),
+        );
+    } else if xoff - xon < spec.mtu {
+        push(
+            report,
+            Code::Gfc005,
+            Severity::Warning,
+            format!("fc.xoff − fc.xon = {} B", xoff - xon),
+            format!(
+                "XON/XOFF gap is narrower than one MTU ({} B): a single arriving frame re-crosses XOFF and every packet costs a PAUSE/RESUME pair",
+                spec.mtu
+            ),
+            "widen the gap to at least 2·MTU".into(),
+        );
+    }
+}
+
+/// GFC006 — CBFC credit sizing: the advertised buffer is the credit pool;
+/// if it cannot cover the bandwidth–delay product of the feedback loop the
+/// link idles waiting for FCPs (throughput loss, not a safety issue).
+fn check_cbfc(spec: &FabricSpec, period: Dur, report: &mut Report) {
+    if !check_period(spec, period, report) {
+        return;
+    }
+    let rtt = spec.t_wire.mul_u64(2) + spec.t_proc + period;
+    let bdp = spec.capacity.bytes_in(rtt) + spec.mtu;
+    if spec.buffer_bytes < bdp {
+        push(
+            report,
+            Code::Gfc006,
+            Severity::Warning,
+            format!("buffer = {} B, C·(2·t_w + t_r + T) + MTU = {bdp} B", spec.buffer_bytes),
+            "credits cannot cover one feedback round trip: the sender exhausts the pool and idles until the next FCP — the link cannot sustain line rate".into(),
+            format!("provision at least {bdp} B of buffer, or shorten the feedback period"),
+        );
+    }
+    let recommended = theorems::cbfc_recommended_period(spec.capacity);
+    if period.0 > recommended.0.saturating_mul(4) {
+        push(
+            report,
+            Code::Gfc006,
+            Severity::Info,
+            format!("fc.period = {:.1} µs", period.as_micros_f64()),
+            format!(
+                "feedback period is more than 4× the 65535-byte guidance ({:.1} µs): credit state goes stale between updates",
+                recommended.as_micros_f64()
+            ),
+            "consider the InfiniBand-recommended period (time to send 65535 B)".into(),
+        );
+    }
+}
+
+/// GFC010 — feedback-period sanity, shared by the periodic schemes.
+/// Returns false when the period is unusable (dependent checks skip).
+fn check_period(spec: &FabricSpec, period: Dur, report: &mut Report) -> bool {
+    if period.0 == 0 {
+        push(
+            report,
+            Code::Gfc010,
+            Severity::Error,
+            "fc.period = 0".into(),
+            "a zero feedback period is degenerate: the feedback clock never advances".into(),
+            "use a positive period (e.g. the time to send 65535 B)".into(),
+        );
+        return false;
+    }
+    let mtu_ser = Dur::for_bytes(spec.mtu, spec.capacity);
+    if period < mtu_ser {
+        push(
+            report,
+            Code::Gfc010,
+            Severity::Warning,
+            format!("fc.period = {:.2} µs", period.as_micros_f64()),
+            format!(
+                "feedback period is shorter than one MTU serialization ({:.2} µs): control messages outnumber data frames (the Fig. 19 control-bandwidth flood)",
+                mtu_ser.as_micros_f64()
+            ),
+            "lengthen the period to at least a few MTU times".into(),
+        );
+    }
+    true
+}
+
+/// GFC009 — `Bm` vs. the physical buffer.
+fn check_bm(spec: &FabricSpec, bm: u64, report: &mut Report) {
+    if bm > spec.buffer_bytes {
+        push(
+            report,
+            Code::Gfc009,
+            Severity::Error,
+            format!("fc.bm = {bm} B, buffer = {} B", spec.buffer_bytes),
+            "Bm lies beyond the physical buffer: the mapping's zero-rate point is unreachable and overflow precedes it".into(),
+            format!("set Bm ≤ {} B (§5.4 sets Bm to the full buffer)", spec.buffer_bytes),
+        );
+    } else if bm < spec.buffer_bytes {
+        push(
+            report,
+            Code::Gfc009,
+            Severity::Info,
+            format!("fc.bm = {bm} B, buffer = {} B", spec.buffer_bytes),
+            format!(
+                "{} B of buffer above Bm are never used by the mapping (headroom for feedback-latency creep)",
+                spec.buffer_bytes - bm
+            ),
+            "intentional headroom is fine; otherwise set Bm to the full buffer (§5.4)".into(),
+        );
+    }
+}
+
+/// GFC007 — stage-table geometry: thresholds strictly increase, rates
+/// follow `R_k = C·(num/den)^k` exactly, the deepest stage still trickles,
+/// and the ratio respects Eq. (3)'s 3/4 admissibility limit.
+fn check_stage_table(spec: &FabricSpec, bm: u64, b1: u64, report: &mut Report) {
+    let (num, den) = spec.gfc_stage_ratio;
+    if num == 0 || num >= den {
+        push(
+            report,
+            Code::Gfc007,
+            Severity::Error,
+            format!("gfc_stage_ratio = {num}/{den}"),
+            "the stage ratio must lie strictly inside (0, 1)".into(),
+            "the paper uses 1/2 (Eq. 4); Eq. (3) admits anything ≤ 3/4".into(),
+        );
+        return;
+    }
+    if 4 * num > 3 * den {
+        push(
+            report,
+            Code::Gfc007,
+            Severity::Error,
+            format!("gfc_stage_ratio = {num}/{den}"),
+            "stage ratio exceeds 3/4: Eq. (3) no longer holds, so a stage's worst-case inflow outruns the next stage's drain and hold-and-wait returns".into(),
+            "use a ratio ≤ 3/4 (the paper selects 1/2)".into(),
+        );
+    }
+    if b1 >= bm {
+        return; // already an Error from GFC002; the table cannot be built
+    }
+    let table = StageTable::with_ratio(bm, b1, spec.capacity, num, den);
+    let mut prev: Option<(u64, Rate)> = None;
+    for (k, stage) in table.iter() {
+        if let Some((pstart, prate)) = prev {
+            if stage.start <= pstart {
+                push(
+                    report,
+                    Code::Gfc007,
+                    Severity::Error,
+                    format!("stage {k} start = {} B", stage.start),
+                    format!(
+                        "stage thresholds must strictly increase (stage {} starts at {pstart} B)",
+                        k - 1
+                    ),
+                    "this indicates a malformed table; rebuild it from (Bm, B1, C)".into(),
+                );
+            }
+            let expected = Rate((prate.0 as u128 * num as u128 / den as u128) as u64);
+            if stage.rate != expected {
+                push(
+                    report,
+                    Code::Gfc007,
+                    Severity::Error,
+                    format!("stage {k} rate = {} b/s", stage.rate.0),
+                    format!(
+                        "stage rates must follow R_k = C·({num}/{den})^k (expected {} b/s from stage {})",
+                        expected.0,
+                        k - 1
+                    ),
+                    "this indicates a malformed table; rebuild it from (Bm, B1, C)".into(),
+                );
+            }
+        } else if stage.rate != spec.capacity {
+            push(
+                report,
+                Code::Gfc007,
+                Severity::Error,
+                format!("stage 0 rate = {} b/s", stage.rate.0),
+                "stage 0 must map to full line rate C".into(),
+                "this indicates a malformed table; rebuild it from (Bm, B1, C)".into(),
+            );
+        }
+        prev = Some((stage.start, stage.rate));
+    }
+    let deepest = table.rate_for_stage(table.num_stages());
+    if deepest == Rate::ZERO {
+        push(
+            report,
+            Code::Gfc007,
+            Severity::Error,
+            format!("stage {} rate = 0", table.num_stages()),
+            "the deepest stage maps to zero: GFC degenerates into a hard gate and the no-hold-and-wait guarantee is void".into(),
+            "widen Bm − B1 or use a coarser ratio so the deepest stage stays positive".into(),
+        );
+    } else if deepest < spec.min_rate_unit {
+        push(
+            report,
+            Code::Gfc008,
+            Severity::Info,
+            format!(
+                "stage {} rate = {} b/s, min_rate_unit = {} b/s",
+                table.num_stages(),
+                deepest.0,
+                spec.min_rate_unit.0
+            ),
+            "the deepest stages fall below the rate-limiter's minimum unit and clamp to it (§7): the effective table is shallower than N".into(),
+            "harmless; raise B1 (fewer stages) or lower min_rate_unit to use the full depth".into(),
+        );
+    }
+}
+
+/// GFC008 — rate-limiter register sanity (§5.3 three-register design,
+/// §7 commodity minimum unit).
+fn check_rate_limiter(spec: &FabricSpec, report: &mut Report) {
+    if spec.min_rate_unit > spec.capacity {
+        push(
+            report,
+            Code::Gfc008,
+            Severity::Error,
+            format!("min_rate_unit = {} b/s, C = {} b/s", spec.min_rate_unit.0, spec.capacity.0),
+            "the pacing floor exceeds line rate: every assignment clamps to C and the limiter can never throttle".into(),
+            "set min_rate_unit well below C (commodity gear uses 8 Kb/s, §7)".into(),
+        );
+    } else if spec.min_rate_unit == Rate::ZERO && spec.fc.is_gfc() {
+        push(
+            report,
+            Code::Gfc008,
+            Severity::Warning,
+            "min_rate_unit = 0".into(),
+            "no pacing floor: the countdown R_c = R_l·(C − R_r)/R_r grows without bound as R_r → 0, beyond any hardware register range".into(),
+            "use the §7 commodity floor (8 Kb/s) unless modeling ideal hardware".into(),
+        );
+    }
+}
+
+/// GFC011 — CBD susceptibility: does this topology + routing admit a
+/// cyclic buffer dependency, and does the scheme hold-and-wait on it?
+pub(crate) fn check_cbd(
+    topo: &Topology,
+    routing: &Routing,
+    spec: &FabricSpec,
+    report: &mut Report,
+) {
+    let cycle = routing_cycle(topo, routing);
+    match cycle {
+        Some(cycle) => {
+            report.cbd_prone = true;
+            let subject = format!("routing: {}", render_cycle(topo, &cycle));
+            if spec.fc.has_hard_gate() {
+                report.deadlock_susceptible = true;
+                push(
+                    report,
+                    Code::Gfc011,
+                    Severity::Error,
+                    subject,
+                    format!(
+                        "cyclic buffer dependency under {}: once every buffer on the cycle fills, the {} gate freezes all of them — permanent deadlock (Fig. 1)",
+                        spec.fc.name(),
+                        if matches!(spec.fc, FcMode::Pfc { .. }) { "PAUSE" } else { "credit" }
+                    ),
+                    "use a GFC variant (no hold-and-wait, Theorem 4.1/5.1), or re-route to break the cycle".into(),
+                );
+            } else if spec.fc.is_gfc() {
+                push(
+                    report,
+                    Code::Gfc011,
+                    Severity::Info,
+                    subject,
+                    format!(
+                        "cyclic buffer dependency present, but {} never hold-and-waits: the deepest stage keeps trickling and the cycle drains (Theorem 4.1/5.1)",
+                        spec.fc.name()
+                    ),
+                    "no action needed while the GFC bounds (GFC001–GFC003) hold".into(),
+                );
+            } else {
+                push(
+                    report,
+                    Code::Gfc011,
+                    Severity::Info,
+                    subject,
+                    "cyclic buffer dependency present, but the fabric is lossy: overflow drops packets instead of pausing, so no deadlock (at the price of loss)".into(),
+                    "enable a GFC variant for losslessness without deadlock".into(),
+                );
+            }
+        }
+        None => push(
+            report,
+            Code::Gfc011,
+            Severity::Info,
+            format!("topology: {} nodes, {} links", topo.num_nodes(), topo.link_ids().count()),
+            "no cyclic buffer dependency under this routing: circular wait is impossible for any flow-control scheme".into(),
+            "no action needed".into(),
+        ),
+    }
+}
+
+/// The dependency cycle this routing admits, if any: explicit static paths
+/// contribute their exact link sequences; SPF (including the static
+/// router's fallback for unconfigured pairs) contributes every equal-cost
+/// DAG edge of every host pair (the Table 1 prefilter).
+fn routing_cycle(topo: &Topology, routing: &Routing) -> Option<Vec<u64>> {
+    if let Routing::Static { paths, .. } = routing {
+        let flows: Vec<_> = paths.iter().map(|(&(src, _), links)| (src, links.clone())).collect();
+        let g: DepGraph = depgraph_for_flows(topo, &flows);
+        if let Some(c) = g.find_cycle() {
+            return Some(c);
+        }
+    }
+    all_pairs_depgraph(topo).find_cycle()
+}
+
+/// Human-readable cycle, e.g. `S1→S2 ⇒ S2→S3 ⇒ S3→S1`.
+fn render_cycle(topo: &Topology, cycle: &[u64]) -> String {
+    let hop = |idx: u64| {
+        let d = DirLink { link: LinkId((idx / 2) as u32), reversed: idx % 2 == 1 };
+        format!("{}→{}", topo.node(topo.dir_src(d)).name, topo.node(topo.dir_dst(d)).name)
+    };
+    let shown: Vec<String> = cycle.iter().take(6).map(|&i| hop(i)).collect();
+    if cycle.len() > 6 {
+        format!("{} ⇒ … ({} links in the cycle)", shown.join(" ⇒ "), cycle.len())
+    } else {
+        shown.join(" ⇒ ")
+    }
+}

@@ -1,0 +1,133 @@
+//! Static-vs-runtime agreement: `gfc-verify` is an *over-approximation*
+//! of the simulator's structural-deadlock detector. Two directions are
+//! checked on randomized scenarios:
+//!
+//! * soundness — whenever a run actually wedges into a structural
+//!   wait-for cycle, the preflight must have called the scenario
+//!   deadlock-susceptible beforehand (equivalently: statically "safe"
+//!   scenarios never deadlock at runtime);
+//! * GFC immunity — the analyzer never flags a GFC scheme as
+//!   susceptible, matching Theorems 4.1/5.1.
+//!
+//! The converse (statically susceptible ⇒ runtime deadlock) is *not* a
+//! property: reaching a deadlock needs the right traffic, which a static
+//! analysis cannot know. The experiment harness covers that direction on
+//! the paper's case studies (Figs. 9/12, Table 1).
+
+use gfc_core::theorems::cbfc_recommended_period;
+use gfc_core::units::{kb, Dur, Rate, Time};
+use gfc_sim::config::PumpPolicy;
+use gfc_sim::flowgen::ClosedLoopWorkload;
+use gfc_sim::{FcMode, Network, PreflightPolicy, SimConfig, TraceConfig};
+use gfc_topology::{FatTree, Ring, Routing};
+use gfc_workload::{DestPolicy, FlowSizeDist};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// The paper's §6.2.2 parameterization on the `default_10g` fabric.
+fn scheme(idx: usize) -> FcMode {
+    let period = cbfc_recommended_period(Rate::from_gbps(10));
+    match idx % 4 {
+        0 => FcMode::Pfc { xoff: kb(280), xon: kb(277) },
+        1 => FcMode::Cbfc { period },
+        2 => FcMode::GfcBuffer { bm: kb(300), b1: kb(281) },
+        _ => FcMode::GfcTime { b0: kb(159), bm: kb(300), period },
+    }
+}
+
+fn config(scheme_idx: usize, seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::default_10g();
+    cfg.fc = scheme(scheme_idx);
+    // Baselines run under the deadlock literature's proportional-sharing
+    // switch, GFC under the testbed's fair discipline (DESIGN.md §8).
+    cfg.pump = if scheme_idx % 4 >= 2 { PumpPolicy::RoundRobin } else { PumpPolicy::OutputQueued };
+    cfg.seed = seed;
+    cfg.progress_window = Dur::from_millis(1);
+    // These cases are adversarial on purpose: record the verdict and run.
+    cfg.preflight = PreflightPolicy::Acknowledge;
+    cfg.validate();
+    cfg
+}
+
+/// `(static susceptible, runtime structural deadlock)` on an `n`-switch
+/// clockwise ring.
+fn ring_case(n: usize, scheme_idx: usize, seed: u64) -> (bool, bool) {
+    let ring = Ring::new(n);
+    let routing = Routing::fixed(ring.clockwise_routes());
+    let cfg = config(scheme_idx, seed);
+    let susceptible = gfc_sim::preflight(&ring.topo, &routing, &cfg).verdict().deadlock_susceptible;
+    let mut net = Network::new(ring.topo.clone(), routing, cfg, TraceConfig::none());
+    for (i, (src, dst)) in ring.clockwise_flows().into_iter().enumerate() {
+        net.run_until(Time(Dur::from_micros(200).0 * i as u64));
+        net.start_flow(src, dst, None, 0).expect("clockwise route");
+    }
+    net.run_until(Time::from_millis(12));
+    (susceptible, net.structurally_deadlocked())
+}
+
+/// `(static susceptible, runtime structural deadlock)` on a k=4 fat-tree
+/// with random link failures under a random closed-loop workload.
+fn fattree_case(seed: u64, scheme_idx: usize, failure_prob: f64) -> (bool, bool) {
+    let mut ft = FatTree::new(4);
+    let mut rng = StdRng::seed_from_u64(seed);
+    ft.inject_failures(&mut rng, failure_prob);
+    let cfg = config(scheme_idx, seed);
+    let susceptible =
+        gfc_sim::preflight(&ft.topo, &Routing::spf(), &cfg).verdict().deadlock_susceptible;
+    let racks: Vec<u32> = (0..ft.hosts.len()).map(|h| ft.rack_of_host(h) as u32).collect();
+    let mut net = Network::new(ft.topo.clone(), Routing::spf(), cfg, TraceConfig::none());
+    net.install_workload(Box::new(ClosedLoopWorkload {
+        sizes: FlowSizeDist::Uniform { min: 2_000, max: 400_000 },
+        dests: DestPolicy::inter_rack(racks),
+        num_hosts: ft.hosts.len(),
+        prio: 0,
+        stop_after: Some(Time::from_millis(2)),
+    }));
+    net.run_until(Time::from_millis(4));
+    (susceptible, net.structurally_deadlocked())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Rings: runtime structural deadlock implies the static flag, and
+    /// GFC is never statically susceptible.
+    #[test]
+    fn ring_static_verdict_covers_runtime(
+        n in 3usize..6,
+        scheme_idx in 0usize..4,
+        seed in 0u64..10_000,
+    ) {
+        let (susceptible, deadlocked) = ring_case(n, scheme_idx, seed);
+        if deadlocked {
+            prop_assert!(
+                susceptible,
+                "scheme {scheme_idx} deadlocked on the {n}-ring but preflight called it safe"
+            );
+        }
+        if scheme_idx >= 2 {
+            prop_assert!(!susceptible, "GFC statically flagged on the {n}-ring");
+        }
+    }
+
+    /// Failed fat-trees under random traffic: a statically "safe" scenario
+    /// never wedges, and GFC is never statically susceptible.
+    #[test]
+    fn fattree_static_verdict_covers_runtime(
+        seed in 0u64..10_000,
+        scheme_idx in 0usize..4,
+        failure_idx in 0usize..3,
+    ) {
+        let failure_prob = [0.0, 0.05, 0.1][failure_idx];
+        let (susceptible, deadlocked) = fattree_case(seed, scheme_idx, failure_prob);
+        if !susceptible {
+            prop_assert!(
+                !deadlocked,
+                "scheme {scheme_idx} wedged at p={failure_prob} though preflight called it safe"
+            );
+        }
+        if scheme_idx >= 2 {
+            prop_assert!(!susceptible, "GFC statically flagged on the fat-tree");
+        }
+    }
+}

@@ -19,11 +19,7 @@ fn main() {
     println!("Fig. 11 scenario — k=4 fat-tree, failed links:");
     for &l in &sc.failed {
         let link = ft.topo.link(l);
-        println!(
-            "  {} - {}",
-            ft.topo.node(link.a).name,
-            ft.topo.node(link.b).name
-        );
+        println!("  {} - {}", ft.topo.node(link.a).name, ft.topo.node(link.b).name);
     }
     let mut r = SpfRouting::new();
     println!("flows (shortest paths after re-routing):");

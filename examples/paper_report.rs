@@ -21,22 +21,22 @@ fn main() {
     println!("=== GFC paper evaluation, scale: {scale:?} ===\n");
 
     let t0 = std::time::Instant::now();
-    print!("{}\n", fig05::run(fig05::Fig05Params::default()).report());
+    println!("{}", fig05::run(fig05::Fig05Params::default()).report());
     let ring = RingParams { horizon: Time::from_millis(80), ..Default::default() };
-    print!("{}\n", fig09::run(ring.clone()).report());
-    print!("{}\n", fig10::run(ring).report());
+    println!("{}", fig09::run(ring.clone()).report());
+    println!("{}", fig10::run(ring).report());
     let case = FatTreeCaseParams { seed: 12, ..Default::default() };
-    print!("{}\n", fig12::run(case.clone()).report());
-    print!("{}\n", fig13::run(case.clone()).report());
-    print!("{}\n", fig14::run(case).report());
-    print!("{}\n", table1::run(table1::Table1Params::at_scale(scale)).report());
+    println!("{}", fig12::run(case.clone()).report());
+    println!("{}", fig13::run(case.clone()).report());
+    println!("{}", fig14::run(case).report());
+    println!("{}", table1::run(table1::Table1Params::at_scale(scale)).report());
     let perf = perf::run(perf::PerfParams::at_scale(scale));
-    print!("{}\n", perf.report_fig16());
-    print!("{}\n", perf.report_fig17());
-    print!("{}\n", fig18::run(fig18::Fig18Params::at_scale(scale)).report());
-    print!("{}\n", fig19::run(fig19::Fig19Params::at_scale(scale)).report());
-    print!("{}\n", fig20::run(fig20::Fig20Params::default()).report());
-    print!("{}\n", ablation::run(ablation::AblationParams::default()).report());
-    print!("{}\n", ablation::tau_sweep_report(&ablation::run_tau_sweep(4)));
+    println!("{}", perf.report_fig16());
+    println!("{}", perf.report_fig17());
+    println!("{}", fig18::run(fig18::Fig18Params::at_scale(scale)).report());
+    println!("{}", fig19::run(fig19::Fig19Params::at_scale(scale)).report());
+    println!("{}", fig20::run(fig20::Fig20Params::default()).report());
+    println!("{}", ablation::run(ablation::AblationParams::default()).report());
+    println!("{}", ablation::tau_sweep_report(&ablation::run_tau_sweep(4)));
     println!("=== done in {:.1} s ===", t0.elapsed().as_secs_f64());
 }

@@ -1,0 +1,107 @@
+//! Render the `gfc-verify` static preflight report for a named scenario.
+//!
+//! ```text
+//! cargo run --example preflight                # tour of all scenarios
+//! cargo run --example preflight -- ring-pfc    # one scenario, lint-style
+//! ```
+//!
+//! With a scenario name the process exits non-zero when the report has
+//! errors, so the analyzer can gate scripts the way a linter gates CI.
+//!
+//! Scenarios:
+//!
+//! * `default`   — `SimConfig::default_10g` on a 2-to-1 incast (clean);
+//! * `ring-pfc`  — the Fig. 9 testbed ring under PFC (deadlock reachable);
+//! * `ring-gfc`  — the same ring under buffer-based GFC (CBD but immune);
+//! * `fattree`   — the Fig. 11 failed fat-tree under PFC;
+//! * `thm41`     — a conceptual-GFC config violating Theorem 4.1.
+
+use gfc::prelude::*;
+use gfc::verify::Report;
+use gfc_experiments::common::{sim_config_testbed, Scheme};
+
+fn analyze(topo: &Topology, routing: &Routing, cfg: &SimConfig) -> Report {
+    gfc_sim::preflight(topo, routing, cfg)
+}
+
+fn scenario(name: &str) -> Option<(String, Report)> {
+    match name {
+        "default" => {
+            // The sound out-of-the-box configuration: derived PFC
+            // thresholds on a cycle-free incast.
+            let inc = Incast::new(2);
+            let cfg = SimConfig::default_10g();
+            let title = format!("default — {} on a 2-to-1 incast, SPF", cfg.fc.name());
+            Some((title, analyze(&inc.topo, &Routing::spf(), &cfg)))
+        }
+        "ring-pfc" | "ring-cbfc" | "ring-gfc" | "ring-gfc-time" => {
+            // The §6.1 testbed ring (Figs. 9/10): clockwise two-hop routes
+            // form the Fig. 1 cyclic buffer dependency.
+            let scheme = match name {
+                "ring-pfc" => Scheme::Pfc,
+                "ring-cbfc" => Scheme::Cbfc,
+                "ring-gfc" => Scheme::GfcBuffer,
+                _ => Scheme::GfcTime,
+            };
+            let ring = Ring::new(3);
+            let routing = Routing::fixed(ring.clockwise_routes());
+            let cfg = sim_config_testbed(scheme, 1);
+            let title = format!("{name} — Fig. 1 ring, clockwise routes, {}", scheme.name());
+            Some((title, analyze(&ring.topo, &routing, &cfg)))
+        }
+        "fattree" => {
+            // The Fig. 11 case study: a k=4 fat-tree with three failed
+            // links whose shortest-path re-routes admit a four-link CBD.
+            let (ft, _) = gfc_experiments::common::fig11_scenario();
+            let cfg = gfc_experiments::common::sim_config_300k(Scheme::Pfc, 1);
+            let title = "fattree — Fig. 11 failed k=4 fat-tree, SPF, PFC".to_string();
+            Some((title, analyze(&ft.topo, &Routing::spf(), &cfg)))
+        }
+        "thm41" => {
+            // Fig. 5's impossible parameterization: with τ = 25 µs a
+            // 100 KB buffer cannot satisfy B0 ≤ Bm − 4·C·τ.
+            let inc = Incast::new(2);
+            let mut cfg = SimConfig::default_10g();
+            cfg.buffer_bytes = kb(100);
+            cfg.fc = FcMode::Conceptual { b0: kb(50), bm: kb(100), tau: Dur::from_micros(25) };
+            let title = "thm41 — conceptual GFC, B0 beyond the Theorem 4.1 bound".to_string();
+            Some((title, analyze(&inc.topo, &Routing::spf(), &cfg)))
+        }
+        _ => None,
+    }
+}
+
+fn show(title: &str, report: &Report) {
+    println!("== {title}");
+    for line in report.render().lines() {
+        println!("   {line}");
+    }
+    println!();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None => {
+            for name in ["default", "ring-pfc", "ring-gfc", "fattree", "thm41"] {
+                let (title, report) = scenario(name).expect("built-in scenario");
+                show(&title, &report);
+            }
+        }
+        Some(name) => match scenario(name) {
+            Some((title, report)) => {
+                show(&title, &report);
+                if report.has_errors() {
+                    std::process::exit(1);
+                }
+            }
+            None => {
+                eprintln!(
+                    "unknown scenario {name:?} — try: default, ring-pfc, ring-cbfc, \
+                     ring-gfc, ring-gfc-time, fattree, thm41"
+                );
+                std::process::exit(2);
+            }
+        },
+    }
+}

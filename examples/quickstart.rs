@@ -17,6 +17,11 @@ fn run(label: &str, fc: FcMode, pump: PumpPolicy) {
     let mut cfg = SimConfig::default_10g();
     cfg.fc = fc;
     cfg.pump = pump;
+    // gfc-verify statically flags PFC-on-the-clockwise-ring as deadlock
+    // prone (error[GFC011]) — demonstrating exactly that is the point
+    // here, so acknowledge the report instead of aborting. Run
+    // `cargo run --example preflight` to see the diagnostics themselves.
+    cfg.preflight = gfc_sim::PreflightPolicy::Acknowledge;
     let routing = Routing::fixed(ring.clockwise_routes());
     let mut net = Network::new(ring.topo.clone(), routing, cfg, TraceConfig::none());
     for (src, dst) in ring.clockwise_flows() {
@@ -38,11 +43,7 @@ fn main() {
     println!("Fig. 1 ring, three clockwise flows, 20 ms:");
     // PFC under the classic proportional-sharing switch model (where the
     // deadlock literature lives) — wedges permanently.
-    run(
-        "PFC:",
-        FcMode::Pfc { xoff: kb(280), xon: kb(277) },
-        PumpPolicy::OutputQueued,
-    );
+    run("PFC:", FcMode::Pfc { xoff: kb(280), xon: kb(277) }, PumpPolicy::OutputQueued);
     // Buffer-based GFC with the paper's parameters — every port keeps
     // flowing; the queue parks one stage above B1 and each flow gets 5G.
     run(

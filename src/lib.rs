@@ -17,6 +17,9 @@
 //!   study;
 //! * [`analysis`](gfc_analysis) — traces, statistics, and deadlock
 //!   verdicts;
+//! * [`verify`](gfc_verify) — static preflight analysis: lint-style
+//!   diagnostics (`GFC001`…) for configs, topologies, and the paper's
+//!   theorem preconditions;
 //! * [`experiments`](gfc_experiments) — one module per table/figure of
 //!   the paper's evaluation.
 //!
@@ -54,6 +57,7 @@ pub use gfc_dcqcn as dcqcn;
 pub use gfc_experiments as experiments;
 pub use gfc_sim as sim;
 pub use gfc_topology as topology;
+pub use gfc_verify as verify;
 pub use gfc_workload as workload;
 
 /// The most common imports for driving simulations.

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-2df790c79d32705a.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-2df790c79d32705a: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-b62d92efc6e16856.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-b62d92efc6e16856: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/frame_props-29a909c46e44e71f.d: crates/core/tests/frame_props.rs
+
+/root/repo/target/debug/deps/frame_props-29a909c46e44e71f: crates/core/tests/frame_props.rs
+
+crates/core/tests/frame_props.rs:

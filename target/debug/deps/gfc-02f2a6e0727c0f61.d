@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gfc-02f2a6e0727c0f61.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgfc-02f2a6e0727c0f61.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libgfc-02f2a6e0727c0f61.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gfc-3a5ecd3197b36b5c.d: src/lib.rs
+
+/root/repo/target/debug/deps/gfc-3a5ecd3197b36b5c: src/lib.rs
+
+src/lib.rs:

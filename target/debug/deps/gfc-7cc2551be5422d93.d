@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gfc-7cc2551be5422d93.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgfc-7cc2551be5422d93.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libgfc-7cc2551be5422d93.rmeta: src/lib.rs
+
+src/lib.rs:

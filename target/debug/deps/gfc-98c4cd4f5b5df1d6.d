@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gfc-98c4cd4f5b5df1d6.d: src/lib.rs
+
+/root/repo/target/debug/deps/gfc-98c4cd4f5b5df1d6: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gfc-aac20e1301a5d098.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgfc-aac20e1301a5d098.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libgfc-aac20e1301a5d098.rmeta: src/lib.rs
+
+src/lib.rs:

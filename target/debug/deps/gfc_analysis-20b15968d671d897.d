@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gfc_analysis-20b15968d671d897.d: crates/analysis/src/lib.rs crates/analysis/src/deadlock.rs crates/analysis/src/flows.rs crates/analysis/src/series.rs crates/analysis/src/stats.rs crates/analysis/src/throughput.rs
+
+/root/repo/target/debug/deps/libgfc_analysis-20b15968d671d897.rlib: crates/analysis/src/lib.rs crates/analysis/src/deadlock.rs crates/analysis/src/flows.rs crates/analysis/src/series.rs crates/analysis/src/stats.rs crates/analysis/src/throughput.rs
+
+/root/repo/target/debug/deps/libgfc_analysis-20b15968d671d897.rmeta: crates/analysis/src/lib.rs crates/analysis/src/deadlock.rs crates/analysis/src/flows.rs crates/analysis/src/series.rs crates/analysis/src/stats.rs crates/analysis/src/throughput.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/deadlock.rs:
+crates/analysis/src/flows.rs:
+crates/analysis/src/series.rs:
+crates/analysis/src/stats.rs:
+crates/analysis/src/throughput.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gfc_analysis-c395e6d92cff27a6.d: crates/analysis/src/lib.rs crates/analysis/src/deadlock.rs crates/analysis/src/flows.rs crates/analysis/src/series.rs crates/analysis/src/stats.rs crates/analysis/src/throughput.rs
+
+/root/repo/target/debug/deps/gfc_analysis-c395e6d92cff27a6: crates/analysis/src/lib.rs crates/analysis/src/deadlock.rs crates/analysis/src/flows.rs crates/analysis/src/series.rs crates/analysis/src/stats.rs crates/analysis/src/throughput.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/deadlock.rs:
+crates/analysis/src/flows.rs:
+crates/analysis/src/series.rs:
+crates/analysis/src/stats.rs:
+crates/analysis/src/throughput.rs:

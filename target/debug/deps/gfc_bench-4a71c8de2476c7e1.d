@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gfc_bench-4a71c8de2476c7e1.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/gfc_bench-4a71c8de2476c7e1: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

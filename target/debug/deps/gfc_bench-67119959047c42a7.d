@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gfc_bench-67119959047c42a7.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgfc_bench-67119959047c42a7.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgfc_bench-67119959047c42a7.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

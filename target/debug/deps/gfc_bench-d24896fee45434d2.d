@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gfc_bench-d24896fee45434d2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgfc_bench-d24896fee45434d2.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgfc_bench-d24896fee45434d2.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/gfc_dcqcn-21aab42c9d715cf2.d: crates/dcqcn/src/lib.rs crates/dcqcn/src/cp.rs crates/dcqcn/src/np.rs crates/dcqcn/src/rp.rs
+
+/root/repo/target/debug/deps/gfc_dcqcn-21aab42c9d715cf2: crates/dcqcn/src/lib.rs crates/dcqcn/src/cp.rs crates/dcqcn/src/np.rs crates/dcqcn/src/rp.rs
+
+crates/dcqcn/src/lib.rs:
+crates/dcqcn/src/cp.rs:
+crates/dcqcn/src/np.rs:
+crates/dcqcn/src/rp.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gfc_dcqcn-fb76ecddb48f9094.d: crates/dcqcn/src/lib.rs crates/dcqcn/src/cp.rs crates/dcqcn/src/np.rs crates/dcqcn/src/rp.rs
+
+/root/repo/target/debug/deps/libgfc_dcqcn-fb76ecddb48f9094.rlib: crates/dcqcn/src/lib.rs crates/dcqcn/src/cp.rs crates/dcqcn/src/np.rs crates/dcqcn/src/rp.rs
+
+/root/repo/target/debug/deps/libgfc_dcqcn-fb76ecddb48f9094.rmeta: crates/dcqcn/src/lib.rs crates/dcqcn/src/cp.rs crates/dcqcn/src/np.rs crates/dcqcn/src/rp.rs
+
+crates/dcqcn/src/lib.rs:
+crates/dcqcn/src/cp.rs:
+crates/dcqcn/src/np.rs:
+crates/dcqcn/src/rp.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/gfc_sim-904237deb9740989.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/event.rs crates/sim/src/fc.rs crates/sim/src/flowgen.rs crates/sim/src/network.rs crates/sim/src/packet.rs crates/sim/src/port.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libgfc_sim-904237deb9740989.rlib: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/event.rs crates/sim/src/fc.rs crates/sim/src/flowgen.rs crates/sim/src/network.rs crates/sim/src/packet.rs crates/sim/src/port.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libgfc_sim-904237deb9740989.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/event.rs crates/sim/src/fc.rs crates/sim/src/flowgen.rs crates/sim/src/network.rs crates/sim/src/packet.rs crates/sim/src/port.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/event.rs:
+crates/sim/src/fc.rs:
+crates/sim/src/flowgen.rs:
+crates/sim/src/network.rs:
+crates/sim/src/packet.rs:
+crates/sim/src/port.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gfc_sim-e8c87bfdc8028201.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/event.rs crates/sim/src/fc.rs crates/sim/src/flowgen.rs crates/sim/src/network.rs crates/sim/src/packet.rs crates/sim/src/port.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/gfc_sim-e8c87bfdc8028201: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/event.rs crates/sim/src/fc.rs crates/sim/src/flowgen.rs crates/sim/src/network.rs crates/sim/src/packet.rs crates/sim/src/port.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/event.rs:
+crates/sim/src/fc.rs:
+crates/sim/src/flowgen.rs:
+crates/sim/src/network.rs:
+crates/sim/src/packet.rs:
+crates/sim/src/port.rs:
+crates/sim/src/trace.rs:

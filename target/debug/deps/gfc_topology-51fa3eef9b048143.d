@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gfc_topology-51fa3eef9b048143.d: crates/topology/src/lib.rs crates/topology/src/cbd.rs crates/topology/src/fattree.rs crates/topology/src/graph.rs crates/topology/src/routing.rs crates/topology/src/scenarios.rs
+
+/root/repo/target/debug/deps/libgfc_topology-51fa3eef9b048143.rlib: crates/topology/src/lib.rs crates/topology/src/cbd.rs crates/topology/src/fattree.rs crates/topology/src/graph.rs crates/topology/src/routing.rs crates/topology/src/scenarios.rs
+
+/root/repo/target/debug/deps/libgfc_topology-51fa3eef9b048143.rmeta: crates/topology/src/lib.rs crates/topology/src/cbd.rs crates/topology/src/fattree.rs crates/topology/src/graph.rs crates/topology/src/routing.rs crates/topology/src/scenarios.rs
+
+crates/topology/src/lib.rs:
+crates/topology/src/cbd.rs:
+crates/topology/src/fattree.rs:
+crates/topology/src/graph.rs:
+crates/topology/src/routing.rs:
+crates/topology/src/scenarios.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gfc_topology-90e228bf8845d3de.d: crates/topology/src/lib.rs crates/topology/src/cbd.rs crates/topology/src/fattree.rs crates/topology/src/graph.rs crates/topology/src/routing.rs crates/topology/src/scenarios.rs
+
+/root/repo/target/debug/deps/gfc_topology-90e228bf8845d3de: crates/topology/src/lib.rs crates/topology/src/cbd.rs crates/topology/src/fattree.rs crates/topology/src/graph.rs crates/topology/src/routing.rs crates/topology/src/scenarios.rs
+
+crates/topology/src/lib.rs:
+crates/topology/src/cbd.rs:
+crates/topology/src/fattree.rs:
+crates/topology/src/graph.rs:
+crates/topology/src/routing.rs:
+crates/topology/src/scenarios.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gfc_verify-00c4f0c31cd5b7aa.d: crates/verify/src/lib.rs crates/verify/src/checks.rs crates/verify/src/diag.rs crates/verify/src/spec.rs
+
+/root/repo/target/debug/deps/libgfc_verify-00c4f0c31cd5b7aa.rlib: crates/verify/src/lib.rs crates/verify/src/checks.rs crates/verify/src/diag.rs crates/verify/src/spec.rs
+
+/root/repo/target/debug/deps/libgfc_verify-00c4f0c31cd5b7aa.rmeta: crates/verify/src/lib.rs crates/verify/src/checks.rs crates/verify/src/diag.rs crates/verify/src/spec.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/checks.rs:
+crates/verify/src/diag.rs:
+crates/verify/src/spec.rs:

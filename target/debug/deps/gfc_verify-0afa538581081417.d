@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gfc_verify-0afa538581081417.d: crates/verify/src/lib.rs
+
+/root/repo/target/debug/deps/libgfc_verify-0afa538581081417.rlib: crates/verify/src/lib.rs
+
+/root/repo/target/debug/deps/libgfc_verify-0afa538581081417.rmeta: crates/verify/src/lib.rs
+
+crates/verify/src/lib.rs:

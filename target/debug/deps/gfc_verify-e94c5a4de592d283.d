@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gfc_verify-e94c5a4de592d283.d: crates/verify/src/lib.rs
+
+/root/repo/target/debug/deps/gfc_verify-e94c5a4de592d283: crates/verify/src/lib.rs
+
+crates/verify/src/lib.rs:

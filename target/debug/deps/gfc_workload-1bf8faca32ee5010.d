@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gfc_workload-1bf8faca32ee5010.d: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/patterns.rs
+
+/root/repo/target/debug/deps/gfc_workload-1bf8faca32ee5010: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/patterns.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/dist.rs:
+crates/workload/src/patterns.rs:

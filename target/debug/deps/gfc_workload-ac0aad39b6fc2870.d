@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gfc_workload-ac0aad39b6fc2870.d: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/patterns.rs
+
+/root/repo/target/debug/deps/libgfc_workload-ac0aad39b6fc2870.rlib: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/patterns.rs
+
+/root/repo/target/debug/deps/libgfc_workload-ac0aad39b6fc2870.rmeta: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/patterns.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/dist.rs:
+crates/workload/src/patterns.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/limiter_props-30a44ab01fb4b795.d: crates/core/tests/limiter_props.rs
+
+/root/repo/target/debug/deps/limiter_props-30a44ab01fb4b795: crates/core/tests/limiter_props.rs
+
+crates/core/tests/limiter_props.rs:

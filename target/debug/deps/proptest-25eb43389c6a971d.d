@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/proptest-25eb43389c6a971d.d: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs vendor/proptest/src/arbitrary.rs vendor/proptest/src/array.rs vendor/proptest/src/collection.rs vendor/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-25eb43389c6a971d.rlib: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs vendor/proptest/src/arbitrary.rs vendor/proptest/src/array.rs vendor/proptest/src/collection.rs vendor/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-25eb43389c6a971d.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs vendor/proptest/src/arbitrary.rs vendor/proptest/src/array.rs vendor/proptest/src/collection.rs vendor/proptest/src/test_runner.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/strategy.rs:
+vendor/proptest/src/arbitrary.rs:
+vendor/proptest/src/array.rs:
+vendor/proptest/src/collection.rs:
+vendor/proptest/src/test_runner.rs:

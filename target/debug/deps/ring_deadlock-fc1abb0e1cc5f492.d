@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ring_deadlock-fc1abb0e1cc5f492.d: crates/sim/tests/ring_deadlock.rs
+
+/root/repo/target/debug/deps/ring_deadlock-fc1abb0e1cc5f492: crates/sim/tests/ring_deadlock.rs
+
+crates/sim/tests/ring_deadlock.rs:

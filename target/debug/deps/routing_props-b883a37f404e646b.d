@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/routing_props-b883a37f404e646b.d: crates/topology/tests/routing_props.rs
+
+/root/repo/target/debug/deps/routing_props-b883a37f404e646b: crates/topology/tests/routing_props.rs
+
+crates/topology/tests/routing_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_props-a3233ac224d782f3.d: crates/sim/tests/sim_props.rs
+
+/root/repo/target/debug/deps/sim_props-a3233ac224d782f3: crates/sim/tests/sim_props.rs
+
+crates/sim/tests/sim_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorem_props-5d355d2f2557f430.d: tests/theorem_props.rs
+
+/root/repo/target/debug/deps/theorem_props-5d355d2f2557f430: tests/theorem_props.rs
+
+tests/theorem_props.rs:

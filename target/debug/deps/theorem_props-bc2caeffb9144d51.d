@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorem_props-bc2caeffb9144d51.d: tests/theorem_props.rs
+
+/root/repo/target/debug/deps/theorem_props-bc2caeffb9144d51: tests/theorem_props.rs
+
+tests/theorem_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dcqcn_interaction-329ae560c79ae0c3.d: examples/dcqcn_interaction.rs
+
+/root/repo/target/debug/examples/dcqcn_interaction-329ae560c79ae0c3: examples/dcqcn_interaction.rs
+
+examples/dcqcn_interaction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dcqcn_interaction-d5e875138f867e1e.d: examples/dcqcn_interaction.rs
+
+/root/repo/target/debug/examples/dcqcn_interaction-d5e875138f867e1e: examples/dcqcn_interaction.rs
+
+examples/dcqcn_interaction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/deadlock_ring-478ad39c8215543a.d: examples/deadlock_ring.rs
+
+/root/repo/target/debug/examples/deadlock_ring-478ad39c8215543a: examples/deadlock_ring.rs
+
+examples/deadlock_ring.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/deadlock_ring-96d9c3784c203a5b.d: examples/deadlock_ring.rs
+
+/root/repo/target/debug/examples/deadlock_ring-96d9c3784c203a5b: examples/deadlock_ring.rs
+
+examples/deadlock_ring.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fat_tree_case_study-4bcacf92e6ce2328.d: examples/fat_tree_case_study.rs
+
+/root/repo/target/debug/examples/fat_tree_case_study-4bcacf92e6ce2328: examples/fat_tree_case_study.rs
+
+examples/fat_tree_case_study.rs:

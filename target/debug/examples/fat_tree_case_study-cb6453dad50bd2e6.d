@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fat_tree_case_study-cb6453dad50bd2e6.d: examples/fat_tree_case_study.rs
+
+/root/repo/target/debug/examples/fat_tree_case_study-cb6453dad50bd2e6: examples/fat_tree_case_study.rs
+
+examples/fat_tree_case_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/paper_report-68032acfe937a1b8.d: examples/paper_report.rs
+
+/root/repo/target/debug/examples/paper_report-68032acfe937a1b8: examples/paper_report.rs
+
+examples/paper_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/paper_report-9b12a49f5ab271d0.d: examples/paper_report.rs
+
+/root/repo/target/debug/examples/paper_report-9b12a49f5ab271d0: examples/paper_report.rs
+
+examples/paper_report.rs:

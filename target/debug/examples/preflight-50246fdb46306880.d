@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/preflight-50246fdb46306880.d: examples/preflight.rs
+
+/root/repo/target/debug/examples/preflight-50246fdb46306880: examples/preflight.rs
+
+examples/preflight.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-671177fa5920dac5.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-671177fa5920dac5: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ce49440f702b3a9c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ce49440f702b3a9c: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_stage_ratio-d09f3ab90f7bb3e9.d: crates/bench/benches/ablation_stage_ratio.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_stage_ratio-d09f3ab90f7bb3e9.rmeta: crates/bench/benches/ablation_stage_ratio.rs Cargo.toml
+
+crates/bench/benches/ablation_stage_ratio.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/agreement-437e57b1ee4416dd.d: crates/verify/tests/agreement.rs
+
+/root/repo/target/release/deps/agreement-437e57b1ee4416dd: crates/verify/tests/agreement.rs
+
+crates/verify/tests/agreement.rs:

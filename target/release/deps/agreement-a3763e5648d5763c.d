@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/agreement-a3763e5648d5763c.d: crates/verify/tests/agreement.rs
+
+/root/repo/target/release/deps/agreement-a3763e5648d5763c: crates/verify/tests/agreement.rs
+
+crates/verify/tests/agreement.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/agreement-bf4cb513c210fc0d.d: crates/verify/tests/agreement.rs Cargo.toml
+
+/root/repo/target/release/deps/libagreement-bf4cb513c210fc0d.rmeta: crates/verify/tests/agreement.rs Cargo.toml
+
+crates/verify/tests/agreement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

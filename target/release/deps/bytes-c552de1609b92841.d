@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bytes-c552de1609b92841.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-c552de1609b92841.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-da3266ac3380d053.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-da3266ac3380d053.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

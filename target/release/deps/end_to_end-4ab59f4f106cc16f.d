@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-4ab59f4f106cc16f.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-4ab59f4f106cc16f: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-da369ccf59aa7cfe.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-da369ccf59aa7cfe: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig05_conceptual-1c88144a905abf9c.d: crates/bench/benches/fig05_conceptual.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig05_conceptual-1c88144a905abf9c.rmeta: crates/bench/benches/fig05_conceptual.rs Cargo.toml
+
+crates/bench/benches/fig05_conceptual.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

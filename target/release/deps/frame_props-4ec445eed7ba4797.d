@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/frame_props-4ec445eed7ba4797.d: crates/core/tests/frame_props.rs Cargo.toml
+
+/root/repo/target/release/deps/libframe_props-4ec445eed7ba4797.rmeta: crates/core/tests/frame_props.rs Cargo.toml
+
+crates/core/tests/frame_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

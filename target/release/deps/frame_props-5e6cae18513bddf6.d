@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/frame_props-5e6cae18513bddf6.d: crates/core/tests/frame_props.rs
+
+/root/repo/target/release/deps/frame_props-5e6cae18513bddf6: crates/core/tests/frame_props.rs
+
+crates/core/tests/frame_props.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gfc-3806cb85b48d9730.d: src/lib.rs
+
+/root/repo/target/release/deps/libgfc-3806cb85b48d9730.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libgfc-3806cb85b48d9730.rmeta: src/lib.rs
+
+src/lib.rs:

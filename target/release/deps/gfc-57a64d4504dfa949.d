@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gfc-57a64d4504dfa949.d: src/lib.rs
+
+/root/repo/target/release/deps/libgfc-57a64d4504dfa949.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libgfc-57a64d4504dfa949.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gfc-653d8797f0d48fbb.d: src/lib.rs
+
+/root/repo/target/release/deps/gfc-653d8797f0d48fbb: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gfc-81c54c419ab14c7f.d: src/lib.rs
+
+/root/repo/target/release/deps/libgfc-81c54c419ab14c7f.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libgfc-81c54c419ab14c7f.rmeta: src/lib.rs
+
+src/lib.rs:

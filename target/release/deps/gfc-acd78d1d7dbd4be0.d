@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gfc-acd78d1d7dbd4be0.d: src/lib.rs
+
+/root/repo/target/release/deps/gfc-acd78d1d7dbd4be0: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gfc_analysis-38d3535bde19931d.d: crates/analysis/src/lib.rs crates/analysis/src/deadlock.rs crates/analysis/src/flows.rs crates/analysis/src/series.rs crates/analysis/src/stats.rs crates/analysis/src/throughput.rs
+
+/root/repo/target/release/deps/libgfc_analysis-38d3535bde19931d.rlib: crates/analysis/src/lib.rs crates/analysis/src/deadlock.rs crates/analysis/src/flows.rs crates/analysis/src/series.rs crates/analysis/src/stats.rs crates/analysis/src/throughput.rs
+
+/root/repo/target/release/deps/libgfc_analysis-38d3535bde19931d.rmeta: crates/analysis/src/lib.rs crates/analysis/src/deadlock.rs crates/analysis/src/flows.rs crates/analysis/src/series.rs crates/analysis/src/stats.rs crates/analysis/src/throughput.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/deadlock.rs:
+crates/analysis/src/flows.rs:
+crates/analysis/src/series.rs:
+crates/analysis/src/stats.rs:
+crates/analysis/src/throughput.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/gfc_analysis-5072f1ff456de591.d: crates/analysis/src/lib.rs crates/analysis/src/deadlock.rs crates/analysis/src/flows.rs crates/analysis/src/series.rs crates/analysis/src/stats.rs crates/analysis/src/throughput.rs
+
+/root/repo/target/release/deps/gfc_analysis-5072f1ff456de591: crates/analysis/src/lib.rs crates/analysis/src/deadlock.rs crates/analysis/src/flows.rs crates/analysis/src/series.rs crates/analysis/src/stats.rs crates/analysis/src/throughput.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/deadlock.rs:
+crates/analysis/src/flows.rs:
+crates/analysis/src/series.rs:
+crates/analysis/src/stats.rs:
+crates/analysis/src/throughput.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/gfc_analysis-cf39aa9afe39a419.d: crates/analysis/src/lib.rs crates/analysis/src/deadlock.rs crates/analysis/src/flows.rs crates/analysis/src/series.rs crates/analysis/src/stats.rs crates/analysis/src/throughput.rs Cargo.toml
+
+/root/repo/target/release/deps/libgfc_analysis-cf39aa9afe39a419.rmeta: crates/analysis/src/lib.rs crates/analysis/src/deadlock.rs crates/analysis/src/flows.rs crates/analysis/src/series.rs crates/analysis/src/stats.rs crates/analysis/src/throughput.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/deadlock.rs:
+crates/analysis/src/flows.rs:
+crates/analysis/src/series.rs:
+crates/analysis/src/stats.rs:
+crates/analysis/src/throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

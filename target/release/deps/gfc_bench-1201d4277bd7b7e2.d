@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gfc_bench-1201d4277bd7b7e2.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libgfc_bench-1201d4277bd7b7e2.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libgfc_bench-1201d4277bd7b7e2.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gfc_bench-d1781a2b35be25df.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/gfc_bench-d1781a2b35be25df: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

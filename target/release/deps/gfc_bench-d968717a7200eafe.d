@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gfc_bench-d968717a7200eafe.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libgfc_bench-d968717a7200eafe.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libgfc_bench-d968717a7200eafe.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/gfc_core-1f14082ff99a6558.d: crates/core/src/lib.rs crates/core/src/cbfc.rs crates/core/src/conceptual.rs crates/core/src/fc_mode.rs crates/core/src/frames.rs crates/core/src/gfc_buffer.rs crates/core/src/gfc_time.rs crates/core/src/mapping.rs crates/core/src/params.rs crates/core/src/pfc.rs crates/core/src/rate_limiter.rs crates/core/src/theorems.rs crates/core/src/units.rs Cargo.toml
+
+/root/repo/target/release/deps/libgfc_core-1f14082ff99a6558.rmeta: crates/core/src/lib.rs crates/core/src/cbfc.rs crates/core/src/conceptual.rs crates/core/src/fc_mode.rs crates/core/src/frames.rs crates/core/src/gfc_buffer.rs crates/core/src/gfc_time.rs crates/core/src/mapping.rs crates/core/src/params.rs crates/core/src/pfc.rs crates/core/src/rate_limiter.rs crates/core/src/theorems.rs crates/core/src/units.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/cbfc.rs:
+crates/core/src/conceptual.rs:
+crates/core/src/fc_mode.rs:
+crates/core/src/frames.rs:
+crates/core/src/gfc_buffer.rs:
+crates/core/src/gfc_time.rs:
+crates/core/src/mapping.rs:
+crates/core/src/params.rs:
+crates/core/src/pfc.rs:
+crates/core/src/rate_limiter.rs:
+crates/core/src/theorems.rs:
+crates/core/src/units.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/gfc_dcqcn-6e2eba6e6ee8e6fe.d: crates/dcqcn/src/lib.rs crates/dcqcn/src/cp.rs crates/dcqcn/src/np.rs crates/dcqcn/src/rp.rs
+
+/root/repo/target/release/deps/gfc_dcqcn-6e2eba6e6ee8e6fe: crates/dcqcn/src/lib.rs crates/dcqcn/src/cp.rs crates/dcqcn/src/np.rs crates/dcqcn/src/rp.rs
+
+crates/dcqcn/src/lib.rs:
+crates/dcqcn/src/cp.rs:
+crates/dcqcn/src/np.rs:
+crates/dcqcn/src/rp.rs:

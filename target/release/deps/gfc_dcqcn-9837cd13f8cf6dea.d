@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/gfc_dcqcn-9837cd13f8cf6dea.d: crates/dcqcn/src/lib.rs crates/dcqcn/src/cp.rs crates/dcqcn/src/np.rs crates/dcqcn/src/rp.rs
+
+/root/repo/target/release/deps/libgfc_dcqcn-9837cd13f8cf6dea.rlib: crates/dcqcn/src/lib.rs crates/dcqcn/src/cp.rs crates/dcqcn/src/np.rs crates/dcqcn/src/rp.rs
+
+/root/repo/target/release/deps/libgfc_dcqcn-9837cd13f8cf6dea.rmeta: crates/dcqcn/src/lib.rs crates/dcqcn/src/cp.rs crates/dcqcn/src/np.rs crates/dcqcn/src/rp.rs
+
+crates/dcqcn/src/lib.rs:
+crates/dcqcn/src/cp.rs:
+crates/dcqcn/src/np.rs:
+crates/dcqcn/src/rp.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gfc_dcqcn-e0c884711f927963.d: crates/dcqcn/src/lib.rs crates/dcqcn/src/cp.rs crates/dcqcn/src/np.rs crates/dcqcn/src/rp.rs Cargo.toml
+
+/root/repo/target/release/deps/libgfc_dcqcn-e0c884711f927963.rmeta: crates/dcqcn/src/lib.rs crates/dcqcn/src/cp.rs crates/dcqcn/src/np.rs crates/dcqcn/src/rp.rs Cargo.toml
+
+crates/dcqcn/src/lib.rs:
+crates/dcqcn/src/cp.rs:
+crates/dcqcn/src/np.rs:
+crates/dcqcn/src/rp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

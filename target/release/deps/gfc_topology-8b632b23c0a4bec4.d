@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/gfc_topology-8b632b23c0a4bec4.d: crates/topology/src/lib.rs crates/topology/src/cbd.rs crates/topology/src/fattree.rs crates/topology/src/graph.rs crates/topology/src/routing.rs crates/topology/src/scenarios.rs
+
+/root/repo/target/release/deps/gfc_topology-8b632b23c0a4bec4: crates/topology/src/lib.rs crates/topology/src/cbd.rs crates/topology/src/fattree.rs crates/topology/src/graph.rs crates/topology/src/routing.rs crates/topology/src/scenarios.rs
+
+crates/topology/src/lib.rs:
+crates/topology/src/cbd.rs:
+crates/topology/src/fattree.rs:
+crates/topology/src/graph.rs:
+crates/topology/src/routing.rs:
+crates/topology/src/scenarios.rs:

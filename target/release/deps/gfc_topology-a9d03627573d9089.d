@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gfc_topology-a9d03627573d9089.d: crates/topology/src/lib.rs crates/topology/src/cbd.rs crates/topology/src/fattree.rs crates/topology/src/graph.rs crates/topology/src/routing.rs crates/topology/src/scenarios.rs
+
+/root/repo/target/release/deps/libgfc_topology-a9d03627573d9089.rlib: crates/topology/src/lib.rs crates/topology/src/cbd.rs crates/topology/src/fattree.rs crates/topology/src/graph.rs crates/topology/src/routing.rs crates/topology/src/scenarios.rs
+
+/root/repo/target/release/deps/libgfc_topology-a9d03627573d9089.rmeta: crates/topology/src/lib.rs crates/topology/src/cbd.rs crates/topology/src/fattree.rs crates/topology/src/graph.rs crates/topology/src/routing.rs crates/topology/src/scenarios.rs
+
+crates/topology/src/lib.rs:
+crates/topology/src/cbd.rs:
+crates/topology/src/fattree.rs:
+crates/topology/src/graph.rs:
+crates/topology/src/routing.rs:
+crates/topology/src/scenarios.rs:

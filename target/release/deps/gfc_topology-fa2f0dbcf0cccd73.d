@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/gfc_topology-fa2f0dbcf0cccd73.d: crates/topology/src/lib.rs crates/topology/src/cbd.rs crates/topology/src/fattree.rs crates/topology/src/graph.rs crates/topology/src/routing.rs crates/topology/src/scenarios.rs Cargo.toml
+
+/root/repo/target/release/deps/libgfc_topology-fa2f0dbcf0cccd73.rmeta: crates/topology/src/lib.rs crates/topology/src/cbd.rs crates/topology/src/fattree.rs crates/topology/src/graph.rs crates/topology/src/routing.rs crates/topology/src/scenarios.rs Cargo.toml
+
+crates/topology/src/lib.rs:
+crates/topology/src/cbd.rs:
+crates/topology/src/fattree.rs:
+crates/topology/src/graph.rs:
+crates/topology/src/routing.rs:
+crates/topology/src/scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/gfc_verify-799c3861389096b7.d: crates/verify/src/lib.rs crates/verify/src/checks.rs crates/verify/src/diag.rs crates/verify/src/spec.rs
+
+/root/repo/target/release/deps/libgfc_verify-799c3861389096b7.rlib: crates/verify/src/lib.rs crates/verify/src/checks.rs crates/verify/src/diag.rs crates/verify/src/spec.rs
+
+/root/repo/target/release/deps/libgfc_verify-799c3861389096b7.rmeta: crates/verify/src/lib.rs crates/verify/src/checks.rs crates/verify/src/diag.rs crates/verify/src/spec.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/checks.rs:
+crates/verify/src/diag.rs:
+crates/verify/src/spec.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gfc_verify-febcf6be7b50243d.d: crates/verify/src/lib.rs
+
+/root/repo/target/release/deps/libgfc_verify-febcf6be7b50243d.rlib: crates/verify/src/lib.rs
+
+/root/repo/target/release/deps/libgfc_verify-febcf6be7b50243d.rmeta: crates/verify/src/lib.rs
+
+crates/verify/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gfc_workload-8394660329f9894c.d: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/patterns.rs
+
+/root/repo/target/release/deps/gfc_workload-8394660329f9894c: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/patterns.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/dist.rs:
+crates/workload/src/patterns.rs:

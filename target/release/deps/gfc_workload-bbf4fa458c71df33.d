@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/gfc_workload-bbf4fa458c71df33.d: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/patterns.rs Cargo.toml
+
+/root/repo/target/release/deps/libgfc_workload-bbf4fa458c71df33.rmeta: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/patterns.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/dist.rs:
+crates/workload/src/patterns.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/gfc_workload-c961bafead1bd0a1.d: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/patterns.rs
+
+/root/repo/target/release/deps/libgfc_workload-c961bafead1bd0a1.rlib: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/patterns.rs
+
+/root/repo/target/release/deps/libgfc_workload-c961bafead1bd0a1.rmeta: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/patterns.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/dist.rs:
+crates/workload/src/patterns.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/gfc_workload-fbc7f5f24691d531.d: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/patterns.rs Cargo.toml
+
+/root/repo/target/release/deps/libgfc_workload-fbc7f5f24691d531.rmeta: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/patterns.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/dist.rs:
+crates/workload/src/patterns.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/limiter_props-2b11fbabd8f7e563.d: crates/core/tests/limiter_props.rs Cargo.toml
+
+/root/repo/target/release/deps/liblimiter_props-2b11fbabd8f7e563.rmeta: crates/core/tests/limiter_props.rs Cargo.toml
+
+crates/core/tests/limiter_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

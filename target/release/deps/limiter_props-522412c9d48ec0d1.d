@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/limiter_props-522412c9d48ec0d1.d: crates/core/tests/limiter_props.rs
+
+/root/repo/target/release/deps/limiter_props-522412c9d48ec0d1: crates/core/tests/limiter_props.rs
+
+crates/core/tests/limiter_props.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/proptest-fb356ecadac8fc02.d: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs vendor/proptest/src/arbitrary.rs vendor/proptest/src/array.rs vendor/proptest/src/collection.rs vendor/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/libproptest-fb356ecadac8fc02.rlib: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs vendor/proptest/src/arbitrary.rs vendor/proptest/src/array.rs vendor/proptest/src/collection.rs vendor/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/libproptest-fb356ecadac8fc02.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs vendor/proptest/src/arbitrary.rs vendor/proptest/src/array.rs vendor/proptest/src/collection.rs vendor/proptest/src/test_runner.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/strategy.rs:
+vendor/proptest/src/arbitrary.rs:
+vendor/proptest/src/array.rs:
+vendor/proptest/src/collection.rs:
+vendor/proptest/src/test_runner.rs:

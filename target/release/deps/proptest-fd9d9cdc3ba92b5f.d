@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/proptest-fd9d9cdc3ba92b5f.d: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs vendor/proptest/src/arbitrary.rs vendor/proptest/src/array.rs vendor/proptest/src/collection.rs vendor/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/libproptest-fd9d9cdc3ba92b5f.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs vendor/proptest/src/arbitrary.rs vendor/proptest/src/array.rs vendor/proptest/src/collection.rs vendor/proptest/src/test_runner.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/strategy.rs:
+vendor/proptest/src/arbitrary.rs:
+vendor/proptest/src/array.rs:
+vendor/proptest/src/collection.rs:
+vendor/proptest/src/test_runner.rs:

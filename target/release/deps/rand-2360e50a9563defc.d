@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-2360e50a9563defc.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-2360e50a9563defc.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

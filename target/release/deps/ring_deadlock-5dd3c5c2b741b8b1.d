@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ring_deadlock-5dd3c5c2b741b8b1.d: crates/sim/tests/ring_deadlock.rs
+
+/root/repo/target/release/deps/ring_deadlock-5dd3c5c2b741b8b1: crates/sim/tests/ring_deadlock.rs
+
+crates/sim/tests/ring_deadlock.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ring_deadlock-b48ce8e5b9bb4914.d: crates/sim/tests/ring_deadlock.rs
+
+/root/repo/target/release/deps/ring_deadlock-b48ce8e5b9bb4914: crates/sim/tests/ring_deadlock.rs
+
+crates/sim/tests/ring_deadlock.rs:

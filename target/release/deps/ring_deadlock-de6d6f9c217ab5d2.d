@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ring_deadlock-de6d6f9c217ab5d2.d: crates/sim/tests/ring_deadlock.rs Cargo.toml
+
+/root/repo/target/release/deps/libring_deadlock-de6d6f9c217ab5d2.rmeta: crates/sim/tests/ring_deadlock.rs Cargo.toml
+
+crates/sim/tests/ring_deadlock.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

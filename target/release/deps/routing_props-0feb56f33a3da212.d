@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/routing_props-0feb56f33a3da212.d: crates/topology/tests/routing_props.rs
+
+/root/repo/target/release/deps/routing_props-0feb56f33a3da212: crates/topology/tests/routing_props.rs
+
+crates/topology/tests/routing_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/routing_props-a09667bb47647034.d: crates/topology/tests/routing_props.rs Cargo.toml
+
+/root/repo/target/release/deps/librouting_props-a09667bb47647034.rmeta: crates/topology/tests/routing_props.rs Cargo.toml
+
+crates/topology/tests/routing_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-b7c07cd838fa33ca.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-b7c07cd838fa33ca.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sim_props-205909b5de688bab.d: crates/sim/tests/sim_props.rs Cargo.toml
+
+/root/repo/target/release/deps/libsim_props-205909b5de688bab.rmeta: crates/sim/tests/sim_props.rs Cargo.toml
+
+crates/sim/tests/sim_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

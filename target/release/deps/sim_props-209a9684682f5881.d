@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sim_props-209a9684682f5881.d: crates/sim/tests/sim_props.rs
+
+/root/repo/target/release/deps/sim_props-209a9684682f5881: crates/sim/tests/sim_props.rs
+
+crates/sim/tests/sim_props.rs:

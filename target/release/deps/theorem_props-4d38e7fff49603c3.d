@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/theorem_props-4d38e7fff49603c3.d: tests/theorem_props.rs
+
+/root/repo/target/release/deps/theorem_props-4d38e7fff49603c3: tests/theorem_props.rs
+
+tests/theorem_props.rs:

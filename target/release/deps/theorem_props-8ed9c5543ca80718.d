@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/theorem_props-8ed9c5543ca80718.d: tests/theorem_props.rs
+
+/root/repo/target/release/deps/theorem_props-8ed9c5543ca80718: tests/theorem_props.rs
+
+tests/theorem_props.rs:

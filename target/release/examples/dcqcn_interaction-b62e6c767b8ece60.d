@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dcqcn_interaction-b62e6c767b8ece60.d: examples/dcqcn_interaction.rs
+
+/root/repo/target/release/examples/dcqcn_interaction-b62e6c767b8ece60: examples/dcqcn_interaction.rs
+
+examples/dcqcn_interaction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dcqcn_interaction-f8318cf8c5dd81f0.d: examples/dcqcn_interaction.rs
+
+/root/repo/target/release/examples/dcqcn_interaction-f8318cf8c5dd81f0: examples/dcqcn_interaction.rs
+
+examples/dcqcn_interaction.rs:

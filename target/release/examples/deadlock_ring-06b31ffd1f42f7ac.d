@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/deadlock_ring-06b31ffd1f42f7ac.d: examples/deadlock_ring.rs
+
+/root/repo/target/release/examples/deadlock_ring-06b31ffd1f42f7ac: examples/deadlock_ring.rs
+
+examples/deadlock_ring.rs:

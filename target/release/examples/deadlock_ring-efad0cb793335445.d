@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/deadlock_ring-efad0cb793335445.d: examples/deadlock_ring.rs
+
+/root/repo/target/release/examples/deadlock_ring-efad0cb793335445: examples/deadlock_ring.rs
+
+examples/deadlock_ring.rs:

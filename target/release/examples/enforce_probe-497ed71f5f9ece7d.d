@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/enforce_probe-497ed71f5f9ece7d.d: examples/enforce_probe.rs
+
+/root/repo/target/release/examples/enforce_probe-497ed71f5f9ece7d: examples/enforce_probe.rs
+
+examples/enforce_probe.rs:

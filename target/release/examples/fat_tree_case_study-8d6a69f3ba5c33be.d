@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fat_tree_case_study-8d6a69f3ba5c33be.d: examples/fat_tree_case_study.rs
+
+/root/repo/target/release/examples/fat_tree_case_study-8d6a69f3ba5c33be: examples/fat_tree_case_study.rs
+
+examples/fat_tree_case_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fat_tree_case_study-edb1ee3bc4f4e711.d: examples/fat_tree_case_study.rs
+
+/root/repo/target/release/examples/fat_tree_case_study-edb1ee3bc4f4e711: examples/fat_tree_case_study.rs
+
+examples/fat_tree_case_study.rs:

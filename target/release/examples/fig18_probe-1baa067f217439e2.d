@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fig18_probe-1baa067f217439e2.d: crates/experiments/examples/fig18_probe.rs
+
+/root/repo/target/release/examples/fig18_probe-1baa067f217439e2: crates/experiments/examples/fig18_probe.rs
+
+crates/experiments/examples/fig18_probe.rs:

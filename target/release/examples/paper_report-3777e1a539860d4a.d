@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/paper_report-3777e1a539860d4a.d: examples/paper_report.rs
+
+/root/repo/target/release/examples/paper_report-3777e1a539860d4a: examples/paper_report.rs
+
+examples/paper_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/paper_report-c5162f2caf9f8d72.d: examples/paper_report.rs
+
+/root/repo/target/release/examples/paper_report-c5162f2caf9f8d72: examples/paper_report.rs
+
+examples/paper_report.rs:

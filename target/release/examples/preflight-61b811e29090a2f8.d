@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/preflight-61b811e29090a2f8.d: examples/preflight.rs
+
+/root/repo/target/release/examples/preflight-61b811e29090a2f8: examples/preflight.rs
+
+examples/preflight.rs:

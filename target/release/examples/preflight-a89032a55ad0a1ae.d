@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/preflight-a89032a55ad0a1ae.d: examples/preflight.rs Cargo.toml
+
+/root/repo/target/release/examples/libpreflight-a89032a55ad0a1ae.rmeta: examples/preflight.rs Cargo.toml
+
+examples/preflight.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-0c8774f6889a240e.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-0c8774f6889a240e: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-5ba93d3b4aa19eed.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-5ba93d3b4aa19eed: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/wedge_probe-5e9d97c07af60d2f.d: crates/sim/examples/wedge_probe.rs
+
+/root/repo/target/release/examples/wedge_probe-5e9d97c07af60d2f: crates/sim/examples/wedge_probe.rs
+
+crates/sim/examples/wedge_probe.rs:

@@ -26,7 +26,12 @@ fn closed_loop_enterprise_on_failed_fat_tree_completes_flows() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(99);
     ft.inject_failures(&mut rng, 0.05);
     let racks: Vec<u32> = (0..ft.hosts.len()).map(|h| ft.rack_of_host(h) as u32).collect();
-    let mut net = Network::new(ft.topo.clone(), Routing::spf(), base_cfg(gfc_mode(), 99), TraceConfig::none());
+    let mut net = Network::new(
+        ft.topo.clone(),
+        Routing::spf(),
+        base_cfg(gfc_mode(), 99),
+        TraceConfig::none(),
+    );
     net.install_workload(Box::new(ClosedLoopWorkload {
         sizes: FlowSizeDist::Empirical(EmpiricalCdf::enterprise()),
         dests: DestPolicy::inter_rack(racks),
@@ -58,8 +63,12 @@ fn all_schemes_are_lossless_under_incast() {
     for fc in schemes {
         for senders in [2usize, 4, 8] {
             let inc = Incast::new(senders);
-            let mut net =
-                Network::new(inc.topo.clone(), Routing::spf(), base_cfg(fc, 5), TraceConfig::none());
+            let mut net = Network::new(
+                inc.topo.clone(),
+                Routing::spf(),
+                base_cfg(fc, 5),
+                TraceConfig::none(),
+            );
             for &s in &inc.senders {
                 net.start_flow(s, inc.receiver, Some(2_000_000), 0).expect("route");
             }
@@ -80,18 +89,18 @@ fn incast_fair_share_is_respected() {
     // 4-to-1 incast, equal flows: completion times within 25% of each
     // other under GFC (fine-grained rate control is fair).
     let inc = Incast::new(4);
-    let mut net =
-        Network::new(inc.topo.clone(), Routing::spf(), base_cfg(gfc_mode(), 6), TraceConfig::none());
+    let mut net = Network::new(
+        inc.topo.clone(),
+        Routing::spf(),
+        base_cfg(gfc_mode(), 6),
+        TraceConfig::none(),
+    );
     for &s in &inc.senders {
         net.start_flow(s, inc.receiver, Some(3_000_000), 0).expect("route");
     }
     net.run_until(Time::from_millis(50));
-    let fcts: Vec<f64> = net
-        .ledger()
-        .records()
-        .iter()
-        .map(|r| r.fct_ps().expect("finished") as f64)
-        .collect();
+    let fcts: Vec<f64> =
+        net.ledger().records().iter().map(|r| r.fct_ps().expect("finished") as f64).collect();
     assert_eq!(fcts.len(), 4);
     let max = fcts.iter().cloned().fold(0.0, f64::max);
     let min = fcts.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -134,10 +143,8 @@ fn multi_priority_queues_isolate_traffic() {
 #[test]
 fn conceptual_gfc_runs_end_to_end() {
     let inc = Incast::new(2);
-    let mut cfg = base_cfg(
-        FcMode::Conceptual { b0: kb(50), bm: kb(100), tau: Dur::from_micros(10) },
-        9,
-    );
+    let mut cfg =
+        base_cfg(FcMode::Conceptual { b0: kb(50), bm: kb(100), tau: Dur::from_micros(10) }, 9);
     cfg.buffer_bytes = kb(120);
     let mut net = Network::new(inc.topo.clone(), Routing::spf(), cfg, TraceConfig::none());
     for &s in &inc.senders {
@@ -163,8 +170,12 @@ fn unroutable_destinations_are_skipped_gracefully() {
             ft.topo.fail_link(l);
         }
     }
-    let mut net =
-        Network::new(ft.topo.clone(), Routing::spf(), base_cfg(gfc_mode(), 10), TraceConfig::none());
+    let mut net = Network::new(
+        ft.topo.clone(),
+        Routing::spf(),
+        base_cfg(gfc_mode(), 10),
+        TraceConfig::none(),
+    );
     // Direct attempt across the partition fails cleanly.
     assert!(net.start_flow(ft.hosts[0], ft.hosts[8], Some(1000), 0).is_none());
     // Same-rack traffic still flows.

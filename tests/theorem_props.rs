@@ -24,8 +24,7 @@ fn conceptual_loop(
     let mut max_q = 0u64;
     let mut min_rate = C;
     // Rate pipeline: rate applied now was computed `tau` ago.
-    let mut pipe: std::collections::VecDeque<Rate> =
-        (0..tau_us).map(|_| C).collect();
+    let mut pipe: std::collections::VecDeque<Rate> = (0..tau_us).map(|_| C).collect();
     for &drain in drains {
         let rate = if tau_us == 0 {
             mapping.rate_for_queue(q as u64)
@@ -115,7 +114,7 @@ proptest! {
         let mut min_rate = C;
         for (t, &drain) in drains.iter().enumerate() {
             let t = t as u64;
-            if t % period_us == 0 {
+            if t.is_multiple_of(period_us) {
                 // Feedback generated now, takes effect after tau.
                 pending = Some((t + tau_us, mapping.rate_for_queue(q as u64)));
             }

@@ -1,0 +1,137 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps every bench target compiling and runnable without crates.io:
+//! `Criterion::bench_function` runs the closure for the configured
+//! measurement window and prints mean wall-clock time per iteration. No
+//! statistics, no HTML reports — enough to smoke-run and eyeball figures.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark driver (configuration + reporting).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Target number of samples (upper bound on iterations here).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up budget before timing starts.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Measurement budget.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Configure from command-line arguments (accepted and ignored).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Time `f` and print a one-line report.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { iters: 0, elapsed: Duration::ZERO };
+        // Warm-up: one untimed run.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        f(&mut b);
+        while Instant::now() < warm_deadline && b.iters == 0 {
+            f(&mut b);
+        }
+        b.iters = 0;
+        b.elapsed = Duration::ZERO;
+        let deadline = Instant::now() + self.measurement_time;
+        let mut samples = 0usize;
+        while samples < self.sample_size && Instant::now() < deadline {
+            f(&mut b);
+            samples += 1;
+        }
+        if b.iters > 0 {
+            let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+            println!("bench {id}: {:.3} ms/iter ({} iters)", per_iter * 1e3, b.iters);
+        } else {
+            println!("bench {id}: no iterations executed");
+        }
+        self
+    }
+
+    /// Compatibility no-op (the real crate finalizes reports here).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Passed to the benchmark closure; times the hot loop.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `routine` once per sample, timing it.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Declare a benchmark group (same grammar as the real crate).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $config.configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declare the benchmark `main` running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,24 @@
+//! Fixed-size array strategies (`proptest::array::uniform*`).
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+
+/// Strategy producing `[T; N]` from one element strategy.
+pub struct UniformArray<S, const N: usize>(S);
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+    fn new_value(&self, rng: &mut StdRng) -> [S::Value; N] {
+        std::array::from_fn(|_| self.0.new_value(rng))
+    }
+}
+
+/// `[T; 6]` with every element drawn from `element`.
+pub fn uniform6<S: Strategy>(element: S) -> UniformArray<S, 6> {
+    UniformArray(element)
+}
+
+/// `[T; 8]` with every element drawn from `element`.
+pub fn uniform8<S: Strategy>(element: S) -> UniformArray<S, 8> {
+    UniformArray(element)
+}

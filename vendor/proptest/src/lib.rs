@@ -1,0 +1,190 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace uses:
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(..)]`, `name in
+//!   strategy` and `name: Type` parameter forms;
+//! * [`Strategy`] for integer/float ranges, tuples, [`collection::vec`],
+//!   [`array::uniform6`] and [`arbitrary::any`];
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`;
+//! * [`test_runner::ProptestConfig`] with `with_cases` and a
+//!   `PROPTEST_CASES` environment override.
+//!
+//! Cases are generated deterministically from the test name, so failures
+//! reproduce across runs. Shrinking is intentionally absent: a failing
+//! case reports the case index and message instead of a minimized input.
+
+pub mod strategy;
+
+pub mod arbitrary;
+pub mod array;
+pub mod collection;
+pub mod test_runner;
+
+/// Everything a property test file needs in scope.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Drive one `proptest!` test function: run `config.cases` accepted cases,
+/// each with an independent deterministic RNG stream.
+///
+/// # Panics
+/// Panics (failing the enclosing `#[test]`) on the first failing case, or
+/// when the assumption-rejection budget is exhausted.
+pub fn run_proptest<F>(config: &test_runner::ProptestConfig, name: &str, body: F)
+where
+    F: Fn(&mut rand::rngs::StdRng) -> Result<(), test_runner::TestCaseError>,
+{
+    use rand::SeedableRng;
+
+    let cases = config.effective_cases();
+    let base = fnv1a(name.as_bytes());
+    let mut accepted: u32 = 0;
+    let mut attempt: u64 = 0;
+    let budget = u64::from(cases) * 16 + 64;
+    while accepted < cases {
+        assert!(
+            attempt < budget,
+            "proptest '{name}': too many rejected cases ({attempt} attempts for {cases} cases)"
+        );
+        let seed = base ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        match body(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(test_runner::TestCaseError::Reject(_)) => {}
+            Err(test_runner::TestCaseError::Fail(msg)) => {
+                panic!("proptest '{name}' failed at case {accepted} (attempt {attempt}): {msg}")
+            }
+        }
+        attempt += 1;
+    }
+}
+
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The `proptest!` block macro: wraps each contained function in a
+/// deterministic multi-case runner.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Internal: expand each `#[test] fn name(params) { body }` item.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$attr:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let config = $cfg;
+            $crate::run_proptest(&config, stringify!($name), |__proptest_rng| {
+                $crate::__proptest_bind!(__proptest_rng, $($params)*);
+                let __proptest_body = || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                };
+                __proptest_body()
+            });
+        }
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+}
+
+/// Internal: bind `name in strategy` / `name: Type` parameters.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $name:ident in $strat:expr) => {
+        let $name = $crate::strategy::Strategy::new_value(&($strat), $rng);
+    };
+    ($rng:ident, $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::strategy::Strategy::new_value(&($strat), $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+    ($rng:ident, $name:ident : $ty:ty) => {
+        let $name = <$ty as $crate::arbitrary::Arbitrary>::arbitrary_value($rng);
+    };
+    ($rng:ident, $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name = <$ty as $crate::arbitrary::Arbitrary>::arbitrary_value($rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+}
+
+/// Assert inside a property; failure reports the case, not a panic site.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` for properties.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "{} != {}: {:?} vs {:?}", stringify!($a), stringify!($b), a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
+}
+
+/// `assert_ne!` for properties.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "{} == {}: both {:?}", stringify!($a), stringify!($b), a);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, $($fmt)*);
+    }};
+}
+
+/// Discard the current case when a precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes the `Serialize`/`Deserialize` trait names (empty marker traits)
+//! and re-exports the no-op derive macros, so `use serde::{Deserialize,
+//! Serialize};` plus `#[derive(Serialize, Deserialize)]` compile unchanged
+//! in an environment with no crates.io access. Swap back to the real serde
+//! by restoring the registry dependency — no source changes needed.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
