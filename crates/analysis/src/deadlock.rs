@@ -54,6 +54,13 @@ impl ProgressMonitor {
         self.deadlock_at_ps
     }
 
+    /// Last sampled instant at which progress was observed (or the
+    /// network held no backlog) — the "no progress since" line of a
+    /// forensics report.
+    pub fn last_progress_ps(&self) -> u64 {
+        self.last_progress_ps
+    }
+
     /// Whether a deadlock verdict has been reached.
     pub fn deadlocked(&self) -> bool {
         self.deadlock_at_ps.is_some()

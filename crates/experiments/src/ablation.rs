@@ -15,6 +15,7 @@ use crate::common::{row, sim_config_300k, Scheme};
 use gfc_core::units::Time;
 use gfc_sim::Network;
 use gfc_sim::TraceConfig;
+use gfc_telemetry::names;
 use gfc_topology::{Ring, Routing};
 use serde::{Deserialize, Serialize};
 
@@ -77,16 +78,15 @@ pub fn run(params: AblationParams) -> AblationResult {
         }
         let mid = Time(params.horizon.0 / 2);
         net.run_until(mid);
-        let mid_bytes = net.stats().delivered_bytes;
+        let mid_snap = net.metrics_snapshot();
         net.run_until(params.horizon);
-        let tail_goodput = (net.stats().delivered_bytes - mid_bytes) as f64 * 8.0 * 1e12
-            / (params.horizon.0 - mid.0) as f64;
+        let snap = net.metrics_snapshot();
         outcomes.push(RatioOutcome {
             ratio,
-            tail_goodput,
-            feedback_msgs_per_ms: net.feedback_messages_generated() as f64
+            tail_goodput: snap.delta_goodput_bps(&mid_snap),
+            feedback_msgs_per_ms: snap.counter(names::FEEDBACK_GENERATED).unwrap_or(0) as f64
                 / params.horizon.as_millis_f64(),
-            drops: net.stats().drops,
+            drops: snap.counter(names::DROPS).unwrap_or(0),
             deadlocked: net.structurally_deadlocked(),
         });
     }

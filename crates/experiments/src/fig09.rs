@@ -14,6 +14,7 @@ use crate::common::{row, sim_config_testbed, static_verdict, Scheme};
 use gfc_analysis::TimeSeries;
 use gfc_core::units::{Dur, Time};
 use gfc_sim::{Network, TraceConfig};
+use gfc_telemetry::names;
 use gfc_topology::{Ring, Routing};
 use serde::{Deserialize, Serialize};
 
@@ -62,6 +63,9 @@ pub struct RingTrace {
     /// The `gfc-verify` static preflight verdict for this scenario,
     /// recorded next to the runtime deadlock verdicts above.
     pub static_verdict: String,
+    /// One-line telemetry snapshot at the horizon (`Snapshot::brief`),
+    /// recorded next to the verdicts above.
+    pub telemetry: String,
 }
 
 /// Run one scheme on the testbed ring.
@@ -82,11 +86,10 @@ pub fn run_scheme(params: &RingParams, scheme: Scheme) -> RingTrace {
     }
     let mid = Time(params.horizon.0 / 2);
     net.run_until(mid);
-    let mid_bytes = net.stats().delivered_bytes;
+    let mid_snap = net.metrics_snapshot();
     net.run_until(params.horizon);
-    let tail_goodput = (net.stats().delivered_bytes - mid_bytes) as f64 * 8.0
-        / (params.horizon.0 - mid.0) as f64
-        * 1e12;
+    let snap = net.metrics_snapshot();
+    let tail_goodput = snap.delta_goodput_bps(&mid_snap);
 
     let queue = net.traces().ingress_queue[&watched].clone();
     let rate = net.traces().ingress_rate[&watched].series_bps(params.horizon.0);
@@ -103,9 +106,10 @@ pub fn run_scheme(params: &RingParams, scheme: Scheme) -> RingTrace {
             .or(net.deadlock_at())
             .map(gfc_core::units::Time::as_millis_f64),
         tail_goodput,
-        drops: net.stats().drops,
-        hold_and_wait: net.hold_and_wait_episodes(),
+        drops: snap.counter(names::DROPS).unwrap_or(0),
+        hold_and_wait: snap.counter(names::HOLD_AND_WAIT).unwrap_or(0),
         static_verdict: verdict,
+        telemetry: snap.brief(),
     }
 }
 
@@ -168,6 +172,8 @@ impl Fig09Result {
         );
         s += &row("static preflight (PFC)", "deadlock reachable", &self.pfc.static_verdict);
         s += &row("static preflight (GFC)", "scheme immune", &self.gfc.static_verdict);
+        s += &row("telemetry (PFC)", "snapshot recorded", &self.pfc.telemetry);
+        s += &row("telemetry (GFC)", "snapshot recorded", &self.gfc.telemetry);
         s
     }
 }
@@ -185,6 +191,7 @@ mod tests {
         assert!(!r.gfc.deadlocked);
         assert_eq!(r.gfc.drops, 0);
         assert_eq!(r.gfc.hold_and_wait, 0);
+        assert!(r.gfc.telemetry.contains("goodput="), "telemetry brief recorded");
         // Steady state: host queue parked in stage 1 (between B1 = 750 KB
         // and B2 = 887 KB; the paper reports 840 KB), rate 5 Gb/s.
         let q_kb = r.gfc.steady_queue / 1024.0;

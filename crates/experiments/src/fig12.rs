@@ -54,6 +54,9 @@ pub struct FatTreeCaseTrace {
     /// The `gfc-verify` static preflight verdict over the pinned
     /// case-study paths, recorded next to the runtime verdicts above.
     pub static_verdict: String,
+    /// One-line telemetry snapshot at the horizon (`Snapshot::brief`),
+    /// recorded next to the verdicts above.
+    pub telemetry: String,
 }
 
 /// Run one scheme on the Fig. 11 scenario with the four case-study flows
@@ -110,6 +113,7 @@ pub fn run_scheme_with_extra(
             .expect("flow start");
     }
     net.run_until(params.horizon);
+    let snap = net.metrics_snapshot();
 
     let flow_throughput: Vec<TimeSeries> = srcs
         .iter()
@@ -135,8 +139,9 @@ pub fn run_scheme_with_extra(
             .structural_deadlock_at()
             .or(net.deadlock_at())
             .map(gfc_core::units::Time::as_millis_f64),
-        drops: net.stats().drops,
+        drops: snap.counter(gfc_telemetry::names::DROPS).unwrap_or(0),
         static_verdict: verdict,
+        telemetry: snap.brief(),
     }
 }
 
@@ -201,6 +206,8 @@ impl Fig12Result {
         );
         s += &row("static preflight (PFC)", "deadlock reachable", &self.pfc.static_verdict);
         s += &row("static preflight (GFC)", "scheme immune", &self.gfc.static_verdict);
+        s += &row("telemetry (PFC)", "snapshot recorded", &self.pfc.telemetry);
+        s += &row("telemetry (GFC)", "snapshot recorded", &self.gfc.telemetry);
         s
     }
 }

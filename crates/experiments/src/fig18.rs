@@ -90,6 +90,9 @@ pub struct EvolutionTrace {
     /// The `gfc-verify` static preflight verdict for this scheme on the
     /// selected topology, recorded next to the runtime verdict above.
     pub static_verdict: String,
+    /// One-line telemetry snapshot at the horizon (`Snapshot::brief`),
+    /// recorded next to the verdicts above.
+    pub telemetry: String,
 }
 
 /// The Fig. 18 result.
@@ -152,9 +155,10 @@ fn run_scheme_on(
     // paper's deadlock forms at ~8.5 ms once churn finds it).
     let cbd_start = Time(params.horizon.0 / 8);
 
-    // Sample aggregate delivered bytes per bin by stepping the clock.
+    // Sample aggregate delivered throughput per bin by stepping the clock
+    // and diffing successive telemetry snapshots.
     let mut throughput = TimeSeries::new();
-    let mut last_bytes = 0u64;
+    let mut last_snap = net.metrics_snapshot();
     let mut t = Time::ZERO;
     let mut started_cbd = false;
     while t < params.horizon {
@@ -173,12 +177,15 @@ fn run_scheme_on(
             }
         }
         net.run_until(t);
-        let bytes = net.stats().delivered_bytes;
-        let bps = (bytes - last_bytes) as f64 * 8.0 * 1e12 / params.bin.0 as f64;
-        throughput.push(t.0, bps);
-        last_bytes = bytes;
+        let snap = net.metrics_snapshot();
+        throughput.push(t.0, snap.delta_goodput_bps(&last_snap));
+        last_snap = snap;
     }
-    assert_eq!(net.stats().drops, 0, "lossless config dropped packets");
+    assert_eq!(
+        last_snap.counter(gfc_telemetry::names::DROPS).unwrap_or(0),
+        0,
+        "lossless config dropped packets"
+    );
     let tail_from = params.horizon.0 * 3 / 4;
     let tail_mean = throughput.time_weighted_mean(tail_from, params.horizon.0).unwrap_or(0.0);
     EvolutionTrace {
@@ -186,6 +193,7 @@ fn run_scheme_on(
         deadlock_at_ms: net.structural_deadlock_at().map(gfc_core::units::Time::as_millis_f64),
         tail_mean,
         static_verdict: verdict,
+        telemetry: last_snap.brief(),
     }
 }
 
@@ -233,6 +241,8 @@ impl Fig18Result {
         );
         s += &row("static preflight (PFC)", "deadlock reachable", &self.pfc.static_verdict);
         s += &row("static preflight (GFC)", "scheme immune", &self.gfc.static_verdict);
+        s += &row("telemetry (PFC)", "snapshot recorded", &self.pfc.telemetry);
+        s += &row("telemetry (GFC)", "snapshot recorded", &self.gfc.telemetry);
         s
     }
 }

@@ -165,10 +165,13 @@ fn run_case(
         }
     }
     net.run_until(params.horizon);
-    assert_eq!(net.stats().drops, 0, "lossless config dropped packets");
-    let goodput_per_server = net.stats().delivered_bytes as f64 * 8.0
-        / params.horizon.as_secs_f64()
-        / ft.hosts.len() as f64;
+    let snap = net.metrics_snapshot();
+    assert_eq!(
+        snap.counter(gfc_telemetry::names::DROPS).unwrap_or(0),
+        0,
+        "lossless config dropped packets"
+    );
+    let goodput_per_server = snap.goodput_bps() / ft.hosts.len() as f64;
     let slowdowns = net.ledger().slowdowns(
         net.config().capacity.0,
         net.config().prop_delay.0,

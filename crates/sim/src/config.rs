@@ -7,6 +7,7 @@ use gfc_verify::FabricSpec;
 use serde::{Deserialize, Serialize};
 
 pub use gfc_core::fc_mode::FcMode;
+pub use gfc_telemetry::TelemetryConfig;
 pub use gfc_verify::PreflightPolicy;
 
 /// How a switch moves packets from ingress FIFOs into free egress staging
@@ -88,6 +89,13 @@ pub struct SimConfig {
     /// unsound adversarial setups such as the Fig. 9/12 deadlock studies),
     /// or skip it entirely ([`PreflightPolicy::Skip`]).
     pub preflight: PreflightPolicy,
+    /// What the observability layer records: live metrics (on by
+    /// default, one branch per update when off), the flight-recorder
+    /// ring (opt-in by capacity), and automatic deadlock forensics. See
+    /// [`Network::metrics_snapshot`](crate::Network::metrics_snapshot),
+    /// [`Network::flight_recorder`](crate::Network::flight_recorder),
+    /// and [`Network::forensics`](crate::Network::forensics).
+    pub telemetry: TelemetryConfig,
 }
 
 impl SimConfig {
@@ -118,6 +126,7 @@ impl SimConfig {
             stop_on_deadlock: false,
             ctrl_bw_bin: None,
             preflight: PreflightPolicy::Enforce,
+            telemetry: TelemetryConfig::default(),
         }
     }
 

@@ -46,9 +46,10 @@ pub mod flowgen;
 pub mod network;
 pub mod packet;
 pub mod port;
+mod telemetry;
 pub mod trace;
 
-pub use config::{FcMode, PreflightPolicy, SimConfig};
+pub use config::{FcMode, PreflightPolicy, SimConfig, TelemetryConfig};
 pub use flowgen::{ClosedLoopWorkload, FlowRequest, ListWorkload, Workload};
 pub use network::{Network, SimStats};
 pub use trace::{TraceConfig, Traces};

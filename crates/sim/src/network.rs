@@ -25,10 +25,15 @@ use crate::fc::{CtrlPayload, FcReceiver, Gate};
 use crate::flowgen::{FlowRequest, Workload};
 use crate::packet::Packet;
 use crate::port::{IngressPacket, PortState, QueuedCtrl, StagedPacket};
+use crate::telemetry::SimTelemetry;
 use crate::trace::{TraceConfig, Traces};
 use gfc_analysis::{FlowLedger, ProgressMonitor, ThroughputMeter};
 use gfc_core::units::{Dur, Rate, Time};
 use gfc_dcqcn::{CnpGenerator, ReactionPoint};
+use gfc_telemetry::{
+    names, FlightRecorder, ForensicsReport, ForensicsTrigger, PortOccupancy, Snapshot,
+    WaitForGraph, WfSide,
+};
 use gfc_topology::{LinkId, NodeId, NodeKind, Routing, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -122,6 +127,8 @@ pub struct Network {
     structural_deadlock_at: Option<Time>,
     /// The static preflight report (None when the policy was `Skip`).
     preflight_report: Option<gfc_verify::Report>,
+    /// Observability state: metrics registry, flight recorder, forensics.
+    tel: SimTelemetry,
 }
 
 impl Network {
@@ -171,6 +178,7 @@ impl Network {
                 .collect()
         });
         let monitor = ProgressMonitor::new(cfg.progress_window.0);
+        let tel = SimTelemetry::new(&cfg.telemetry, cfg.buffer_bytes);
         let traces = Traces::for_config(&trace_cfg);
         let rng = StdRng::seed_from_u64(cfg.seed);
         let pump_rr = vec![0; ports.len()];
@@ -201,6 +209,7 @@ impl Network {
             last_monitor_delivered: 0,
             structural_deadlock_at: None,
             preflight_report,
+            tel,
             cfg,
         }
     }
@@ -272,24 +281,50 @@ impl Network {
 
     /// Per-port received-control-bandwidth meters (when enabled), indexed
     /// `[node][port]`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `metrics_snapshot()` for aggregate control-plane load; the per-port \
+                binned series this returns has no registry equivalent yet"
+    )]
     pub fn ctrl_meters(&self) -> Option<&Vec<Vec<ThroughputMeter>>> {
         self.ctrl_meters.as_ref()
     }
 
     /// Port-level counters for one `(node, port)`: `(ctrl msgs received,
     /// ctrl bytes received, drops)`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `metrics_snapshot()` (`sim.ctrl.msgs` / `sim.ctrl.bytes` / `sim.drops`)"
+    )]
     pub fn port_counters(&self, node: NodeId, port: usize) -> (u64, u64, u64) {
         let p = &self.ports[node.0 as usize][port];
         (p.ctrl_msgs_rx, p.ctrl_bytes_rx, p.drops)
     }
 
     /// Ingress occupancy of `(node, port, prio)` right now, bytes.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `metrics_snapshot()` (`sim.ingress.bytes`, `queue.ingress.*`) or a \
+                `TraceConfig` ingress-queue series for per-port detail"
+    )]
     pub fn ingress_bytes(&self, node: NodeId, port: usize, prio: u8) -> u64 {
         self.ports[node.0 as usize][port].ing_bytes[prio as usize]
     }
 
     /// Total feedback messages *generated* by all ingress ports.
+    #[deprecated(since = "0.1.0", note = "use `metrics_snapshot()` (`fc.feedback.generated`)")]
     pub fn feedback_messages_generated(&self) -> u64 {
+        self.sum_feedback_generated()
+    }
+
+    /// Total hold-and-wait episodes (pause periods / credit starvations)
+    /// entered by all egress queues.
+    #[deprecated(since = "0.1.0", note = "use `metrics_snapshot()` (`fc.hold_and_wait.episodes`)")]
+    pub fn hold_and_wait_episodes(&self) -> u64 {
+        self.sum_hold_and_wait()
+    }
+
+    fn sum_feedback_generated(&self) -> u64 {
         self.ports
             .iter()
             .flatten()
@@ -298,15 +333,57 @@ impl Network {
             .sum()
     }
 
-    /// Total hold-and-wait episodes (pause periods / credit starvations)
-    /// entered by all egress queues.
-    pub fn hold_and_wait_episodes(&self) -> u64 {
+    fn sum_hold_and_wait(&self) -> u64 {
         self.ports
             .iter()
             .flatten()
             .flat_map(|p| p.tx_fc.iter())
             .map(super::fc::FcSender::hold_and_wait_episodes)
             .sum()
+    }
+
+    /// Freeze every metric into a [`Snapshot`]: the live registry
+    /// counters (when `cfg.telemetry.metrics` is on) plus derived
+    /// entries computed from the simulator's own accounting — delivered
+    /// packets/bytes, drops, control traffic, ingress/backlog bytes,
+    /// hold-and-wait episodes, and feedback messages generated. The
+    /// derived entries are present even with metrics disabled, so
+    /// snapshot-based throughput summaries work everywhere.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        let mut snap = self.tel.reg.snapshot();
+        snap.push_counter(names::SIM_TIME_PS, self.now.0);
+        snap.push_counter(names::DELIVERED_PACKETS, self.stats.delivered_packets);
+        snap.push_counter(names::DELIVERED_BYTES, self.stats.delivered_bytes);
+        snap.push_counter(names::DROPS, self.stats.drops);
+        snap.push_counter(names::CTRL_MSGS, self.stats.ctrl_msgs);
+        snap.push_counter(names::CTRL_BYTES, self.stats.ctrl_bytes);
+        snap.push_counter(names::HOLD_AND_WAIT, self.sum_hold_and_wait());
+        snap.push_counter(names::FEEDBACK_GENERATED, self.sum_feedback_generated());
+        let ingress: u64 = self.ports.iter().flatten().map(PortState::ingress_backlog).sum();
+        let backlog: u64 =
+            ingress + self.ports.iter().flatten().map(PortState::egress_backlog).sum::<u64>();
+        snap.push_counter(names::INGRESS_BYTES, ingress);
+        snap.push_counter(names::BACKLOG_BYTES, backlog);
+        if self.now.0 > 0 {
+            if let Some(events) = snap.counter(names::EVENTS) {
+                let per_sec = events as f64 / self.now.as_secs_f64();
+                snap.push_counter(names::EVENTS_PER_SIM_SEC, per_sec as u64);
+            }
+        }
+        snap
+    }
+
+    /// The flight recorder (empty and disabled unless
+    /// `cfg.telemetry.flight_recorder > 0`).
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.tel.rec
+    }
+
+    /// The deadlock post-mortem, captured automatically when the first
+    /// deadlock verdict (structural or progress-based) lands — `None`
+    /// for a healthy run or with `cfg.telemetry.forensics` off.
+    pub fn forensics(&self) -> Option<&ForensicsReport> {
+        self.tel.forensics.as_ref()
     }
 
     /// Whether any queue in the network still holds packets.
@@ -461,6 +538,7 @@ impl Network {
     // ----------------------------------------------------------------
 
     fn handle(&mut self, ev: Event) {
+        self.tel.on_event();
         match ev {
             Event::Arrive { node, port, pkt } => self.on_arrive(node, port, pkt),
             Event::CtrlApply { node, port, prio, payload } => {
@@ -497,6 +575,7 @@ impl Network {
         debug_assert_eq!(pkt.dst, node, "packet delivered to the wrong host");
         self.stats.delivered_packets += 1;
         self.stats.delivered_bytes += pkt.bytes;
+        self.tel.on_deliver(self.now.0, node, port, pkt.prio, pkt.bytes);
         // Keep credit accounting alive on the host's ingress (the switch's
         // egress towards us spends credits) — the sink drains instantly.
         {
@@ -572,11 +651,13 @@ impl Network {
             if ps.ing_bytes[prio] + bytes > self.cfg.buffer_bytes {
                 ps.drops += 1;
                 self.stats.drops += 1;
+                self.tel.on_drop(self.now.0, node, port, pkt.prio, bytes);
                 return;
             }
             ps.ing_bytes[prio] += bytes;
         }
         let q = self.ports[node.0 as usize][port].ing_bytes[prio];
+        self.tel.on_enqueue(self.now.0, node, port, pkt.prio, bytes, q);
         self.trace_ingress(node, port, pkt.prio, q, bytes, true);
         let msg = self.ports[node.0 as usize][port].ing_rx[prio].on_arrival(q, bytes);
         if let Some(payload) = msg {
@@ -679,9 +760,12 @@ impl Network {
         if let Some(meters) = &mut self.ctrl_meters {
             meters[node.0 as usize][port].record(self.now.0, wire);
         }
+        let rate_before = self.ports[node.0 as usize][port].tx_fc[prio as usize].assigned_rate();
         let opened = self.ports[node.0 as usize][port].tx_fc[prio as usize]
             .on_ctrl(payload, self.now)
             .expect("control payload matches the scheme fixed at construction");
+        let rate_after = self.ports[node.0 as usize][port].tx_fc[prio as usize].assigned_rate();
+        self.tel.on_ctrl_rx(self.now.0, node, port, prio, &payload, (rate_before.0, rate_after.0));
         // Trace the assigned egress rate if this point is observed.
         let key = (node, port, prio);
         if self.traces.egress_rate.contains_key(&key) {
@@ -752,12 +836,20 @@ impl Network {
         // Structural check only on stalled ticks (free when healthy): a
         // wait-for cycle observed while nothing moves is a deadlock in the
         // paper's sense — circular hold-and-wait.
-        if self.structural_deadlock_at.is_none()
-            && backlog
-            && !progressed
-            && self.waitfor_cycle_exists()
-        {
-            self.structural_deadlock_at = Some(self.now);
+        if self.structural_deadlock_at.is_none() && backlog && !progressed {
+            let graph = self.waitfor_graph();
+            if let Some(cycle) = graph.find_cycle() {
+                self.structural_deadlock_at = Some(self.now);
+                self.capture_forensics(ForensicsTrigger::WaitForCycle, graph, cycle);
+            }
+        }
+        // A progress-monitor verdict without a structural cycle (a
+        // pathological crawl rather than a standstill) still deserves a
+        // post-mortem; capture once, on the first verdict.
+        if self.monitor.deadlocked() && self.tel.forensics_on && self.tel.forensics.is_none() {
+            let graph = self.waitfor_graph();
+            let cycle = graph.find_cycle().unwrap_or_default();
+            self.capture_forensics(ForensicsTrigger::ProgressMonitor, graph, cycle);
         }
         let dead = self.monitor.deadlocked() || self.structural_deadlock_at.is_some();
         if dead && self.cfg.stop_on_deadlock {
@@ -775,6 +867,7 @@ impl Network {
     /// for transmission to the upstream peer.
     fn send_ctrl(&mut self, node: NodeId, port: usize, prio: u8, payload: CtrlPayload) {
         debug_assert_eq!(payload.codec_roundtrip(prio), payload, "codec would corrupt payload");
+        self.tel.on_ctrl_tx(self.now.0, node, port, prio, &payload);
         if payload.wire_bytes() == 0 {
             // Conceptual out-of-band channel: fixed latency τ.
             let tau = match self.cfg.fc {
@@ -822,7 +915,10 @@ impl Network {
                 None => continue,
             };
             match self.ports[n][port].tx_fc[prio].gate(head_bytes, now) {
-                Gate::Blocked => continue,
+                Gate::Blocked => {
+                    self.tel.on_gate_blocked();
+                    continue;
+                }
                 Gate::WaitUntil(t) => {
                     wake = Some(wake.map_or(t, |w: Time| w.min(t)));
                     continue;
@@ -837,6 +933,7 @@ impl Network {
             let ps = &mut self.ports[n][port];
             if ps.kick_at.is_none_or(|pending| t < pending) {
                 ps.kick_at = Some(t);
+                self.tel.on_gate_paced(t.0 - now.0);
                 self.queue.push(t, Event::TxKick { node, port });
             }
         }
@@ -1078,24 +1175,29 @@ impl Network {
     // ----------------------------------------------------------------
 
     /// Instantaneous wait-for-graph cycle check (the structural companion
-    /// of the progress monitor): an egress queue that holds packets but is
-    /// hard-blocked (paused / out of credits) *waits for* the downstream
-    /// ingress; that ingress waits for every local egress holding its
-    /// packets. A cycle means circular hold-and-wait — if the involved
-    /// flow-control states can only change through the blocked queues
-    /// themselves, this is a deadlock.
-    ///
-    /// Vertex encoding: egress `(node, port)` = `2·(node·P + port)`;
-    /// ingress `(node, port)` = the same `+ 1`, with `P` the maximum port
-    /// count.
+    /// of the progress monitor): a cycle in [`Self::waitfor_graph`] means
+    /// circular hold-and-wait — if the involved flow-control states can
+    /// only change through the blocked queues themselves, this is a
+    /// deadlock.
     pub fn waitfor_cycle_exists(&self) -> bool {
-        let max_ports = self.ports.iter().map(Vec::len).max().unwrap_or(0);
-        if max_ports == 0 {
-            return false;
-        }
-        let egress_v = |n: usize, p: usize| 2 * (n * max_ports + p);
-        let ingress_v = |n: usize, p: usize| 2 * (n * max_ports + p) + 1;
-        let mut edges: HashMap<usize, Vec<usize>> = HashMap::new();
+        self.waitfor_graph().find_cycle().is_some()
+    }
+
+    /// Build the instantaneous wait-for relation: an egress queue that
+    /// holds packets but is hard-blocked (paused / out of credits) *waits
+    /// for* the downstream ingress; an ingress charged for staged packets
+    /// waits for the local egress holding them; an ingress FIFO head
+    /// waits for its target egress.
+    pub fn waitfor_graph(&self) -> WaitForGraph {
+        let mut g = WaitForGraph::new();
+        let vertex = |g: &mut WaitForGraph, side: WfSide, n: usize, p: usize| {
+            let name = &self.topo.node(NodeId(n as u32)).name;
+            let dir = match side {
+                WfSide::Egress => "out",
+                WfSide::Ingress => "in",
+            };
+            g.vertex(side, n as u32, p as u16, &format!("{name}:{dir}{p}"))
+        };
         for (n, node_ports) in self.ports.iter().enumerate() {
             for (p, ps) in node_ports.iter().enumerate() {
                 for (prio, eq) in ps.eg.iter().enumerate() {
@@ -1103,56 +1205,80 @@ impl Network {
                     // ingresses wait on this egress to drain.
                     for sp in &eq.q {
                         if let Some(ing) = sp.ingress_port {
-                            edges.entry(ingress_v(n, ing)).or_default().push(egress_v(n, p));
+                            let from = vertex(&mut g, WfSide::Ingress, n, ing);
+                            let to = vertex(&mut g, WfSide::Egress, n, p);
+                            g.edge(from, to);
                         }
                     }
                     let Some(head) = eq.q.front() else { continue };
                     // Egress blocked → waits on the downstream ingress.
                     if ps.tx_fc[prio].hard_blocked(head.pkt.bytes, self.now) {
-                        edges
-                            .entry(egress_v(n, p))
-                            .or_default()
-                            .push(ingress_v(ps.peer.0 as usize, ps.peer_port));
+                        let from = vertex(&mut g, WfSide::Egress, n, p);
+                        let to = vertex(&mut g, WfSide::Ingress, ps.peer.0 as usize, ps.peer_port);
+                        g.edge(from, to);
                     }
                 }
                 // Ingress FIFO heads wait on their target egress.
                 for fifo in &ps.ing_q {
                     if let Some(head) = fifo.front() {
-                        edges.entry(ingress_v(n, p)).or_default().push(egress_v(n, head.out_port));
+                        let from = vertex(&mut g, WfSide::Ingress, n, p);
+                        let to = vertex(&mut g, WfSide::Egress, n, head.out_port);
+                        g.edge(from, to);
                     }
                 }
             }
         }
-        // DFS cycle detection (colors: 0 white, 1 grey, 2 black).
-        let mut color: HashMap<usize, u8> = HashMap::new();
-        let mut roots: Vec<usize> = edges.keys().copied().collect();
-        roots.sort_unstable();
-        for root in roots {
-            if color.get(&root).copied().unwrap_or(0) != 0 {
-                continue;
-            }
-            let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
-            color.insert(root, 1);
-            while let Some(&mut (v, ref mut i)) = stack.last_mut() {
-                let succs = edges.get(&v).map(Vec::as_slice).unwrap_or(&[]);
-                if *i < succs.len() {
-                    let u = succs[*i];
-                    *i += 1;
-                    match color.get(&u).copied().unwrap_or(0) {
-                        0 => {
-                            color.insert(u, 1);
-                            stack.push((u, 0));
-                        }
-                        1 => return true,
-                        _ => {}
-                    }
-                } else {
-                    color.insert(v, 2);
-                    stack.pop();
-                }
-            }
+        g
+    }
+
+    /// Assemble and store the deadlock post-mortem (at most once per run;
+    /// a no-op with forensics disabled): the wait-for graph and cycle,
+    /// queue occupancies of the implicated ports, and the trailing
+    /// flight-recorder events touching them.
+    fn capture_forensics(
+        &mut self,
+        trigger: ForensicsTrigger,
+        graph: WaitForGraph,
+        cycle: Vec<usize>,
+    ) {
+        if !self.tel.forensics_on || self.tel.forensics.is_some() {
+            return;
         }
-        false
+        // Ports implicated: the cycle's, or every blocked/backlogged port
+        // when the progress monitor tripped without a structural cycle.
+        let mut port_set: Vec<(u32, u16)> = if cycle.is_empty() {
+            graph.vertices().iter().map(|v| (v.node, v.port)).collect()
+        } else {
+            cycle.iter().map(|&v| (graph.vertices()[v].node, graph.vertices()[v].port)).collect()
+        };
+        port_set.sort_unstable();
+        port_set.dedup();
+        let occupancies = port_set
+            .iter()
+            .map(|&(n, p)| {
+                let ps = &self.ports[n as usize][p as usize];
+                PortOccupancy {
+                    label: format!("{}:p{p}", self.topo.node(NodeId(n)).name),
+                    node: n,
+                    port: p,
+                    ingress_bytes: ps.ingress_backlog(),
+                    egress_bytes: ps.egress_backlog(),
+                    ctrl_queued: ps.ctrl_q.len(),
+                }
+            })
+            .collect();
+        const TRAILING: usize = 32;
+        let trailing_events = self.tel.trailing_events(&port_set, TRAILING);
+        self.tel.forensics = Some(ForensicsReport {
+            t_ps: self.now.0,
+            trigger,
+            last_progress_ps: self.monitor.last_progress_ps(),
+            graph,
+            cycle,
+            occupancies,
+            trailing_events,
+            recorder_enabled: self.tel.rec.is_enabled(),
+        });
     }
 }
 

@@ -1,0 +1,264 @@
+//! Glue between the simulator and `gfc-telemetry`: metric registration,
+//! inline update helpers for the event-loop hot paths, and the captured
+//! forensics report.
+//!
+//! The telemetry crate itself knows nothing about the simulator; this
+//! module owns the mapping from simulator events (admissions, control
+//! frames, limiter gates) onto registry counters and flight-recorder
+//! records. Every helper starts with a cheap enabled-branch, so a run
+//! with [`TelemetryConfig::off`] pays one predictable comparison per
+//! call site.
+
+use crate::fc::CtrlPayload;
+use gfc_core::pfc::PfcEvent;
+use gfc_telemetry::{
+    names, CounterId, CtrlClass, EventRecord, FlightRecorder, ForensicsReport, GaugeId, HistId,
+    MetricsRegistry, RecordKind, TelemetryConfig,
+};
+use gfc_topology::NodeId;
+
+/// Classify a control payload for counting/recording.
+pub(crate) fn ctrl_class(payload: &CtrlPayload) -> CtrlClass {
+    match payload {
+        CtrlPayload::Pfc(PfcEvent::Pause { .. }) => CtrlClass::Pause,
+        CtrlPayload::Pfc(PfcEvent::Resume) => CtrlClass::Resume,
+        CtrlPayload::GfcStage(_) => CtrlClass::Stage,
+        CtrlPayload::FcclWire(_) => CtrlClass::Credit,
+        CtrlPayload::QueueSample(_) => CtrlClass::Sample,
+    }
+}
+
+/// The simulator's live observability state: registry + handles, flight
+/// recorder, and the forensics report once captured.
+#[derive(Debug)]
+pub(crate) struct SimTelemetry {
+    pub(crate) reg: MetricsRegistry,
+    pub(crate) rec: FlightRecorder,
+    /// Whether to capture a [`ForensicsReport`] on the first deadlock
+    /// verdict.
+    pub(crate) forensics_on: bool,
+    /// The post-mortem, captured at most once per run.
+    pub(crate) forensics: Option<ForensicsReport>,
+    events: CounterId,
+    enqueues: CounterId,
+    pause_rx: CounterId,
+    resume_rx: CounterId,
+    stage_rx: CounterId,
+    credit_rx: CounterId,
+    sample_rx: CounterId,
+    ctrl_tx: CounterId,
+    rate_changes: CounterId,
+    gate_blocked: CounterId,
+    gate_paced: CounterId,
+    limiter_idle_ps: CounterId,
+    ingress_hwm: GaugeId,
+    occupancy_hist: HistId,
+    stage_hist: HistId,
+}
+
+impl SimTelemetry {
+    pub(crate) fn new(cfg: &TelemetryConfig, buffer_bytes: u64) -> SimTelemetry {
+        let mut reg =
+            if cfg.metrics { MetricsRegistry::new() } else { MetricsRegistry::disabled() };
+        // Occupancy buckets at fixed fractions of the ingress buffer.
+        let mut occ_bounds: Vec<u64> = vec![
+            buffer_bytes / 16,
+            buffer_bytes / 8,
+            buffer_bytes / 4,
+            buffer_bytes / 2,
+            buffer_bytes * 3 / 4,
+            buffer_bytes,
+        ];
+        occ_bounds.retain(|&b| b > 0);
+        occ_bounds.dedup();
+        SimTelemetry {
+            events: reg.counter(names::EVENTS),
+            enqueues: reg.counter(names::ENQUEUES),
+            pause_rx: reg.counter(names::PAUSE_RX),
+            resume_rx: reg.counter(names::RESUME_RX),
+            stage_rx: reg.counter(names::STAGE_RX),
+            credit_rx: reg.counter(names::CREDIT_RX),
+            sample_rx: reg.counter(names::SAMPLE_RX),
+            ctrl_tx: reg.counter(names::CTRL_TX),
+            rate_changes: reg.counter(names::RATE_CHANGES),
+            gate_blocked: reg.counter(names::GATE_BLOCKED),
+            gate_paced: reg.counter(names::GATE_PACED),
+            limiter_idle_ps: reg.counter(names::LIMITER_IDLE_PS),
+            ingress_hwm: reg.gauge(names::INGRESS_HWM),
+            occupancy_hist: reg.histogram(names::OCCUPANCY_HIST, &occ_bounds),
+            stage_hist: reg.histogram(names::STAGE_HIST, &[1, 2, 4, 8, 16, 32]),
+            rec: FlightRecorder::new(cfg.flight_recorder),
+            forensics_on: cfg.forensics,
+            forensics: None,
+            reg,
+        }
+    }
+
+    /// One event-loop dispatch.
+    #[inline]
+    pub(crate) fn on_event(&mut self) {
+        self.reg.inc(self.events, 1);
+    }
+
+    /// A data packet was admitted; `occupancy` is the ingress occupancy
+    /// after admission.
+    #[inline]
+    pub(crate) fn on_enqueue(
+        &mut self,
+        t_ps: u64,
+        node: NodeId,
+        port: usize,
+        prio: u8,
+        bytes: u64,
+        occupancy: u64,
+    ) {
+        self.reg.inc(self.enqueues, 1);
+        self.reg.gauge_set(self.ingress_hwm, occupancy);
+        self.reg.observe(self.occupancy_hist, occupancy);
+        if self.rec.is_enabled() {
+            self.rec.record(record(
+                t_ps,
+                node,
+                port,
+                prio,
+                RecordKind::Enqueue { bytes, occupancy },
+            ));
+        }
+    }
+
+    /// A data packet was dropped at ingress admission.
+    #[inline]
+    pub(crate) fn on_drop(&mut self, t_ps: u64, node: NodeId, port: usize, prio: u8, bytes: u64) {
+        if self.rec.is_enabled() {
+            self.rec.record(record(t_ps, node, port, prio, RecordKind::Drop { bytes }));
+        }
+    }
+
+    /// A data packet reached its destination host.
+    #[inline]
+    pub(crate) fn on_deliver(
+        &mut self,
+        t_ps: u64,
+        node: NodeId,
+        port: usize,
+        prio: u8,
+        bytes: u64,
+    ) {
+        if self.rec.is_enabled() {
+            self.rec.record(record(t_ps, node, port, prio, RecordKind::Deliver { bytes }));
+        }
+    }
+
+    /// A control frame was queued for transmission at `(node, port)`. GFC
+    /// stage feedback marks a stage crossing at this ingress.
+    #[inline]
+    pub(crate) fn on_ctrl_tx(
+        &mut self,
+        t_ps: u64,
+        node: NodeId,
+        port: usize,
+        prio: u8,
+        payload: &CtrlPayload,
+    ) {
+        self.reg.inc(self.ctrl_tx, 1);
+        if let CtrlPayload::GfcStage(stage) = payload {
+            self.reg.observe(self.stage_hist, u64::from(*stage));
+        }
+        if self.rec.is_enabled() {
+            let class = ctrl_class(payload);
+            if let CtrlPayload::GfcStage(stage) = payload {
+                self.rec.record(record(
+                    t_ps,
+                    node,
+                    port,
+                    prio,
+                    RecordKind::StageCross { stage: *stage },
+                ));
+            }
+            self.rec.record(record(t_ps, node, port, prio, RecordKind::CtrlTx { ctrl: class }));
+        }
+    }
+
+    /// A control frame was applied at `(node, port)`; `rates_bps` is the
+    /// `(before, after)` pair bracketing the limiter reassignment it
+    /// caused, if any.
+    #[inline]
+    pub(crate) fn on_ctrl_rx(
+        &mut self,
+        t_ps: u64,
+        node: NodeId,
+        port: usize,
+        prio: u8,
+        payload: &CtrlPayload,
+        rates_bps: (u64, u64),
+    ) {
+        let (rate_before_bps, rate_after_bps) = rates_bps;
+        let class = ctrl_class(payload);
+        let counter = match class {
+            CtrlClass::Pause => self.pause_rx,
+            CtrlClass::Resume => self.resume_rx,
+            CtrlClass::Stage => self.stage_rx,
+            CtrlClass::Credit => self.credit_rx,
+            CtrlClass::Sample => self.sample_rx,
+        };
+        self.reg.inc(counter, 1);
+        if rate_after_bps != rate_before_bps {
+            self.reg.inc(self.rate_changes, 1);
+        }
+        if self.rec.is_enabled() {
+            self.rec.record(record(t_ps, node, port, prio, RecordKind::CtrlRx { ctrl: class }));
+            match class {
+                CtrlClass::Pause => {
+                    self.rec.record(record(t_ps, node, port, prio, RecordKind::PauseEnter));
+                }
+                CtrlClass::Resume => {
+                    self.rec.record(record(t_ps, node, port, prio, RecordKind::PauseExit));
+                }
+                _ => {}
+            }
+            if rate_after_bps != rate_before_bps {
+                self.rec.record(record(
+                    t_ps,
+                    node,
+                    port,
+                    prio,
+                    RecordKind::RateChange { bps: rate_after_bps },
+                ));
+            }
+        }
+    }
+
+    /// A transmission attempt found the hard gate shut (pause in force or
+    /// zero credit).
+    #[inline]
+    pub(crate) fn on_gate_blocked(&mut self) {
+        self.reg.inc(self.gate_blocked, 1);
+    }
+
+    /// A transmission attempt was deferred by pacing; the port sits idle
+    /// with backlog for `idle_ps` until the scheduled kick. (An upper
+    /// bound: an earlier control message may reopen the gate sooner.)
+    #[inline]
+    pub(crate) fn on_gate_paced(&mut self, idle_ps: u64) {
+        self.reg.inc(self.gate_paced, 1);
+        self.reg.inc(self.limiter_idle_ps, idle_ps);
+    }
+
+    /// The most recent recorder events touching the given ports (empty
+    /// filter = every port), chronological, at most `n`.
+    pub(crate) fn trailing_events(&self, ports: &[(u32, u16)], n: usize) -> Vec<EventRecord> {
+        let matching: Vec<EventRecord> = self
+            .rec
+            .iter()
+            .filter(|e| ports.is_empty() || ports.contains(&(e.node, e.port)))
+            .copied()
+            .collect();
+        let skip = matching.len().saturating_sub(n);
+        matching[skip..].to_vec()
+    }
+}
+
+#[inline]
+fn record(t_ps: u64, node: NodeId, port: usize, prio: u8, kind: RecordKind) -> EventRecord {
+    EventRecord { t_ps, node: node.0, port: port as u16, prio, kind }
+}

@@ -5,14 +5,14 @@
 
 use gfc_analysis::{ThroughputMeter, TimeSeries};
 use gfc_core::units::Dur;
-use gfc_topology::NodeId;
+use gfc_topology::{NodeId, Topology};
 use std::collections::HashMap;
 
 /// Identifies one `(node, port, priority)` observation point.
 pub type PortKey = (NodeId, usize, u8);
 
 /// What to record.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct TraceConfig {
     /// Ingress-queue length series at these points (sampled on every
     /// change).
@@ -31,10 +31,44 @@ pub struct TraceConfig {
     pub host_throughput_bin: Option<Dur>,
 }
 
+impl Default for TraceConfig {
+    /// No observation points, with the documented 10 µs ingress-rate bin
+    /// (a derived `Default` would zero the bin width, making any later
+    /// opt-in meter degenerate).
+    fn default() -> Self {
+        TraceConfig {
+            ingress_queue: Vec::new(),
+            ingress_rate: Vec::new(),
+            ingress_rate_bin: Dur::from_micros(10),
+            egress_rate: Vec::new(),
+            dcqcn_flows: Vec::new(),
+            host_throughput_bin: None,
+        }
+    }
+}
+
 impl TraceConfig {
     /// No tracing.
     pub fn none() -> Self {
-        TraceConfig { ingress_rate_bin: Dur::from_micros(10), ..Default::default() }
+        TraceConfig::default()
+    }
+
+    /// Observe every `(node, port)` of `topo` at priority 0: ingress
+    /// queue lengths, ingress arrival rates, and assigned egress rates.
+    /// Convenient for forensic single runs; too heavy for sweeps.
+    pub fn all_ports(topo: &Topology) -> Self {
+        let mut keys: Vec<PortKey> = Vec::new();
+        for n in topo.node_ids() {
+            for p in 0..topo.ports(n).len() {
+                keys.push((n, p, 0));
+            }
+        }
+        TraceConfig {
+            ingress_queue: keys.clone(),
+            ingress_rate: keys.clone(),
+            egress_rate: keys,
+            ..TraceConfig::default()
+        }
     }
 }
 
@@ -70,5 +104,32 @@ impl Traces {
             t.dcqcn_rate.insert(f, TimeSeries::new());
         }
         t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfc_topology::Ring;
+
+    #[test]
+    fn default_sets_the_rate_bin() {
+        let tc = TraceConfig::default();
+        assert_eq!(tc.ingress_rate_bin, Dur::from_micros(10));
+        assert!(tc.ingress_queue.is_empty() && tc.host_throughput_bin.is_none());
+        assert_eq!(TraceConfig::none().ingress_rate_bin, tc.ingress_rate_bin);
+    }
+
+    #[test]
+    fn all_ports_covers_every_port() {
+        let ring = Ring::new(3);
+        let tc = TraceConfig::all_ports(&ring.topo);
+        let expected: usize = ring.topo.node_ids().map(|n| ring.topo.ports(n).len()).sum();
+        assert!(expected > 0);
+        assert_eq!(tc.ingress_queue.len(), expected);
+        assert_eq!(tc.ingress_rate.len(), expected);
+        assert_eq!(tc.egress_rate.len(), expected);
+        let t = Traces::for_config(&tc);
+        assert_eq!(t.ingress_queue.len(), expected);
     }
 }

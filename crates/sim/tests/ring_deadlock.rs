@@ -20,6 +20,7 @@ use gfc_core::theorems;
 use gfc_core::units::{kb, Dur, Rate, Time};
 use gfc_sim::config::PumpPolicy;
 use gfc_sim::{FcMode, Network, PreflightPolicy, SimConfig, TraceConfig};
+use gfc_telemetry::names;
 use gfc_topology::{Ring, Routing};
 
 /// Build the Fig. 1 ring scenario: 3 switches, clockwise two-hop routes,
@@ -137,7 +138,7 @@ fn gfc_never_forms_a_waitfor_cycle_under_either_discipline() {
             "buffer-based GFC formed a wait-for cycle under {pump:?}"
         );
         assert_eq!(
-            net.hold_and_wait_episodes(),
+            net.metrics_snapshot().counter(names::HOLD_AND_WAIT).unwrap_or(0),
             0,
             "buffer-based GFC has no hard gate, hence no hold-and-wait"
         );
@@ -148,11 +149,20 @@ fn gfc_never_forms_a_waitfor_cycle_under_either_discipline() {
 fn baselines_enter_hold_and_wait() {
     let mut pfc = ring_network(pfc_mode(), PumpPolicy::OutputQueued, 3);
     pfc.run_until(Time::from_millis(10));
-    assert!(pfc.hold_and_wait_episodes() > 0, "PFC must pause upstream ports");
+    let pfc_episodes = pfc.metrics_snapshot().counter(names::HOLD_AND_WAIT).unwrap_or(0);
+    assert!(pfc_episodes > 0, "PFC must pause upstream ports");
+    // The deprecated accessor is a thin shim over the same sum — keep the
+    // two in lockstep until the shim is removed.
+    #[allow(deprecated)]
+    let shim = pfc.hold_and_wait_episodes();
+    assert_eq!(shim, pfc_episodes, "deprecated shim must agree with the snapshot");
 
     let mut cbfc = ring_network(cbfc_mode(), PumpPolicy::OutputQueued, 3);
     cbfc.run_until(Time::from_millis(10));
-    assert!(cbfc.hold_and_wait_episodes() > 0, "CBFC must starve for credits");
+    assert!(
+        cbfc.metrics_snapshot().counter(names::HOLD_AND_WAIT).unwrap_or(0) > 0,
+        "CBFC must starve for credits"
+    );
 }
 
 #[test]
@@ -164,7 +174,7 @@ fn runs_are_deterministic() {
             net.stats().delivered_packets,
             net.stats().delivered_bytes,
             net.stats().ctrl_msgs,
-            net.feedback_messages_generated(),
+            net.metrics_snapshot().counter(names::FEEDBACK_GENERATED).unwrap_or(0),
         )
     };
     assert_eq!(run(42), run(42), "same seed must replay identically");

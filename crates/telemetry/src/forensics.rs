@@ -1,0 +1,404 @@
+//! Deadlock forensics: wait-for-graph snapshots and the post-mortem
+//! report captured the moment a deadlock verdict is first reached.
+//!
+//! The simulator builds a [`WaitForGraph`] out of its blocked-queue
+//! relation (egress queues wait on downstream ingresses; charged
+//! ingresses wait on local egresses), asks [`WaitForGraph::find_cycle`]
+//! for the circular hold-and-wait, and packages the cycle together with
+//! per-port occupancies and the trailing flight-recorder events into a
+//! [`ForensicsReport`] — renderable as plain text or Graphviz DOT.
+
+use crate::recorder::EventRecord;
+use core::fmt::Write as _;
+use std::collections::HashMap;
+
+/// Which side of a port a wait-for vertex models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WfSide {
+    /// The egress (transmit) queue of a port.
+    Egress,
+    /// The ingress (receive) accounting of a port.
+    Ingress,
+}
+
+impl WfSide {
+    fn as_str(self) -> &'static str {
+        match self {
+            WfSide::Egress => "egress",
+            WfSide::Ingress => "ingress",
+        }
+    }
+}
+
+/// One vertex of the wait-for graph: a port side, with a display label
+/// assigned by the embedder (e.g. `"S2:out1"`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WfVertex {
+    /// Egress or ingress side.
+    pub side: WfSide,
+    /// Node id.
+    pub node: u32,
+    /// Port index on the node.
+    pub port: u16,
+    /// Human-readable label.
+    pub label: String,
+}
+
+/// A snapshot of the instantaneous wait-for relation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WaitForGraph {
+    vertices: Vec<WfVertex>,
+    index: HashMap<(WfSide, u32, u16), usize>,
+    adj: Vec<Vec<usize>>,
+}
+
+impl WaitForGraph {
+    /// An empty graph.
+    pub fn new() -> WaitForGraph {
+        WaitForGraph::default()
+    }
+
+    /// Get or insert the vertex for `(side, node, port)`; `label` is used
+    /// only on first insertion.
+    pub fn vertex(&mut self, side: WfSide, node: u32, port: u16, label: &str) -> usize {
+        if let Some(&i) = self.index.get(&(side, node, port)) {
+            return i;
+        }
+        let i = self.vertices.len();
+        self.vertices.push(WfVertex { side, node, port, label: label.to_owned() });
+        self.index.insert((side, node, port), i);
+        self.adj.push(Vec::new());
+        i
+    }
+
+    /// Add a directed wait-for edge (`from` waits on `to`). Duplicate
+    /// edges are kept (harmless for cycle detection, elided in DOT).
+    pub fn edge(&mut self, from: usize, to: usize) {
+        self.adj[from].push(to);
+    }
+
+    /// All vertices, in insertion order.
+    pub fn vertices(&self) -> &[WfVertex] {
+        &self.vertices
+    }
+
+    /// Successors of vertex `v`.
+    pub fn successors(&self, v: usize) -> &[usize] {
+        &self.adj[v]
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Whether the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Find a directed cycle, returning its vertices in wait-for order
+    /// (the last vertex waits on the first). Deterministic: DFS roots and
+    /// successors are visited in insertion order.
+    pub fn find_cycle(&self) -> Option<Vec<usize>> {
+        // Iterative DFS, colors: 0 white, 1 grey (on stack), 2 black.
+        let mut color = vec![0u8; self.vertices.len()];
+        for root in 0..self.vertices.len() {
+            if color[root] != 0 {
+                continue;
+            }
+            let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+            color[root] = 1;
+            while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+                if *i < self.adj[v].len() {
+                    let u = self.adj[v][*i];
+                    *i += 1;
+                    match color[u] {
+                        0 => {
+                            color[u] = 1;
+                            stack.push((u, 0));
+                        }
+                        1 => {
+                            // Back edge v -> u: the grey stack from u to v
+                            // is the cycle.
+                            let start = stack
+                                .iter()
+                                .position(|&(w, _)| w == u)
+                                .expect("grey vertex on stack");
+                            return Some(stack[start..].iter().map(|&(w, _)| w).collect());
+                        }
+                        _ => {}
+                    }
+                } else {
+                    color[v] = 2;
+                    stack.pop();
+                }
+            }
+        }
+        None
+    }
+}
+
+/// What first tripped the forensics capture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForensicsTrigger {
+    /// A wait-for cycle was observed on a stalled monitor tick (the
+    /// strict, structural verdict).
+    WaitForCycle,
+    /// The progress monitor declared a fatal stall (backlog with zero
+    /// deliveries for a full window) before any cycle was seen.
+    ProgressMonitor,
+}
+
+impl ForensicsTrigger {
+    fn as_str(self) -> &'static str {
+        match self {
+            ForensicsTrigger::WaitForCycle => "wait-for cycle",
+            ForensicsTrigger::ProgressMonitor => "progress monitor",
+        }
+    }
+}
+
+/// Queue state of one port at capture time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortOccupancy {
+    /// Display label (e.g. `"S2:p1"`).
+    pub label: String,
+    /// Node id.
+    pub node: u32,
+    /// Port index.
+    pub port: u16,
+    /// Ingress-accounted bytes, all priorities.
+    pub ingress_bytes: u64,
+    /// Egress-staged bytes, all priorities.
+    pub egress_bytes: u64,
+    /// Control frames queued for transmission.
+    pub ctrl_queued: usize,
+}
+
+/// The post-mortem captured when a deadlock verdict is first reached.
+#[derive(Debug, Clone)]
+pub struct ForensicsReport {
+    /// Capture time, picoseconds.
+    pub t_ps: u64,
+    /// What tripped the capture.
+    pub trigger: ForensicsTrigger,
+    /// Last simulated instant at which packets were still being
+    /// delivered, picoseconds.
+    pub last_progress_ps: u64,
+    /// The wait-for relation at capture time.
+    pub graph: WaitForGraph,
+    /// Indices into `graph` forming the circular hold-and-wait (empty if
+    /// the progress monitor tripped without a structural cycle).
+    pub cycle: Vec<usize>,
+    /// Queue state of the ports on the cycle (all blocked ports when no
+    /// cycle was found).
+    pub occupancies: Vec<PortOccupancy>,
+    /// The last flight-recorder events touching the cycle's ports,
+    /// chronological order.
+    pub trailing_events: Vec<EventRecord>,
+    /// Whether the flight recorder was on (an empty `trailing_events`
+    /// with the recorder off is an artifact, not evidence).
+    pub recorder_enabled: bool,
+}
+
+impl ForensicsReport {
+    /// Render the human-readable post-mortem.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== deadlock forensics @ {:.3} ms (trigger: {}) ==",
+            self.t_ps as f64 / 1e9,
+            self.trigger.as_str()
+        );
+        let _ = writeln!(out, "no progress since {:.3} ms", self.last_progress_ps as f64 / 1e9);
+        if self.cycle.is_empty() {
+            let _ = writeln!(out, "no wait-for cycle at capture time");
+        } else {
+            let _ = writeln!(out, "wait-for cycle ({} vertices):", self.cycle.len());
+            for (i, &v) in self.cycle.iter().enumerate() {
+                let vx = &self.graph.vertices()[v];
+                let next = self.cycle[(i + 1) % self.cycle.len()];
+                let nx = &self.graph.vertices()[next];
+                let _ = writeln!(
+                    out,
+                    "  {} [{}] waits-on {} [{}]",
+                    vx.label,
+                    vx.side.as_str(),
+                    nx.label,
+                    nx.side.as_str()
+                );
+            }
+        }
+        let _ = writeln!(out, "port occupancies at stall:");
+        for o in &self.occupancies {
+            let _ = writeln!(
+                out,
+                "  {:<10} ingress={}B egress={}B ctrl_q={}",
+                o.label, o.ingress_bytes, o.egress_bytes, o.ctrl_queued
+            );
+        }
+        if self.recorder_enabled {
+            let _ =
+                writeln!(out, "trailing flight-recorder events ({}):", self.trailing_events.len());
+            for e in &self.trailing_events {
+                let _ = writeln!(out, "  {e}");
+            }
+        } else {
+            let _ = writeln!(
+                out,
+                "flight recorder disabled — set TelemetryConfig::flight_recorder > 0 \
+                 to capture the event tail"
+            );
+        }
+        out
+    }
+
+    /// Render the wait-for graph as Graphviz DOT, cycle edges bold red.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph waitfor {\n  rankdir=LR;\n");
+        for (i, v) in self.graph.vertices().iter().enumerate() {
+            let on_cycle = self.cycle.contains(&i);
+            let shape = match v.side {
+                WfSide::Egress => "box",
+                WfSide::Ingress => "ellipse",
+            };
+            let extra = if on_cycle { ", color=red, penwidth=2" } else { "" };
+            let _ = writeln!(out, "  v{i} [label=\"{}\", shape={shape}{extra}];", v.label);
+        }
+        // Cycle edge set for highlighting.
+        let mut cycle_edges: Vec<(usize, usize)> = Vec::new();
+        for (i, &v) in self.cycle.iter().enumerate() {
+            cycle_edges.push((v, self.cycle[(i + 1) % self.cycle.len()]));
+        }
+        let mut emitted: Vec<(usize, usize)> = Vec::new();
+        for v in 0..self.graph.len() {
+            for &u in self.graph.successors(v) {
+                if emitted.contains(&(v, u)) {
+                    continue; // elide duplicate edges
+                }
+                emitted.push((v, u));
+                let extra =
+                    if cycle_edges.contains(&(v, u)) { " [color=red, penwidth=2]" } else { "" };
+                let _ = writeln!(out, "  v{v} -> v{u}{extra};");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{CtrlClass, RecordKind};
+
+    fn triangle() -> WaitForGraph {
+        // e0 -> i1 -> e1 -> i2 -> e2 -> i0 -> e0, plus a dangling tail.
+        let mut g = WaitForGraph::new();
+        let mut es = Vec::new();
+        let mut is = Vec::new();
+        for n in 0..3u32 {
+            es.push(g.vertex(WfSide::Egress, n, 1, &format!("S{n}:out1")));
+            is.push(g.vertex(WfSide::Ingress, n, 0, &format!("S{n}:in0")));
+        }
+        for n in 0..3usize {
+            g.edge(es[n], is[(n + 1) % 3]);
+            g.edge(is[n], es[n]);
+        }
+        let t = g.vertex(WfSide::Ingress, 9, 0, "H9:in0");
+        g.edge(t, es[0]);
+        g
+    }
+
+    #[test]
+    fn finds_the_triangle_cycle() {
+        let g = triangle();
+        let cycle = g.find_cycle().expect("cycle exists");
+        assert_eq!(cycle.len(), 6, "cycle is the full e/i ring: {cycle:?}");
+        // Every consecutive pair (and the wrap) must be a real edge.
+        for (i, &v) in cycle.iter().enumerate() {
+            let next = cycle[(i + 1) % cycle.len()];
+            assert!(g.successors(v).contains(&next), "missing edge {v}->{next}");
+        }
+    }
+
+    #[test]
+    fn vertex_is_get_or_insert() {
+        let mut g = WaitForGraph::new();
+        let a = g.vertex(WfSide::Egress, 1, 2, "a");
+        let b = g.vertex(WfSide::Egress, 1, 2, "ignored");
+        assert_eq!(a, b);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.vertices()[a].label, "a");
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_cycle() {
+        let mut g = WaitForGraph::new();
+        let a = g.vertex(WfSide::Egress, 0, 0, "a");
+        let b = g.vertex(WfSide::Ingress, 1, 0, "b");
+        let c = g.vertex(WfSide::Egress, 1, 0, "c");
+        g.edge(a, b);
+        g.edge(b, c);
+        assert_eq!(g.find_cycle(), None);
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let mut g = WaitForGraph::new();
+        let a = g.vertex(WfSide::Egress, 0, 0, "a");
+        g.edge(a, a);
+        assert_eq!(g.find_cycle(), Some(vec![a]));
+    }
+
+    fn sample_report() -> ForensicsReport {
+        let g = triangle();
+        let cycle = g.find_cycle().expect("cycle");
+        ForensicsReport {
+            t_ps: 5_000_000_000,
+            trigger: ForensicsTrigger::WaitForCycle,
+            last_progress_ps: 4_000_000_000,
+            occupancies: vec![PortOccupancy {
+                label: "S0:p1".to_owned(),
+                node: 0,
+                port: 1,
+                ingress_bytes: 280_000,
+                egress_bytes: 3_000,
+                ctrl_queued: 0,
+            }],
+            trailing_events: vec![EventRecord {
+                t_ps: 4_900_000_000,
+                node: 0,
+                port: 1,
+                prio: 0,
+                kind: RecordKind::CtrlRx { ctrl: CtrlClass::Pause },
+            }],
+            recorder_enabled: true,
+            graph: g,
+            cycle,
+        }
+    }
+
+    #[test]
+    fn report_renders_cycle_occupancies_and_tail() {
+        let text = sample_report().render();
+        assert!(text.contains("trigger: wait-for cycle"), "text: {text}");
+        assert!(text.contains("wait-for cycle (6 vertices):"));
+        assert!(text.contains("S0:out1 [egress] waits-on S1:in0 [ingress]"));
+        assert!(text.contains("ingress=280000B"));
+        assert!(text.contains("ctrl-rx pause"));
+    }
+
+    #[test]
+    fn dot_highlights_cycle_edges() {
+        let r = sample_report();
+        let dot = r.to_dot();
+        assert!(dot.starts_with("digraph waitfor {"));
+        assert!(dot.contains("shape=box, color=red, penwidth=2"));
+        assert!(dot.contains("[color=red, penwidth=2];"));
+        // The dangling H9 vertex is present but not highlighted.
+        assert!(dot.contains("label=\"H9:in0\", shape=ellipse];"));
+    }
+}

@@ -1,0 +1,85 @@
+//! Observability layer for the GFC reproduction: a zero-cost-when-disabled
+//! metrics registry, a bounded flight recorder, and deadlock forensics.
+//!
+//! This crate is deliberately independent of the simulator: it speaks raw
+//! node/port ids and labels, and `gfc-sim` owns the wiring (see
+//! `gfc_sim::Network::metrics_snapshot`, `::flight_recorder`, and
+//! `::forensics`). The three pieces:
+//!
+//! * [`MetricsRegistry`] — typed counters/gauges/histograms behind copyable
+//!   ids; every update is one branch when disabled. [`Snapshot`] freezes
+//!   the values and exports JSON/CSV.
+//! * [`FlightRecorder`] — a fixed-capacity ring of structured
+//!   [`EventRecord`]s (enqueues, hold-and-wait transitions, stage
+//!   crossings, ctrl rx/tx, rate changes), cheap during sweeps, dumpable
+//!   on demand.
+//! * [`ForensicsReport`] — captured automatically when a deadlock verdict
+//!   first lands: the [`WaitForGraph`] with its circular hold-and-wait,
+//!   per-port occupancies, and the trailing recorder events, rendered as
+//!   text or Graphviz DOT.
+
+pub mod forensics;
+pub mod recorder;
+pub mod registry;
+
+pub use forensics::{
+    ForensicsReport, ForensicsTrigger, PortOccupancy, WaitForGraph, WfSide, WfVertex,
+};
+pub use recorder::{CtrlClass, EventRecord, FlightRecorder, RecordKind};
+pub use registry::{
+    names, CounterId, GaugeId, HistId, MetricEntry, MetricValue, MetricsRegistry, Snapshot,
+};
+
+use serde::{Deserialize, Serialize};
+
+/// What the simulator's observability layer records.
+///
+/// Lives here (rather than in `gfc-sim`'s config) so the layer stays
+/// reusable; `SimConfig` embeds one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetryConfig {
+    /// Record live metrics (counters/gauges/histograms). When off, every
+    /// registry update is a single predictable branch.
+    pub metrics: bool,
+    /// Flight-recorder ring capacity in events; 0 disables recording.
+    pub flight_recorder: usize,
+    /// Capture a [`ForensicsReport`] when a deadlock verdict first lands.
+    pub forensics: bool,
+}
+
+impl TelemetryConfig {
+    /// Everything off — the configuration for perf-sensitive sweeps.
+    pub fn off() -> TelemetryConfig {
+        TelemetryConfig { metrics: false, flight_recorder: 0, forensics: false }
+    }
+
+    /// Metrics + forensics on and a deep flight recorder — the
+    /// configuration for debugging a single run.
+    pub fn full() -> TelemetryConfig {
+        TelemetryConfig { metrics: true, flight_recorder: 4096, forensics: true }
+    }
+}
+
+impl Default for TelemetryConfig {
+    /// Metrics and forensics on, flight recorder off: the snapshot API
+    /// works everywhere, while the per-event recording cost is opt-in.
+    fn default() -> TelemetryConfig {
+        TelemetryConfig { metrics: true, flight_recorder: 0, forensics: true }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_presets() {
+        let d = TelemetryConfig::default();
+        assert!(d.metrics && d.forensics);
+        assert_eq!(d.flight_recorder, 0);
+        let off = TelemetryConfig::off();
+        assert!(!off.metrics && !off.forensics);
+        assert_eq!(off.flight_recorder, 0);
+        assert!(TelemetryConfig::full().flight_recorder > 0);
+    }
+}

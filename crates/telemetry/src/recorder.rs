@@ -1,0 +1,276 @@
+//! Bounded flight recorder: a ring buffer of structured sim events.
+//!
+//! The recorder keeps the last `capacity` events in a fixed-size ring so
+//! recording stays O(1) and allocation-free after warm-up — cheap enough
+//! to leave on during parameter sweeps. On demand (typically when
+//! deadlock forensics trip) the ring is dumped in chronological order.
+
+use core::fmt;
+
+/// Classification of a control frame for recording purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtrlClass {
+    /// PFC Pause.
+    Pause,
+    /// PFC Resume.
+    Resume,
+    /// GFC stage feedback.
+    Stage,
+    /// CBFC credit return / FCCL wire update.
+    Credit,
+    /// Queue sample (conceptual GFC).
+    Sample,
+}
+
+impl fmt::Display for CtrlClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CtrlClass::Pause => "pause",
+            CtrlClass::Resume => "resume",
+            CtrlClass::Stage => "stage",
+            CtrlClass::Credit => "credit",
+            CtrlClass::Sample => "sample",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What happened, with event-specific detail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// A data packet was admitted into an ingress queue.
+    Enqueue {
+        /// Packet size.
+        bytes: u64,
+        /// Ingress occupancy after admission.
+        occupancy: u64,
+    },
+    /// A data packet was dropped at ingress admission.
+    Drop {
+        /// Packet size.
+        bytes: u64,
+    },
+    /// A data packet reached its destination host.
+    Deliver {
+        /// Packet size.
+        bytes: u64,
+    },
+    /// The egress entered a hold-and-wait state (pause honored or
+    /// credits exhausted).
+    PauseEnter,
+    /// The egress left its hold-and-wait state.
+    PauseExit,
+    /// A GFC feedback-stage boundary was crossed at this receiver.
+    StageCross {
+        /// The new stage.
+        stage: u16,
+    },
+    /// A control frame was sent from this port.
+    CtrlTx {
+        /// Frame class.
+        ctrl: CtrlClass,
+    },
+    /// A control frame was applied at this port.
+    CtrlRx {
+        /// Frame class.
+        ctrl: CtrlClass,
+    },
+    /// The egress rate limiter was reassigned.
+    RateChange {
+        /// New assigned rate, bits per second.
+        bps: u64,
+    },
+}
+
+impl fmt::Display for RecordKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordKind::Enqueue { bytes, occupancy } => {
+                write!(f, "enqueue {bytes}B (occupancy {occupancy}B)")
+            }
+            RecordKind::Drop { bytes } => write!(f, "drop {bytes}B"),
+            RecordKind::Deliver { bytes } => write!(f, "deliver {bytes}B"),
+            RecordKind::PauseEnter => f.write_str("hold-and-wait enter"),
+            RecordKind::PauseExit => f.write_str("hold-and-wait exit"),
+            RecordKind::StageCross { stage } => write!(f, "stage-cross -> {stage}"),
+            RecordKind::CtrlTx { ctrl } => write!(f, "ctrl-tx {ctrl}"),
+            RecordKind::CtrlRx { ctrl } => write!(f, "ctrl-rx {ctrl}"),
+            RecordKind::RateChange { bps } => {
+                write!(f, "rate-change -> {:.3}Gbps", *bps as f64 / 1e9)
+            }
+        }
+    }
+}
+
+/// One recorded event: where and when, plus [`RecordKind`] detail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Simulated time, picoseconds.
+    pub t_ps: u64,
+    /// Node the event occurred at.
+    pub node: u32,
+    /// Port index on that node.
+    pub port: u16,
+    /// Priority/class the event concerns.
+    pub prio: u8,
+    /// What happened.
+    pub kind: RecordKind,
+}
+
+impl fmt::Display for EventRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>12.3}us] n{}:p{}/q{} {}",
+            self.t_ps as f64 / 1e6,
+            self.node,
+            self.port,
+            self.prio,
+            self.kind
+        )
+    }
+}
+
+/// Fixed-capacity ring buffer of [`EventRecord`]s.
+///
+/// Capacity 0 disables the recorder entirely; [`FlightRecorder::record`]
+/// then returns immediately.
+#[derive(Debug, Clone, Default)]
+pub struct FlightRecorder {
+    cap: usize,
+    buf: Vec<EventRecord>,
+    /// Index of the next slot to write (== oldest entry once full).
+    head: usize,
+    /// Total events ever recorded (including overwritten ones).
+    total: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` events (0 = disabled).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder { cap: capacity, buf: Vec::new(), head: 0, total: 0 }
+    }
+
+    /// Whether recording is on (capacity > 0).
+    pub fn is_enabled(&self) -> bool {
+        self.cap > 0
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events ever recorded, including those already overwritten.
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Record one event, overwriting the oldest once full. O(1).
+    #[inline]
+    pub fn record(&mut self, rec: EventRecord) {
+        if self.cap == 0 {
+            return;
+        }
+        self.total += 1;
+        if self.buf.len() < self.cap {
+            self.buf.push(rec);
+        } else {
+            self.buf[self.head] = rec;
+        }
+        self.head = (self.head + 1) % self.cap;
+    }
+
+    /// Retained events in chronological order (oldest first).
+    pub fn iter(&self) -> impl Iterator<Item = &EventRecord> {
+        let split = if self.buf.len() < self.cap { 0 } else { self.head };
+        self.buf[split..].iter().chain(self.buf[..split].iter())
+    }
+
+    /// The most recent `n` events, chronological order.
+    pub fn recent(&self, n: usize) -> Vec<EventRecord> {
+        let all: Vec<EventRecord> = self.iter().copied().collect();
+        let skip = all.len().saturating_sub(n);
+        all[skip..].to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t: u64) -> EventRecord {
+        EventRecord { t_ps: t, node: 0, port: 0, prio: 0, kind: RecordKind::Deliver { bytes: t } }
+    }
+
+    #[test]
+    fn wraparound_keeps_newest_in_order() {
+        let mut fr = FlightRecorder::new(4);
+        for t in 0..10 {
+            fr.record(rec(t));
+        }
+        assert_eq!(fr.len(), 4);
+        assert_eq!(fr.total_recorded(), 10);
+        let ts: Vec<u64> = fr.iter().map(|r| r.t_ps).collect();
+        assert_eq!(ts, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn partial_fill_is_chronological() {
+        let mut fr = FlightRecorder::new(8);
+        for t in 0..3 {
+            fr.record(rec(t));
+        }
+        let ts: Vec<u64> = fr.iter().map(|r| r.t_ps).collect();
+        assert_eq!(ts, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn exact_capacity_boundary() {
+        let mut fr = FlightRecorder::new(3);
+        for t in 0..3 {
+            fr.record(rec(t));
+        }
+        assert_eq!(fr.iter().map(|r| r.t_ps).collect::<Vec<_>>(), vec![0, 1, 2]);
+        fr.record(rec(3));
+        assert_eq!(fr.iter().map(|r| r.t_ps).collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut fr = FlightRecorder::new(0);
+        fr.record(rec(1));
+        assert!(!fr.is_enabled());
+        assert!(fr.is_empty());
+        assert_eq!(fr.total_recorded(), 0);
+    }
+
+    #[test]
+    fn recent_returns_tail() {
+        let mut fr = FlightRecorder::new(5);
+        for t in 0..7 {
+            fr.record(rec(t));
+        }
+        let ts: Vec<u64> = fr.recent(2).iter().map(|r| r.t_ps).collect();
+        assert_eq!(ts, vec![5, 6]);
+        // Asking for more than retained returns everything.
+        assert_eq!(fr.recent(100).len(), 5);
+    }
+
+    #[test]
+    fn record_display_is_readable() {
+        let r = EventRecord {
+            t_ps: 1_500_000,
+            node: 3,
+            port: 1,
+            prio: 0,
+            kind: RecordKind::CtrlRx { ctrl: CtrlClass::Pause },
+        };
+        assert_eq!(format!("{r}"), "[       1.500us] n3:p1/q0 ctrl-rx pause");
+    }
+}

@@ -29,13 +29,13 @@ fn run(label: &str, fc: FcMode, pump: PumpPolicy) {
     }
     let horizon = Time::from_millis(20);
     net.run_until(horizon);
-    let gbps = net.stats().delivered_bytes as f64 * 8.0 / horizon.as_secs_f64() / 1e9;
+    let snap = net.metrics_snapshot();
     println!(
         "{label:<22} deadlocked={:<5} aggregate goodput={:>6.2} Gb/s  drops={} hold-and-wait={}",
         net.structurally_deadlocked(),
-        gbps,
-        net.stats().drops,
-        net.hold_and_wait_episodes(),
+        snap.goodput_bps() / 1e9,
+        snap.counter(metric_names::DROPS).unwrap_or(0),
+        snap.counter(metric_names::HOLD_AND_WAIT).unwrap_or(0),
     );
 }
 

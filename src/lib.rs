@@ -17,6 +17,9 @@
 //!   study;
 //! * [`analysis`](gfc_analysis) — traces, statistics, and deadlock
 //!   verdicts;
+//! * [`telemetry`](gfc_telemetry) — the observability layer: metrics
+//!   registry with JSON/CSV snapshots, flight recorder, and automatic
+//!   deadlock forensics (wait-for graph + DOT);
 //! * [`verify`](gfc_verify) — static preflight analysis: lint-style
 //!   diagnostics (`GFC001`…) for configs, topologies, and the paper's
 //!   theorem preconditions;
@@ -56,6 +59,7 @@ pub use gfc_core as core;
 pub use gfc_dcqcn as dcqcn;
 pub use gfc_experiments as experiments;
 pub use gfc_sim as sim;
+pub use gfc_telemetry as telemetry;
 pub use gfc_topology as topology;
 pub use gfc_verify as verify;
 pub use gfc_workload as workload;
@@ -66,9 +70,10 @@ pub mod prelude {
     pub use gfc_core::units::{kb, mb, Dur, Rate, Time};
     pub use gfc_core::{LinearMapping, RateLimiter, StageTable};
     pub use gfc_sim::{
-        ClosedLoopWorkload, FcMode, FlowRequest, ListWorkload, Network, SimConfig, TraceConfig,
-        Workload,
+        ClosedLoopWorkload, FcMode, FlowRequest, ListWorkload, Network, SimConfig, TelemetryConfig,
+        TraceConfig, Workload,
     };
+    pub use gfc_telemetry::{names as metric_names, Snapshot};
     pub use gfc_topology::{FatTree, Incast, Ring, Routing, Topology};
     pub use gfc_workload::{DestPolicy, EmpiricalCdf, FlowSizeDist};
 }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_stage_ratio-18c1427382471b5b.d: crates/bench/benches/ablation_stage_ratio.rs
+
+/root/repo/target/debug/deps/ablation_stage_ratio-18c1427382471b5b: crates/bench/benches/ablation_stage_ratio.rs
+
+crates/bench/benches/ablation_stage_ratio.rs:

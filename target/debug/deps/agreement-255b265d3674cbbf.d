@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/agreement-255b265d3674cbbf.d: crates/verify/tests/agreement.rs
+
+/root/repo/target/debug/deps/agreement-255b265d3674cbbf: crates/verify/tests/agreement.rs
+
+crates/verify/tests/agreement.rs:

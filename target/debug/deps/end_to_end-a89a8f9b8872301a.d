@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-a89a8f9b8872301a.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-a89a8f9b8872301a: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_conceptual-4e36432d479afde8.d: crates/bench/benches/fig05_conceptual.rs
+
+/root/repo/target/debug/deps/fig05_conceptual-4e36432d479afde8: crates/bench/benches/fig05_conceptual.rs
+
+crates/bench/benches/fig05_conceptual.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_ring_pfc_gfc-9328c736716ff114.d: crates/bench/benches/fig09_ring_pfc_gfc.rs
+
+/root/repo/target/debug/deps/fig09_ring_pfc_gfc-9328c736716ff114: crates/bench/benches/fig09_ring_pfc_gfc.rs
+
+crates/bench/benches/fig09_ring_pfc_gfc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_ring_cbfc_gfc-1ab5ebe0483d50c3.d: crates/bench/benches/fig10_ring_cbfc_gfc.rs
+
+/root/repo/target/debug/deps/fig10_ring_cbfc_gfc-1ab5ebe0483d50c3: crates/bench/benches/fig10_ring_cbfc_gfc.rs
+
+crates/bench/benches/fig10_ring_cbfc_gfc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_fattree_pfc-864f89eef99550d8.d: crates/bench/benches/fig12_fattree_pfc.rs
+
+/root/repo/target/debug/deps/fig12_fattree_pfc-864f89eef99550d8: crates/bench/benches/fig12_fattree_pfc.rs
+
+crates/bench/benches/fig12_fattree_pfc.rs:

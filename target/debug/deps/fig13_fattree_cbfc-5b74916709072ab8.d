@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_fattree_cbfc-5b74916709072ab8.d: crates/bench/benches/fig13_fattree_cbfc.rs
+
+/root/repo/target/debug/deps/fig13_fattree_cbfc-5b74916709072ab8: crates/bench/benches/fig13_fattree_cbfc.rs
+
+crates/bench/benches/fig13_fattree_cbfc.rs:

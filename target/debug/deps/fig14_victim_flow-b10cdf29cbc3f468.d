@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_victim_flow-b10cdf29cbc3f468.d: crates/bench/benches/fig14_victim_flow.rs
+
+/root/repo/target/debug/deps/fig14_victim_flow-b10cdf29cbc3f468: crates/bench/benches/fig14_victim_flow.rs
+
+crates/bench/benches/fig14_victim_flow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_bandwidth-281b565033deee62.d: crates/bench/benches/fig16_bandwidth.rs
+
+/root/repo/target/debug/deps/fig16_bandwidth-281b565033deee62: crates/bench/benches/fig16_bandwidth.rs
+
+crates/bench/benches/fig16_bandwidth.rs:

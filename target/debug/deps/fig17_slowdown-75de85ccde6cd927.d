@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17_slowdown-75de85ccde6cd927.d: crates/bench/benches/fig17_slowdown.rs
+
+/root/repo/target/debug/deps/fig17_slowdown-75de85ccde6cd927: crates/bench/benches/fig17_slowdown.rs
+
+crates/bench/benches/fig17_slowdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18_collapse-d3a1ac69a7b2864b.d: crates/bench/benches/fig18_collapse.rs
+
+/root/repo/target/debug/deps/fig18_collapse-d3a1ac69a7b2864b: crates/bench/benches/fig18_collapse.rs
+
+crates/bench/benches/fig18_collapse.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19_overhead-02d6d16a2063e0e6.d: crates/bench/benches/fig19_overhead.rs
+
+/root/repo/target/debug/deps/fig19_overhead-02d6d16a2063e0e6: crates/bench/benches/fig19_overhead.rs
+
+crates/bench/benches/fig19_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig20_dcqcn-19f4d645955870c7.d: crates/bench/benches/fig20_dcqcn.rs
+
+/root/repo/target/debug/deps/fig20_dcqcn-19f4d645955870c7: crates/bench/benches/fig20_dcqcn.rs
+
+crates/bench/benches/fig20_dcqcn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/forensics-eee16bf26b2a4547.d: crates/sim/tests/forensics.rs
+
+/root/repo/target/debug/deps/forensics-eee16bf26b2a4547: crates/sim/tests/forensics.rs
+
+crates/sim/tests/forensics.rs:

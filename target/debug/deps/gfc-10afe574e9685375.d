@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gfc-10afe574e9685375.d: src/lib.rs
+
+/root/repo/target/debug/deps/gfc-10afe574e9685375: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gfc-1812b36515298fe3.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgfc-1812b36515298fe3.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libgfc-1812b36515298fe3.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gfc-44160f1f4427a03e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgfc-44160f1f4427a03e.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libgfc-44160f1f4427a03e.rmeta: src/lib.rs
+
+src/lib.rs:

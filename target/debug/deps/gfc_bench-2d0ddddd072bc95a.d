@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gfc_bench-2d0ddddd072bc95a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgfc_bench-2d0ddddd072bc95a.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgfc_bench-2d0ddddd072bc95a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

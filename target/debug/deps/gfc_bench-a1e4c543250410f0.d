@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gfc_bench-a1e4c543250410f0.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgfc_bench-a1e4c543250410f0.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgfc_bench-a1e4c543250410f0.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

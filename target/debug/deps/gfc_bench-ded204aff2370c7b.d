@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gfc_bench-ded204aff2370c7b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/gfc_bench-ded204aff2370c7b: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/gfc_core-f897cdfd12022470.d: crates/core/src/lib.rs crates/core/src/cbfc.rs crates/core/src/conceptual.rs crates/core/src/frames.rs crates/core/src/gfc_buffer.rs crates/core/src/gfc_time.rs crates/core/src/mapping.rs crates/core/src/params.rs crates/core/src/pfc.rs crates/core/src/rate_limiter.rs crates/core/src/theorems.rs crates/core/src/units.rs
+/root/repo/target/debug/deps/gfc_core-f897cdfd12022470.d: crates/core/src/lib.rs crates/core/src/cbfc.rs crates/core/src/conceptual.rs crates/core/src/fc_mode.rs crates/core/src/frames.rs crates/core/src/gfc_buffer.rs crates/core/src/gfc_time.rs crates/core/src/mapping.rs crates/core/src/params.rs crates/core/src/pfc.rs crates/core/src/rate_limiter.rs crates/core/src/theorems.rs crates/core/src/units.rs
 
-/root/repo/target/debug/deps/gfc_core-f897cdfd12022470: crates/core/src/lib.rs crates/core/src/cbfc.rs crates/core/src/conceptual.rs crates/core/src/frames.rs crates/core/src/gfc_buffer.rs crates/core/src/gfc_time.rs crates/core/src/mapping.rs crates/core/src/params.rs crates/core/src/pfc.rs crates/core/src/rate_limiter.rs crates/core/src/theorems.rs crates/core/src/units.rs
+/root/repo/target/debug/deps/gfc_core-f897cdfd12022470: crates/core/src/lib.rs crates/core/src/cbfc.rs crates/core/src/conceptual.rs crates/core/src/fc_mode.rs crates/core/src/frames.rs crates/core/src/gfc_buffer.rs crates/core/src/gfc_time.rs crates/core/src/mapping.rs crates/core/src/params.rs crates/core/src/pfc.rs crates/core/src/rate_limiter.rs crates/core/src/theorems.rs crates/core/src/units.rs
 
 crates/core/src/lib.rs:
 crates/core/src/cbfc.rs:
 crates/core/src/conceptual.rs:
+crates/core/src/fc_mode.rs:
 crates/core/src/frames.rs:
 crates/core/src/gfc_buffer.rs:
 crates/core/src/gfc_time.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/gfc_experiments-95e7568583f47371.d: crates/experiments/src/lib.rs crates/experiments/src/ablation.rs crates/experiments/src/common.rs crates/experiments/src/fig05.rs crates/experiments/src/fig09.rs crates/experiments/src/fig10.rs crates/experiments/src/fig12.rs crates/experiments/src/fig13.rs crates/experiments/src/fig14.rs crates/experiments/src/fig18.rs crates/experiments/src/fig19.rs crates/experiments/src/fig20.rs crates/experiments/src/perf.rs crates/experiments/src/table1.rs
+
+/root/repo/target/debug/deps/libgfc_experiments-95e7568583f47371.rlib: crates/experiments/src/lib.rs crates/experiments/src/ablation.rs crates/experiments/src/common.rs crates/experiments/src/fig05.rs crates/experiments/src/fig09.rs crates/experiments/src/fig10.rs crates/experiments/src/fig12.rs crates/experiments/src/fig13.rs crates/experiments/src/fig14.rs crates/experiments/src/fig18.rs crates/experiments/src/fig19.rs crates/experiments/src/fig20.rs crates/experiments/src/perf.rs crates/experiments/src/table1.rs
+
+/root/repo/target/debug/deps/libgfc_experiments-95e7568583f47371.rmeta: crates/experiments/src/lib.rs crates/experiments/src/ablation.rs crates/experiments/src/common.rs crates/experiments/src/fig05.rs crates/experiments/src/fig09.rs crates/experiments/src/fig10.rs crates/experiments/src/fig12.rs crates/experiments/src/fig13.rs crates/experiments/src/fig14.rs crates/experiments/src/fig18.rs crates/experiments/src/fig19.rs crates/experiments/src/fig20.rs crates/experiments/src/perf.rs crates/experiments/src/table1.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablation.rs:
+crates/experiments/src/common.rs:
+crates/experiments/src/fig05.rs:
+crates/experiments/src/fig09.rs:
+crates/experiments/src/fig10.rs:
+crates/experiments/src/fig12.rs:
+crates/experiments/src/fig13.rs:
+crates/experiments/src/fig14.rs:
+crates/experiments/src/fig18.rs:
+crates/experiments/src/fig19.rs:
+crates/experiments/src/fig20.rs:
+crates/experiments/src/perf.rs:
+crates/experiments/src/table1.rs:

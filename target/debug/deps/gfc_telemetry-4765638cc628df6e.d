@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/gfc_telemetry-4765638cc628df6e.d: crates/telemetry/src/lib.rs crates/telemetry/src/forensics.rs crates/telemetry/src/recorder.rs crates/telemetry/src/registry.rs
+
+/root/repo/target/debug/deps/gfc_telemetry-4765638cc628df6e: crates/telemetry/src/lib.rs crates/telemetry/src/forensics.rs crates/telemetry/src/recorder.rs crates/telemetry/src/registry.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/forensics.rs:
+crates/telemetry/src/recorder.rs:
+crates/telemetry/src/registry.rs:

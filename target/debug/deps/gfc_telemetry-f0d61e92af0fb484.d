@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gfc_telemetry-f0d61e92af0fb484.d: crates/telemetry/src/lib.rs crates/telemetry/src/forensics.rs crates/telemetry/src/recorder.rs crates/telemetry/src/registry.rs
+
+/root/repo/target/debug/deps/libgfc_telemetry-f0d61e92af0fb484.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/forensics.rs crates/telemetry/src/recorder.rs crates/telemetry/src/registry.rs
+
+/root/repo/target/debug/deps/libgfc_telemetry-f0d61e92af0fb484.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/forensics.rs crates/telemetry/src/recorder.rs crates/telemetry/src/registry.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/forensics.rs:
+crates/telemetry/src/recorder.rs:
+crates/telemetry/src/registry.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/gfc_verify-ea85f5fcd595ea9a.d: crates/verify/src/lib.rs crates/verify/src/checks.rs crates/verify/src/diag.rs crates/verify/src/spec.rs
+
+/root/repo/target/debug/deps/gfc_verify-ea85f5fcd595ea9a: crates/verify/src/lib.rs crates/verify/src/checks.rs crates/verify/src/diag.rs crates/verify/src/spec.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/checks.rs:
+crates/verify/src/diag.rs:
+crates/verify/src/spec.rs:

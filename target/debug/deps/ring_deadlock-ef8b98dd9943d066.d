@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ring_deadlock-ef8b98dd9943d066.d: crates/sim/tests/ring_deadlock.rs
+
+/root/repo/target/debug/deps/ring_deadlock-ef8b98dd9943d066: crates/sim/tests/ring_deadlock.rs
+
+crates/sim/tests/ring_deadlock.rs:

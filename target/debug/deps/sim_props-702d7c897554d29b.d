@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_props-702d7c897554d29b.d: crates/sim/tests/sim_props.rs
+
+/root/repo/target/debug/deps/sim_props-702d7c897554d29b: crates/sim/tests/sim_props.rs
+
+crates/sim/tests/sim_props.rs:

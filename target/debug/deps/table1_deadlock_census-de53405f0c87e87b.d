@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_deadlock_census-de53405f0c87e87b.d: crates/bench/benches/table1_deadlock_census.rs
+
+/root/repo/target/debug/deps/table1_deadlock_census-de53405f0c87e87b: crates/bench/benches/table1_deadlock_census.rs
+
+crates/bench/benches/table1_deadlock_census.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorem_props-4cd7bd36d07e03ab.d: tests/theorem_props.rs
+
+/root/repo/target/debug/deps/theorem_props-4cd7bd36d07e03ab: tests/theorem_props.rs
+
+tests/theorem_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dcqcn_interaction-a2aa9a424e6519a3.d: examples/dcqcn_interaction.rs
+
+/root/repo/target/debug/examples/dcqcn_interaction-a2aa9a424e6519a3: examples/dcqcn_interaction.rs
+
+examples/dcqcn_interaction.rs:

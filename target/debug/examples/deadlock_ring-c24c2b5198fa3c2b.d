@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/deadlock_ring-c24c2b5198fa3c2b.d: examples/deadlock_ring.rs
+
+/root/repo/target/debug/examples/deadlock_ring-c24c2b5198fa3c2b: examples/deadlock_ring.rs
+
+examples/deadlock_ring.rs:

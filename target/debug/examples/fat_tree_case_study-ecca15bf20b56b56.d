@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fat_tree_case_study-ecca15bf20b56b56.d: examples/fat_tree_case_study.rs
+
+/root/repo/target/debug/examples/fat_tree_case_study-ecca15bf20b56b56: examples/fat_tree_case_study.rs
+
+examples/fat_tree_case_study.rs:

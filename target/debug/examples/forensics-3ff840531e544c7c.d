@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/forensics-3ff840531e544c7c.d: examples/forensics.rs
+
+/root/repo/target/debug/examples/forensics-3ff840531e544c7c: examples/forensics.rs
+
+examples/forensics.rs:

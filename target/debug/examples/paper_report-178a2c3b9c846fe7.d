@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/paper_report-178a2c3b9c846fe7.d: examples/paper_report.rs
+
+/root/repo/target/debug/examples/paper_report-178a2c3b9c846fe7: examples/paper_report.rs
+
+examples/paper_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/preflight-c63ace2656d38503.d: examples/preflight.rs
+
+/root/repo/target/debug/examples/preflight-c63ace2656d38503: examples/preflight.rs
+
+examples/preflight.rs:

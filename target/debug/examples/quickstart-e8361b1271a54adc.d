@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e8361b1271a54adc.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e8361b1271a54adc: examples/quickstart.rs
+
+examples/quickstart.rs:

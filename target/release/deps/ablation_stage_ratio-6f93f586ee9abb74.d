@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_stage_ratio-6f93f586ee9abb74.d: crates/bench/benches/ablation_stage_ratio.rs
+
+/root/repo/target/release/deps/ablation_stage_ratio-6f93f586ee9abb74: crates/bench/benches/ablation_stage_ratio.rs
+
+crates/bench/benches/ablation_stage_ratio.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_stage_ratio-b08aec91c9929d49.d: crates/bench/benches/ablation_stage_ratio.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_stage_ratio-b08aec91c9929d49.rmeta: crates/bench/benches/ablation_stage_ratio.rs Cargo.toml
+
+crates/bench/benches/ablation_stage_ratio.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

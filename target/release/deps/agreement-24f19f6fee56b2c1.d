@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/agreement-24f19f6fee56b2c1.d: crates/verify/tests/agreement.rs Cargo.toml
+
+/root/repo/target/release/deps/libagreement-24f19f6fee56b2c1.rmeta: crates/verify/tests/agreement.rs Cargo.toml
+
+crates/verify/tests/agreement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/agreement-2ae3d6b3abfb9635.d: crates/verify/tests/agreement.rs
+
+/root/repo/target/release/deps/agreement-2ae3d6b3abfb9635: crates/verify/tests/agreement.rs
+
+crates/verify/tests/agreement.rs:

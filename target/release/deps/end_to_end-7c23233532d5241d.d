@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-7c23233532d5241d.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-7c23233532d5241d: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/end_to_end-db0aedb6a565d964.d: tests/end_to_end.rs Cargo.toml
+
+/root/repo/target/release/deps/libend_to_end-db0aedb6a565d964.rmeta: tests/end_to_end.rs Cargo.toml
+
+tests/end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

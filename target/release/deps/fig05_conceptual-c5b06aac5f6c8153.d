@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05_conceptual-c5b06aac5f6c8153.d: crates/bench/benches/fig05_conceptual.rs
+
+/root/repo/target/release/deps/fig05_conceptual-c5b06aac5f6c8153: crates/bench/benches/fig05_conceptual.rs
+
+crates/bench/benches/fig05_conceptual.rs:

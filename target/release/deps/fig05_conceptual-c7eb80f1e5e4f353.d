@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig05_conceptual-c7eb80f1e5e4f353.d: crates/bench/benches/fig05_conceptual.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig05_conceptual-c7eb80f1e5e4f353.rmeta: crates/bench/benches/fig05_conceptual.rs Cargo.toml
+
+crates/bench/benches/fig05_conceptual.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

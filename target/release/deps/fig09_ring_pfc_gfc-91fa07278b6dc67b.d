@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig09_ring_pfc_gfc-91fa07278b6dc67b.d: crates/bench/benches/fig09_ring_pfc_gfc.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig09_ring_pfc_gfc-91fa07278b6dc67b.rmeta: crates/bench/benches/fig09_ring_pfc_gfc.rs Cargo.toml
+
+crates/bench/benches/fig09_ring_pfc_gfc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

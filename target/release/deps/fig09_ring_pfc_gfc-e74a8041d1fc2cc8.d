@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_ring_pfc_gfc-e74a8041d1fc2cc8.d: crates/bench/benches/fig09_ring_pfc_gfc.rs
+
+/root/repo/target/release/deps/fig09_ring_pfc_gfc-e74a8041d1fc2cc8: crates/bench/benches/fig09_ring_pfc_gfc.rs
+
+crates/bench/benches/fig09_ring_pfc_gfc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig10_ring_cbfc_gfc-4d327e1082f7c7f2.d: crates/bench/benches/fig10_ring_cbfc_gfc.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig10_ring_cbfc_gfc-4d327e1082f7c7f2.rmeta: crates/bench/benches/fig10_ring_cbfc_gfc.rs Cargo.toml
+
+crates/bench/benches/fig10_ring_cbfc_gfc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

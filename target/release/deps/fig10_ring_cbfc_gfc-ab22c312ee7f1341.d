@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_ring_cbfc_gfc-ab22c312ee7f1341.d: crates/bench/benches/fig10_ring_cbfc_gfc.rs
+
+/root/repo/target/release/deps/fig10_ring_cbfc_gfc-ab22c312ee7f1341: crates/bench/benches/fig10_ring_cbfc_gfc.rs
+
+crates/bench/benches/fig10_ring_cbfc_gfc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig12_fattree_pfc-5b708a9585c52cd4.d: crates/bench/benches/fig12_fattree_pfc.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig12_fattree_pfc-5b708a9585c52cd4.rmeta: crates/bench/benches/fig12_fattree_pfc.rs Cargo.toml
+
+crates/bench/benches/fig12_fattree_pfc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_fattree_pfc-8052beb8b7259265.d: crates/bench/benches/fig12_fattree_pfc.rs
+
+/root/repo/target/release/deps/fig12_fattree_pfc-8052beb8b7259265: crates/bench/benches/fig12_fattree_pfc.rs
+
+crates/bench/benches/fig12_fattree_pfc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_fattree_cbfc-86e3afa546034c6d.d: crates/bench/benches/fig13_fattree_cbfc.rs
+
+/root/repo/target/release/deps/fig13_fattree_cbfc-86e3afa546034c6d: crates/bench/benches/fig13_fattree_cbfc.rs
+
+crates/bench/benches/fig13_fattree_cbfc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig13_fattree_cbfc-c0b4a1e408c2066d.d: crates/bench/benches/fig13_fattree_cbfc.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig13_fattree_cbfc-c0b4a1e408c2066d.rmeta: crates/bench/benches/fig13_fattree_cbfc.rs Cargo.toml
+
+crates/bench/benches/fig13_fattree_cbfc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig14_victim_flow-6aeb30f5ccc9f596.d: crates/bench/benches/fig14_victim_flow.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig14_victim_flow-6aeb30f5ccc9f596.rmeta: crates/bench/benches/fig14_victim_flow.rs Cargo.toml
+
+crates/bench/benches/fig14_victim_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

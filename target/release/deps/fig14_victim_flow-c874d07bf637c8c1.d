@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_victim_flow-c874d07bf637c8c1.d: crates/bench/benches/fig14_victim_flow.rs
+
+/root/repo/target/release/deps/fig14_victim_flow-c874d07bf637c8c1: crates/bench/benches/fig14_victim_flow.rs
+
+crates/bench/benches/fig14_victim_flow.rs:

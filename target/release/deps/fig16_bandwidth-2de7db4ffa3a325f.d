@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_bandwidth-2de7db4ffa3a325f.d: crates/bench/benches/fig16_bandwidth.rs
+
+/root/repo/target/release/deps/fig16_bandwidth-2de7db4ffa3a325f: crates/bench/benches/fig16_bandwidth.rs
+
+crates/bench/benches/fig16_bandwidth.rs:

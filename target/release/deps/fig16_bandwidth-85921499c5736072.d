@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig16_bandwidth-85921499c5736072.d: crates/bench/benches/fig16_bandwidth.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig16_bandwidth-85921499c5736072.rmeta: crates/bench/benches/fig16_bandwidth.rs Cargo.toml
+
+crates/bench/benches/fig16_bandwidth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

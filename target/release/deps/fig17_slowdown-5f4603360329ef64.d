@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig17_slowdown-5f4603360329ef64.d: crates/bench/benches/fig17_slowdown.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig17_slowdown-5f4603360329ef64.rmeta: crates/bench/benches/fig17_slowdown.rs Cargo.toml
+
+crates/bench/benches/fig17_slowdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

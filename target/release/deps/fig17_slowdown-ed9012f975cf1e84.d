@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17_slowdown-ed9012f975cf1e84.d: crates/bench/benches/fig17_slowdown.rs
+
+/root/repo/target/release/deps/fig17_slowdown-ed9012f975cf1e84: crates/bench/benches/fig17_slowdown.rs
+
+crates/bench/benches/fig17_slowdown.rs:

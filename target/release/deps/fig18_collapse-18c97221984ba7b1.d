@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig18_collapse-18c97221984ba7b1.d: crates/bench/benches/fig18_collapse.rs
+
+/root/repo/target/release/deps/fig18_collapse-18c97221984ba7b1: crates/bench/benches/fig18_collapse.rs
+
+crates/bench/benches/fig18_collapse.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig18_collapse-e76115f04e1646d2.d: crates/bench/benches/fig18_collapse.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig18_collapse-e76115f04e1646d2.rmeta: crates/bench/benches/fig18_collapse.rs Cargo.toml
+
+crates/bench/benches/fig18_collapse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig19_overhead-10425fca2e0db1df.d: crates/bench/benches/fig19_overhead.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig19_overhead-10425fca2e0db1df.rmeta: crates/bench/benches/fig19_overhead.rs Cargo.toml
+
+crates/bench/benches/fig19_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

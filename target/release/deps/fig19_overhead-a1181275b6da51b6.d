@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig19_overhead-a1181275b6da51b6.d: crates/bench/benches/fig19_overhead.rs
+
+/root/repo/target/release/deps/fig19_overhead-a1181275b6da51b6: crates/bench/benches/fig19_overhead.rs
+
+crates/bench/benches/fig19_overhead.rs:

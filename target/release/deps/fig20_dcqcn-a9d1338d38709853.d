@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig20_dcqcn-a9d1338d38709853.d: crates/bench/benches/fig20_dcqcn.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig20_dcqcn-a9d1338d38709853.rmeta: crates/bench/benches/fig20_dcqcn.rs Cargo.toml
+
+crates/bench/benches/fig20_dcqcn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

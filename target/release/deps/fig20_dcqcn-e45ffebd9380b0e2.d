@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig20_dcqcn-e45ffebd9380b0e2.d: crates/bench/benches/fig20_dcqcn.rs
+
+/root/repo/target/release/deps/fig20_dcqcn-e45ffebd9380b0e2: crates/bench/benches/fig20_dcqcn.rs
+
+crates/bench/benches/fig20_dcqcn.rs:

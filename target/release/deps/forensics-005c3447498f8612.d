@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/forensics-005c3447498f8612.d: crates/sim/tests/forensics.rs
+
+/root/repo/target/release/deps/forensics-005c3447498f8612: crates/sim/tests/forensics.rs
+
+crates/sim/tests/forensics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/forensics-f182233680f0eb09.d: crates/sim/tests/forensics.rs Cargo.toml
+
+/root/repo/target/release/deps/libforensics-f182233680f0eb09.rmeta: crates/sim/tests/forensics.rs Cargo.toml
+
+crates/sim/tests/forensics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

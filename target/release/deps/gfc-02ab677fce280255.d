@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gfc-02ab677fce280255.d: src/lib.rs
+
+/root/repo/target/release/deps/libgfc-02ab677fce280255.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libgfc-02ab677fce280255.rmeta: src/lib.rs
+
+src/lib.rs:

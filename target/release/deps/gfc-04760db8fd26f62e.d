@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/gfc-04760db8fd26f62e.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libgfc-04760db8fd26f62e.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

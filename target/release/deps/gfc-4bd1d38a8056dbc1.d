@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/gfc-4bd1d38a8056dbc1.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libgfc-4bd1d38a8056dbc1.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

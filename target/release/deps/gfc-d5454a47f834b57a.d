@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gfc-d5454a47f834b57a.d: src/lib.rs
+
+/root/repo/target/release/deps/gfc-d5454a47f834b57a: src/lib.rs
+
+src/lib.rs:

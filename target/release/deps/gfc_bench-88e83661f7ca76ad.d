@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gfc_bench-88e83661f7ca76ad.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libgfc_bench-88e83661f7ca76ad.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libgfc_bench-88e83661f7ca76ad.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

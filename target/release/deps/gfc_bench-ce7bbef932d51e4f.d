@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gfc_bench-ce7bbef932d51e4f.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/gfc_bench-ce7bbef932d51e4f: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

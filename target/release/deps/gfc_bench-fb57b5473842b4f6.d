@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/gfc_bench-fb57b5473842b4f6.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libgfc_bench-fb57b5473842b4f6.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/gfc_experiments-45d2596a458b49bb.d: crates/experiments/src/lib.rs crates/experiments/src/ablation.rs crates/experiments/src/common.rs crates/experiments/src/fig05.rs crates/experiments/src/fig09.rs crates/experiments/src/fig10.rs crates/experiments/src/fig12.rs crates/experiments/src/fig13.rs crates/experiments/src/fig14.rs crates/experiments/src/fig18.rs crates/experiments/src/fig19.rs crates/experiments/src/fig20.rs crates/experiments/src/perf.rs crates/experiments/src/table1.rs Cargo.toml
+
+/root/repo/target/release/deps/libgfc_experiments-45d2596a458b49bb.rmeta: crates/experiments/src/lib.rs crates/experiments/src/ablation.rs crates/experiments/src/common.rs crates/experiments/src/fig05.rs crates/experiments/src/fig09.rs crates/experiments/src/fig10.rs crates/experiments/src/fig12.rs crates/experiments/src/fig13.rs crates/experiments/src/fig14.rs crates/experiments/src/fig18.rs crates/experiments/src/fig19.rs crates/experiments/src/fig20.rs crates/experiments/src/perf.rs crates/experiments/src/table1.rs Cargo.toml
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablation.rs:
+crates/experiments/src/common.rs:
+crates/experiments/src/fig05.rs:
+crates/experiments/src/fig09.rs:
+crates/experiments/src/fig10.rs:
+crates/experiments/src/fig12.rs:
+crates/experiments/src/fig13.rs:
+crates/experiments/src/fig14.rs:
+crates/experiments/src/fig18.rs:
+crates/experiments/src/fig19.rs:
+crates/experiments/src/fig20.rs:
+crates/experiments/src/perf.rs:
+crates/experiments/src/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/gfc_experiments-5011f151fdb6141b.d: crates/experiments/src/lib.rs crates/experiments/src/ablation.rs crates/experiments/src/common.rs crates/experiments/src/fig05.rs crates/experiments/src/fig09.rs crates/experiments/src/fig10.rs crates/experiments/src/fig12.rs crates/experiments/src/fig13.rs crates/experiments/src/fig14.rs crates/experiments/src/fig18.rs crates/experiments/src/fig19.rs crates/experiments/src/fig20.rs crates/experiments/src/perf.rs crates/experiments/src/table1.rs
+
+/root/repo/target/release/deps/libgfc_experiments-5011f151fdb6141b.rlib: crates/experiments/src/lib.rs crates/experiments/src/ablation.rs crates/experiments/src/common.rs crates/experiments/src/fig05.rs crates/experiments/src/fig09.rs crates/experiments/src/fig10.rs crates/experiments/src/fig12.rs crates/experiments/src/fig13.rs crates/experiments/src/fig14.rs crates/experiments/src/fig18.rs crates/experiments/src/fig19.rs crates/experiments/src/fig20.rs crates/experiments/src/perf.rs crates/experiments/src/table1.rs
+
+/root/repo/target/release/deps/libgfc_experiments-5011f151fdb6141b.rmeta: crates/experiments/src/lib.rs crates/experiments/src/ablation.rs crates/experiments/src/common.rs crates/experiments/src/fig05.rs crates/experiments/src/fig09.rs crates/experiments/src/fig10.rs crates/experiments/src/fig12.rs crates/experiments/src/fig13.rs crates/experiments/src/fig14.rs crates/experiments/src/fig18.rs crates/experiments/src/fig19.rs crates/experiments/src/fig20.rs crates/experiments/src/perf.rs crates/experiments/src/table1.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablation.rs:
+crates/experiments/src/common.rs:
+crates/experiments/src/fig05.rs:
+crates/experiments/src/fig09.rs:
+crates/experiments/src/fig10.rs:
+crates/experiments/src/fig12.rs:
+crates/experiments/src/fig13.rs:
+crates/experiments/src/fig14.rs:
+crates/experiments/src/fig18.rs:
+crates/experiments/src/fig19.rs:
+crates/experiments/src/fig20.rs:
+crates/experiments/src/perf.rs:
+crates/experiments/src/table1.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/gfc_sim-100ea41160d50f5b.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/event.rs crates/sim/src/fc.rs crates/sim/src/flowgen.rs crates/sim/src/network.rs crates/sim/src/packet.rs crates/sim/src/port.rs crates/sim/src/telemetry.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/gfc_sim-100ea41160d50f5b: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/event.rs crates/sim/src/fc.rs crates/sim/src/flowgen.rs crates/sim/src/network.rs crates/sim/src/packet.rs crates/sim/src/port.rs crates/sim/src/telemetry.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/event.rs:
+crates/sim/src/fc.rs:
+crates/sim/src/flowgen.rs:
+crates/sim/src/network.rs:
+crates/sim/src/packet.rs:
+crates/sim/src/port.rs:
+crates/sim/src/telemetry.rs:
+crates/sim/src/trace.rs:

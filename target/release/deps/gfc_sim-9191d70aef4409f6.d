@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/gfc_sim-9191d70aef4409f6.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/event.rs crates/sim/src/fc.rs crates/sim/src/flowgen.rs crates/sim/src/network.rs crates/sim/src/packet.rs crates/sim/src/port.rs crates/sim/src/telemetry.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libgfc_sim-9191d70aef4409f6.rlib: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/event.rs crates/sim/src/fc.rs crates/sim/src/flowgen.rs crates/sim/src/network.rs crates/sim/src/packet.rs crates/sim/src/port.rs crates/sim/src/telemetry.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libgfc_sim-9191d70aef4409f6.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/event.rs crates/sim/src/fc.rs crates/sim/src/flowgen.rs crates/sim/src/network.rs crates/sim/src/packet.rs crates/sim/src/port.rs crates/sim/src/telemetry.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/event.rs:
+crates/sim/src/fc.rs:
+crates/sim/src/flowgen.rs:
+crates/sim/src/network.rs:
+crates/sim/src/packet.rs:
+crates/sim/src/port.rs:
+crates/sim/src/telemetry.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/gfc_telemetry-0160fe508c28ebf1.d: crates/telemetry/src/lib.rs crates/telemetry/src/forensics.rs crates/telemetry/src/recorder.rs crates/telemetry/src/registry.rs
+
+/root/repo/target/release/deps/libgfc_telemetry-0160fe508c28ebf1.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/forensics.rs crates/telemetry/src/recorder.rs crates/telemetry/src/registry.rs
+
+/root/repo/target/release/deps/libgfc_telemetry-0160fe508c28ebf1.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/forensics.rs crates/telemetry/src/recorder.rs crates/telemetry/src/registry.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/forensics.rs:
+crates/telemetry/src/recorder.rs:
+crates/telemetry/src/registry.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gfc_telemetry-8c684b1d9e2f1ead.d: crates/telemetry/src/lib.rs crates/telemetry/src/forensics.rs crates/telemetry/src/recorder.rs crates/telemetry/src/registry.rs Cargo.toml
+
+/root/repo/target/release/deps/libgfc_telemetry-8c684b1d9e2f1ead.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/forensics.rs crates/telemetry/src/recorder.rs crates/telemetry/src/registry.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/forensics.rs:
+crates/telemetry/src/recorder.rs:
+crates/telemetry/src/registry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/gfc_telemetry-b847b4e1c837ab3e.d: crates/telemetry/src/lib.rs crates/telemetry/src/forensics.rs crates/telemetry/src/recorder.rs crates/telemetry/src/registry.rs
+
+/root/repo/target/release/deps/gfc_telemetry-b847b4e1c837ab3e: crates/telemetry/src/lib.rs crates/telemetry/src/forensics.rs crates/telemetry/src/recorder.rs crates/telemetry/src/registry.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/forensics.rs:
+crates/telemetry/src/recorder.rs:
+crates/telemetry/src/registry.rs:

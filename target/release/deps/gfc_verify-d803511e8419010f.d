@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gfc_verify-d803511e8419010f.d: crates/verify/src/lib.rs crates/verify/src/checks.rs crates/verify/src/diag.rs crates/verify/src/spec.rs Cargo.toml
+
+/root/repo/target/release/deps/libgfc_verify-d803511e8419010f.rmeta: crates/verify/src/lib.rs crates/verify/src/checks.rs crates/verify/src/diag.rs crates/verify/src/spec.rs Cargo.toml
+
+crates/verify/src/lib.rs:
+crates/verify/src/checks.rs:
+crates/verify/src/diag.rs:
+crates/verify/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

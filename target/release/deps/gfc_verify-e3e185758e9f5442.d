@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/gfc_verify-e3e185758e9f5442.d: crates/verify/src/lib.rs crates/verify/src/checks.rs crates/verify/src/diag.rs crates/verify/src/spec.rs
+
+/root/repo/target/release/deps/gfc_verify-e3e185758e9f5442: crates/verify/src/lib.rs crates/verify/src/checks.rs crates/verify/src/diag.rs crates/verify/src/spec.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/checks.rs:
+crates/verify/src/diag.rs:
+crates/verify/src/spec.rs:

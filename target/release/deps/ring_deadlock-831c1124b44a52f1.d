@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ring_deadlock-831c1124b44a52f1.d: crates/sim/tests/ring_deadlock.rs
+
+/root/repo/target/release/deps/ring_deadlock-831c1124b44a52f1: crates/sim/tests/ring_deadlock.rs
+
+crates/sim/tests/ring_deadlock.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ring_deadlock-c4b71be3d3154386.d: crates/sim/tests/ring_deadlock.rs Cargo.toml
+
+/root/repo/target/release/deps/libring_deadlock-c4b71be3d3154386.rmeta: crates/sim/tests/ring_deadlock.rs Cargo.toml
+
+crates/sim/tests/ring_deadlock.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

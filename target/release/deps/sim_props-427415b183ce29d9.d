@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sim_props-427415b183ce29d9.d: crates/sim/tests/sim_props.rs
+
+/root/repo/target/release/deps/sim_props-427415b183ce29d9: crates/sim/tests/sim_props.rs
+
+crates/sim/tests/sim_props.rs:

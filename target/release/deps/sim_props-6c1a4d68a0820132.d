@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sim_props-6c1a4d68a0820132.d: crates/sim/tests/sim_props.rs Cargo.toml
+
+/root/repo/target/release/deps/libsim_props-6c1a4d68a0820132.rmeta: crates/sim/tests/sim_props.rs Cargo.toml
+
+crates/sim/tests/sim_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_deadlock_census-d2849beae6be1fbc.d: crates/bench/benches/table1_deadlock_census.rs
+
+/root/repo/target/release/deps/table1_deadlock_census-d2849beae6be1fbc: crates/bench/benches/table1_deadlock_census.rs
+
+crates/bench/benches/table1_deadlock_census.rs:

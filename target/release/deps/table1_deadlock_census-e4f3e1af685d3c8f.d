@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table1_deadlock_census-e4f3e1af685d3c8f.d: crates/bench/benches/table1_deadlock_census.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable1_deadlock_census-e4f3e1af685d3c8f.rmeta: crates/bench/benches/table1_deadlock_census.rs Cargo.toml
+
+crates/bench/benches/table1_deadlock_census.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

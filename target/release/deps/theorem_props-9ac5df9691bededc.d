@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/theorem_props-9ac5df9691bededc.d: tests/theorem_props.rs
+
+/root/repo/target/release/deps/theorem_props-9ac5df9691bededc: tests/theorem_props.rs
+
+tests/theorem_props.rs:

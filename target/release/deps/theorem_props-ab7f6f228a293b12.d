@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/theorem_props-ab7f6f228a293b12.d: tests/theorem_props.rs Cargo.toml
+
+/root/repo/target/release/deps/libtheorem_props-ab7f6f228a293b12.rmeta: tests/theorem_props.rs Cargo.toml
+
+tests/theorem_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

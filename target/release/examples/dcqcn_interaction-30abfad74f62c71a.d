@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/dcqcn_interaction-30abfad74f62c71a.d: examples/dcqcn_interaction.rs Cargo.toml
+
+/root/repo/target/release/examples/libdcqcn_interaction-30abfad74f62c71a.rmeta: examples/dcqcn_interaction.rs Cargo.toml
+
+examples/dcqcn_interaction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dcqcn_interaction-845d0ceea8794d73.d: examples/dcqcn_interaction.rs
+
+/root/repo/target/release/examples/dcqcn_interaction-845d0ceea8794d73: examples/dcqcn_interaction.rs
+
+examples/dcqcn_interaction.rs:

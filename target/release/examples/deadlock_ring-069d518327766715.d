@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/deadlock_ring-069d518327766715.d: examples/deadlock_ring.rs
+
+/root/repo/target/release/examples/deadlock_ring-069d518327766715: examples/deadlock_ring.rs
+
+examples/deadlock_ring.rs:

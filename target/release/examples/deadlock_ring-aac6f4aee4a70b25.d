@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/deadlock_ring-aac6f4aee4a70b25.d: examples/deadlock_ring.rs Cargo.toml
+
+/root/repo/target/release/examples/libdeadlock_ring-aac6f4aee4a70b25.rmeta: examples/deadlock_ring.rs Cargo.toml
+
+examples/deadlock_ring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/fat_tree_case_study-6710bb185d373812.d: examples/fat_tree_case_study.rs Cargo.toml
+
+/root/repo/target/release/examples/libfat_tree_case_study-6710bb185d373812.rmeta: examples/fat_tree_case_study.rs Cargo.toml
+
+examples/fat_tree_case_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fat_tree_case_study-acbccf8bcfb3338f.d: examples/fat_tree_case_study.rs
+
+/root/repo/target/release/examples/fat_tree_case_study-acbccf8bcfb3338f: examples/fat_tree_case_study.rs
+
+examples/fat_tree_case_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/forensics-b9cd182e14c88e0d.d: examples/forensics.rs Cargo.toml
+
+/root/repo/target/release/examples/libforensics-b9cd182e14c88e0d.rmeta: examples/forensics.rs Cargo.toml
+
+examples/forensics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/forensics-dea3d15d0e184287.d: examples/forensics.rs
+
+/root/repo/target/release/examples/forensics-dea3d15d0e184287: examples/forensics.rs
+
+examples/forensics.rs:

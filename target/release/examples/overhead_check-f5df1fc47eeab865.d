@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/overhead_check-f5df1fc47eeab865.d: examples/overhead_check.rs
+
+/root/repo/target/release/examples/overhead_check-f5df1fc47eeab865: examples/overhead_check.rs
+
+examples/overhead_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/paper_report-b656da17ba832c31.d: examples/paper_report.rs
+
+/root/repo/target/release/examples/paper_report-b656da17ba832c31: examples/paper_report.rs
+
+examples/paper_report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/paper_report-d183980acee26a2f.d: examples/paper_report.rs Cargo.toml
+
+/root/repo/target/release/examples/libpaper_report-d183980acee26a2f.rmeta: examples/paper_report.rs Cargo.toml
+
+examples/paper_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/preflight-0387f743589288e6.d: examples/preflight.rs Cargo.toml
+
+/root/repo/target/release/examples/libpreflight-0387f743589288e6.rmeta: examples/preflight.rs Cargo.toml
+
+examples/preflight.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

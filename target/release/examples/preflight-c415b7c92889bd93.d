@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/preflight-c415b7c92889bd93.d: examples/preflight.rs
+
+/root/repo/target/release/examples/preflight-c415b7c92889bd93: examples/preflight.rs
+
+examples/preflight.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-8b4147441f55a05b.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-8b4147441f55a05b: examples/quickstart.rs
+
+examples/quickstart.rs:
