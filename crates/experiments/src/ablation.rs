@@ -152,6 +152,7 @@ pub fn run_tau_sweep(seed: u64) -> Vec<TauSweepOutcome> {
         cfg.ctrl_proc_delay = Dur::from_micros(t_proc_us);
         let mut tc = TraceConfig::none();
         let watched = (inc.switch, inc.topo.port_of(inc.switch, inc.sender_links[0]), 0u8);
+        #[allow(deprecated)] // change-resolution occupancy at one point
         tc.ingress_queue.push(watched);
         let mut net =
             gfc_sim::Network::new(inc.topo.clone(), gfc_topology::Routing::spf(), cfg, tc);

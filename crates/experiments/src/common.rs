@@ -1,5 +1,6 @@
 //! Shared scaffolding for the per-figure experiment modules.
 
+use gfc_analysis::TimeSeries;
 use gfc_core::theorems;
 use gfc_core::units::{kb, Dur, Rate};
 use gfc_sim::config::PumpPolicy;
@@ -164,6 +165,60 @@ pub fn row(label: &str, paper: &str, measured: &str) -> String {
     format!("{label:<44} | paper: {paper:<24} | measured: {measured}\n")
 }
 
+/// Parse a timeline-sampler CSV export (header `t_ps,<track>,...`, see
+/// [`gfc_sim::Network::timeline_csv`]) back into per-track series,
+/// keeping the tracks whose name ends with `suffix` (e.g. `" ingress"`
+/// for the occupancy curves). This is how the figure modules derive
+/// their occupancy data — from the exported artifact itself, so the
+/// plotted curves and the CSV a user saves are one and the same.
+pub fn csv_track_series(csv: &str, suffix: &str) -> Vec<(String, TimeSeries)> {
+    let mut lines = csv.lines();
+    let Some(header) = lines.next() else {
+        return Vec::new();
+    };
+    let names = split_csv_row(header);
+    let keep: Vec<(usize, String)> = names
+        .iter()
+        .enumerate()
+        .skip(1) // column 0 is t_ps
+        .filter(|(_, n)| n.ends_with(suffix))
+        .map(|(i, n)| (i, n.clone()))
+        .collect();
+    let mut out: Vec<(String, TimeSeries)> =
+        keep.iter().map(|(_, n)| (n.clone(), TimeSeries::new())).collect();
+    for line in lines {
+        let fields = split_csv_row(line);
+        let t: u64 = fields[0].parse().expect("sampler CSV t_ps column");
+        for (k, (col, _)) in keep.iter().enumerate() {
+            let v: f64 = fields[*col].parse().expect("sampler CSV value");
+            out[k].1.push(t, v);
+        }
+    }
+    out
+}
+
+/// Split one CSV row with the same quoting convention the sampler's
+/// `to_csv` uses (fields containing commas or quotes are double-quoted).
+fn split_csv_row(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut quoted = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if quoted && chars.peek() == Some(&'"') => {
+                cur.push('"');
+                chars.next();
+            }
+            '"' => quoted = !quoted,
+            ',' if !quoted => fields.push(std::mem::take(&mut cur)),
+            _ => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +241,22 @@ mod tests {
     fn headline_disciplines() {
         assert_eq!(Scheme::Pfc.headline_pump(), PumpPolicy::OutputQueued);
         assert_eq!(Scheme::GfcBuffer.headline_pump(), PumpPolicy::RoundRobin);
+    }
+
+    #[test]
+    fn csv_round_trips_sampler_tracks() {
+        let csv = "t_ps,S1:p0 ingress,S1:p0 rate,\"odd,name ingress\"\n\
+                   0,100,1e9,7\n\
+                   50,200,5e8,8\n";
+        let occ = csv_track_series(csv, " ingress");
+        assert_eq!(occ.len(), 2);
+        assert_eq!(occ[0].0, "S1:p0 ingress");
+        assert_eq!(occ[0].1.points(), &[(0, 100.0), (50, 200.0)]);
+        assert_eq!(occ[1].0, "odd,name ingress");
+        assert_eq!(occ[1].1.points(), &[(0, 7.0), (50, 8.0)]);
+        let rates = csv_track_series(csv, " rate");
+        assert_eq!(rates.len(), 1);
+        assert_eq!(rates[0].1.points(), &[(0, 1e9), (50, 5e8)]);
     }
 
     #[test]

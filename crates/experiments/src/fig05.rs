@@ -91,9 +91,15 @@ fn run_one(params: &Fig05Params, fc: FcMode, extra_proc: Dur) -> SchemeTrace {
     cfg.ctrl_proc_delay = extra_proc;
     let mut tc = TraceConfig::none();
     let watched = (inc.switch, inc.topo.port_of(inc.switch, inc.sender_links[0]), 0u8);
-    tc.ingress_queue.push(watched);
-    tc.ingress_rate.push(watched);
-    tc.ingress_rate_bin = Dur::from_micros(10);
+    // The figure needs change-resolution occupancy at one point — finer
+    // than the timeline samplers' fixed cadence, so the legacy opt-in
+    // stays.
+    #[allow(deprecated)]
+    {
+        tc.ingress_queue.push(watched);
+        tc.ingress_rate.push(watched);
+        tc.ingress_rate_bin = Dur::from_micros(10);
+    }
     let mut net = Network::new(inc.topo.clone(), Routing::spf(), cfg, tc);
     for &s in &inc.senders {
         net.start_flow(s, inc.receiver, None, 0).expect("route");

@@ -74,9 +74,14 @@ pub fn run_scheme(params: &RingParams, scheme: Scheme) -> RingTrace {
     let cfg = sim_config_testbed(scheme, params.seed);
     let mut tc = TraceConfig::none();
     let watched = (ring.switches[0], ring.topo.port_of(ring.switches[0], ring.host_links[0]), 0u8);
-    tc.ingress_queue.push(watched);
-    tc.ingress_rate.push(watched);
-    tc.ingress_rate_bin = Dur::from_micros(50);
+    // Single watched point with change-resolution sampling — finer than
+    // the timeline samplers' fixed cadence, so the legacy opt-in stays.
+    #[allow(deprecated)]
+    {
+        tc.ingress_queue.push(watched);
+        tc.ingress_rate.push(watched);
+        tc.ingress_rate_bin = Dur::from_micros(50);
+    }
     let routing = Routing::fixed(ring.clockwise_routes());
     let verdict = static_verdict(&ring.topo, &routing, &cfg);
     let mut net = Network::new(ring.topo.clone(), routing, cfg, tc);

@@ -5,10 +5,12 @@
 //! deadlocks and every flow's throughput collapses to zero; under GFC
 //! each flow holds its ~5 Gb/s share.
 
-use crate::common::{fig11_scenario, row, sim_config_300k, static_verdict, Scheme};
+use crate::common::{
+    csv_track_series, fig11_scenario, row, sim_config_300k, static_verdict, Scheme,
+};
 use gfc_analysis::TimeSeries;
 use gfc_core::units::{Dur, Time};
-use gfc_sim::{Network, TraceConfig};
+use gfc_sim::{Network, SpanOutcome, TimelineConfig, TraceConfig};
 use gfc_topology::fattree::FIG11_FLOWS;
 use gfc_topology::{Routing, SpfRouting};
 use serde::{Deserialize, Serialize};
@@ -57,6 +59,22 @@ pub struct FatTreeCaseTrace {
     /// One-line telemetry snapshot at the horizon (`Snapshot::brief`),
     /// recorded next to the verdicts above.
     pub telemetry: String,
+    /// Ingress-occupancy curves (bytes), one per port that ever held
+    /// data, parsed back out of the timeline sampler's CSV export — the
+    /// plotted curves are literally the exported artifact.
+    pub occupancy: Vec<(String, TimeSeries)>,
+    /// Peak ingress occupancy across all ports, bytes. Must stay within
+    /// the configured buffer (losslessness seen from the buffers).
+    pub occupancy_peak_bytes: f64,
+    /// Flow spans that finished before the horizon (0 here: the case
+    /// study's sources are infinite).
+    pub flows_finished: u64,
+    /// Flow spans still open at the horizon (all of them here).
+    pub flows_stalled: u64,
+    /// The longest time any span had gone without a delivery when the
+    /// run ended, ms — near zero for a healthy run, the tail of the
+    /// horizon for a deadlocked one.
+    pub max_end_idle_ms: f64,
 }
 
 /// Run one scheme on the Fig. 11 scenario with the four case-study flows
@@ -67,7 +85,16 @@ pub fn run_scheme_with_extra(
     extra: &[(usize, usize)],
 ) -> FatTreeCaseTrace {
     let (ft, sc) = fig11_scenario();
-    let cfg = sim_config_300k(scheme, params.seed);
+    let mut cfg = sim_config_300k(scheme, params.seed);
+    // Timeline on: 50 µs sampler cadence (well under the 2 ms progress
+    // window; 600 samples over the 30 ms horizon, no decimation) plus
+    // per-flow spans. The occupancy curves below come from this.
+    cfg.telemetry.timeline = TimelineConfig {
+        sample_period_ps: Dur::from_micros(50).0,
+        max_samples: 1024,
+        spans: true,
+        stall_gap_ps: 0,
+    };
 
     // Static verdict over exactly the paths the flows are pinned to below.
     let mut r = SpfRouting::new();
@@ -130,6 +157,29 @@ pub fn run_scheme_with_extra(
         .iter()
         .map(|s| s.time_weighted_mean(tail_from, params.horizon.0).unwrap_or(0.0))
         .collect();
+
+    // Occupancy curves via the CSV export (not the in-memory sampler):
+    // what the figure plots is exactly what a user saves to disk.
+    let csv = net.timeline_csv().expect("timeline sampling is enabled above");
+    let occupancy: Vec<(String, TimeSeries)> = csv_track_series(&csv, " ingress")
+        .into_iter()
+        .filter(|(_, s)| s.max().unwrap_or(0.0) > 0.0)
+        .collect();
+    let occupancy_peak_bytes = occupancy.iter().filter_map(|(_, s)| s.max()).fold(0.0, f64::max);
+
+    let spans = net.flow_spans().expect("span tracking is enabled above");
+    let (fin, stalled) = spans.outcome_counts(params.horizon.0);
+    let max_end_idle_ms = spans
+        .spans()
+        .iter()
+        .map(|s| match spans.outcome(s, params.horizon.0) {
+            SpanOutcome::Finished => 0,
+            SpanOutcome::StalledAtEnd { idle_ps } => idle_ps,
+        })
+        .max()
+        .unwrap_or(0) as f64
+        / 1e9;
+
     FatTreeCaseTrace {
         flow_throughput,
         flow_tail_mean,
@@ -142,6 +192,11 @@ pub fn run_scheme_with_extra(
         drops: snap.counter(gfc_telemetry::names::DROPS).unwrap_or(0),
         static_verdict: verdict,
         telemetry: snap.brief(),
+        occupancy,
+        occupancy_peak_bytes,
+        flows_finished: fin as u64,
+        flows_stalled: stalled as u64,
+        max_end_idle_ms,
     }
 }
 
@@ -204,6 +259,23 @@ impl Fig12Result {
             "0 drops",
             &format!("PFC {} / GFC {}", self.pfc.drops, self.gfc.drops),
         );
+        s += &row(
+            "peak ingress occupancy (sampler CSV)",
+            "<= buffer (lossless)",
+            &format!(
+                "PFC {:.0} KB / GFC {:.0} KB",
+                self.pfc.occupancy_peak_bytes / 1024.0,
+                self.gfc.occupancy_peak_bytes / 1024.0
+            ),
+        );
+        s += &row(
+            "longest end-of-run delivery gap",
+            "PFC ~horizon, GFC ~0",
+            &format!(
+                "PFC {:.1} ms / GFC {:.2} ms",
+                self.pfc.max_end_idle_ms, self.gfc.max_end_idle_ms
+            ),
+        );
         s += &row("static preflight (PFC)", "deadlock reachable", &self.pfc.static_verdict);
         s += &row("static preflight (GFC)", "scheme immune", &self.gfc.static_verdict);
         s += &row("telemetry (PFC)", "snapshot recorded", &self.pfc.telemetry);
@@ -242,6 +314,29 @@ mod tests {
             r.gfc.static_verdict.contains("scheme immune"),
             "static GFC verdict: {}",
             r.gfc.static_verdict
+        );
+        // The timeline sees the same story. Occupancy curves come from
+        // the sampler's CSV export; deadlock shows up as a frozen span.
+        for t in [&r.pfc, &r.gfc] {
+            assert!(!t.occupancy.is_empty(), "sampler CSV must yield occupancy curves");
+            let buffer = 300 * 1024 + 4 * 1500;
+            assert!(
+                t.occupancy_peak_bytes > 0.0 && t.occupancy_peak_bytes <= buffer as f64,
+                "peak occupancy {} outside (0, {buffer}]",
+                t.occupancy_peak_bytes
+            );
+            assert_eq!(t.flows_finished, 0, "case-study sources are infinite");
+            assert_eq!(t.flows_stalled, 4, "every span is open at the horizon");
+        }
+        assert!(
+            r.pfc.max_end_idle_ms > 5.0,
+            "PFC spans should be frozen for most of the run, idle {:.2} ms",
+            r.pfc.max_end_idle_ms
+        );
+        assert!(
+            r.gfc.max_end_idle_ms < 1.0,
+            "GFC spans should be delivering up to the horizon, idle {:.2} ms",
+            r.gfc.max_end_idle_ms
         );
     }
 }

@@ -60,6 +60,28 @@ impl Fig13Result {
             "0 drops",
             &format!("CBFC {} / GFC {}", self.cbfc.drops, self.gfc.drops),
         );
+        s += &row(
+            "peak ingress occupancy (sampler CSV)",
+            "<= buffer (lossless)",
+            &format!(
+                "CBFC {:.0} KB / GFC {:.0} KB across {} / {} active ports",
+                self.cbfc.occupancy_peak_bytes / 1024.0,
+                self.gfc.occupancy_peak_bytes / 1024.0,
+                self.cbfc.occupancy.len(),
+                self.gfc.occupancy.len()
+            ),
+        );
+        s += &row(
+            "longest end-of-run delivery gap",
+            "CBFC ~horizon, GFC ~0",
+            &format!(
+                "CBFC {:.1} ms / GFC {:.2} ms ({} / {} spans open)",
+                self.cbfc.max_end_idle_ms,
+                self.gfc.max_end_idle_ms,
+                self.cbfc.flows_stalled,
+                self.gfc.flows_stalled
+            ),
+        );
         s
     }
 }
@@ -84,5 +106,27 @@ mod tests {
                 t / 1e9
             );
         }
+        // Occupancy curves, reproduced from the sampler CSV export: both
+        // schemes stay within the buffer (losslessness seen from the
+        // buffers), and the deadlock is visible as frozen spans.
+        let buffer = (300 * 1024 + 4 * 1500) as f64;
+        for t in [&r.cbfc, &r.gfc] {
+            assert!(!t.occupancy.is_empty(), "sampler CSV must yield occupancy curves");
+            assert!(
+                t.occupancy_peak_bytes > 0.0 && t.occupancy_peak_bytes <= buffer,
+                "peak occupancy {} outside (0, {buffer}]",
+                t.occupancy_peak_bytes
+            );
+        }
+        assert!(
+            r.cbfc.max_end_idle_ms > 5.0,
+            "CBFC spans should be frozen for most of the run, idle {:.2} ms",
+            r.cbfc.max_end_idle_ms
+        );
+        assert!(
+            r.gfc.max_end_idle_ms < 1.0,
+            "GFC-time spans should deliver up to the horizon, idle {:.2} ms",
+            r.gfc.max_end_idle_ms
+        );
     }
 }

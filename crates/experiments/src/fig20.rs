@@ -67,8 +67,13 @@ pub fn run(params: Fig20Params) -> Fig20Result {
     cfg.dcqcn = Some(DcqcnParams::fig20(cfg.capacity.0));
     let mut tc = TraceConfig::none();
     let watched = (inc.switch, inc.topo.port_of(inc.switch, inc.sender_links[0]), 0u8);
-    tc.ingress_queue.push(watched);
-    tc.egress_rate.push((inc.senders[0], 0, 0));
+    // Change-resolution series at two watched points — finer than the
+    // timeline samplers' fixed cadence, so the legacy opt-in stays.
+    #[allow(deprecated)]
+    {
+        tc.ingress_queue.push(watched);
+        tc.egress_rate.push((inc.senders[0], 0, 0));
+    }
     tc.dcqcn_flows.push(0); // first started flow gets id 0
     let mut net = Network::new(inc.topo.clone(), Routing::spf(), cfg, tc);
     for &s in &inc.senders {

@@ -7,7 +7,7 @@ use gfc_verify::FabricSpec;
 use serde::{Deserialize, Serialize};
 
 pub use gfc_core::fc_mode::FcMode;
-pub use gfc_telemetry::TelemetryConfig;
+pub use gfc_telemetry::{TelemetryConfig, TimelineConfig};
 pub use gfc_verify::PreflightPolicy;
 
 /// How a switch moves packets from ingress FIFOs into free egress staging

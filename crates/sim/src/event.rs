@@ -78,6 +78,9 @@ pub enum Event {
     },
     /// Progress / deadlock monitor sample.
     MonitorTick,
+    /// Periodic timeline sampler tick (reschedules itself at the
+    /// sampler's current — possibly decimation-doubled — cadence).
+    TimelineSample,
 }
 
 /// Min-heap of events keyed by `(time, seq)`.

@@ -49,8 +49,9 @@ pub mod port;
 mod telemetry;
 pub mod trace;
 
-pub use config::{FcMode, PreflightPolicy, SimConfig, TelemetryConfig};
+pub use config::{FcMode, PreflightPolicy, SimConfig, TelemetryConfig, TimelineConfig};
 pub use flowgen::{ClosedLoopWorkload, FlowRequest, ListWorkload, Workload};
+pub use gfc_telemetry::{ChromeTrace, FlowSpan, FlowSpans, SamplerSet, SpanOutcome};
 pub use network::{Network, SimStats};
 pub use trace::{TraceConfig, Traces};
 

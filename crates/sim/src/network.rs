@@ -25,14 +25,14 @@ use crate::fc::{CtrlPayload, FcReceiver, Gate};
 use crate::flowgen::{FlowRequest, Workload};
 use crate::packet::Packet;
 use crate::port::{IngressPacket, PortState, QueuedCtrl, StagedPacket};
-use crate::telemetry::SimTelemetry;
+use crate::telemetry::{PortSample, SimTelemetry};
 use crate::trace::{TraceConfig, Traces};
 use gfc_analysis::{FlowLedger, ProgressMonitor, ThroughputMeter};
 use gfc_core::units::{Dur, Rate, Time};
 use gfc_dcqcn::{CnpGenerator, ReactionPoint};
 use gfc_telemetry::{
-    names, FlightRecorder, ForensicsReport, ForensicsTrigger, PortOccupancy, Snapshot,
-    WaitForGraph, WfSide,
+    names, ChromeTrace, FlightRecorder, FlowSpans, ForensicsReport, ForensicsTrigger, Percentiles,
+    PortOccupancy, SamplerSet, Snapshot, WaitForGraph, WfSide,
 };
 use gfc_topology::{LinkId, NodeId, NodeKind, Routing, Topology};
 use rand::rngs::StdRng;
@@ -178,7 +178,14 @@ impl Network {
                 .collect()
         });
         let monitor = ProgressMonitor::new(cfg.progress_window.0);
-        let tel = SimTelemetry::new(&cfg.telemetry, cfg.buffer_bytes);
+        let mut tel = SimTelemetry::new(&cfg.telemetry, cfg.buffer_bytes, cfg.capacity.0);
+        // Register the timeline sampler tracks in the same (node, port)
+        // order the sampler tick will walk the port table.
+        for n in topo.node_ids() {
+            for p in 0..ports[n.0 as usize].len() {
+                tel.register_timeline_port(n, p, &format!("{}:p{p}", topo.node(n).name));
+            }
+        }
         let traces = Traces::for_config(&trace_cfg);
         let rng = StdRng::seed_from_u64(cfg.seed);
         let pump_rr = vec![0; ports.len()];
@@ -370,6 +377,31 @@ impl Network {
                 snap.push_counter(names::EVENTS_PER_SIM_SEC, per_sec as u64);
             }
         }
+        // Span-derived distribution entries (timeline spans on): outcome
+        // counts plus FCT / slowdown / stall percentiles, so experiments
+        // read tails through the snapshot instead of ad-hoc math.
+        if let Some(spans) = &self.tel.spans {
+            let (fin, stalled) = spans.outcome_counts(self.now.0);
+            snap.push_counter(names::SPANS_FINISHED, fin as u64);
+            snap.push_counter(names::SPANS_STALLED, stalled as u64);
+            if let Some(p) = Percentiles::of(&spans.fcts_ps()) {
+                snap.push_counter(names::FCT_P50_PS, p.p50 as u64);
+                snap.push_counter(names::FCT_P95_PS, p.p95 as u64);
+                snap.push_counter(names::FCT_P99_PS, p.p99 as u64);
+            }
+            let slowdowns =
+                self.ledger.slowdowns(self.cfg.capacity.0, self.cfg.prop_delay.0, self.cfg.mtu);
+            if let Some(p) = Percentiles::of(&slowdowns) {
+                snap.push_counter(names::SLOWDOWN_P50_MILLI, (p.p50 * 1000.0) as u64);
+                snap.push_counter(names::SLOWDOWN_P95_MILLI, (p.p95 * 1000.0) as u64);
+                snap.push_counter(names::SLOWDOWN_P99_MILLI, (p.p99 * 1000.0) as u64);
+            }
+            if let Some(p) = Percentiles::of(&spans.stall_times_ps()) {
+                snap.push_counter(names::STALL_P50_PS, p.p50 as u64);
+                snap.push_counter(names::STALL_P95_PS, p.p95 as u64);
+                snap.push_counter(names::STALL_P99_PS, p.p99 as u64);
+            }
+        }
         snap
     }
 
@@ -377,6 +409,47 @@ impl Network {
     /// `cfg.telemetry.flight_recorder > 0`).
     pub fn flight_recorder(&self) -> &FlightRecorder {
         &self.tel.rec
+    }
+
+    /// The timeline samplers — per-port ingress-occupancy / assigned-rate /
+    /// hold-state / link-utilization series — or `None` unless
+    /// `cfg.telemetry.timeline.sample_period_ps > 0`.
+    pub fn timeline_samplers(&self) -> Option<&SamplerSet> {
+        self.tel.samplers.as_ref()
+    }
+
+    /// Per-flow spans (start/finish/stall intervals), or `None` unless
+    /// `cfg.telemetry.timeline.spans` is on.
+    pub fn flow_spans(&self) -> Option<&FlowSpans> {
+        self.tel.spans.as_ref()
+    }
+
+    /// The sampler series as CSV (`t_ps,<track>,...`), or `None` with
+    /// sampling off. The plotting-friendly companion of
+    /// [`Self::chrome_trace`] — Fig-13-style occupancy curves come from
+    /// these columns.
+    pub fn timeline_csv(&self) -> Option<String> {
+        self.tel.samplers.as_ref().map(SamplerSet::to_csv)
+    }
+
+    /// Render everything the timeline knows about this run — sampler
+    /// counter tracks, per-flow async spans (closed at the current
+    /// instant), and the sparse flight-recorder events as instants — as a
+    /// Chrome trace-event document for Perfetto / `chrome://tracing`.
+    /// Always valid; empty sections are simply absent.
+    pub fn chrome_trace(&self) -> ChromeTrace {
+        let mut tr = ChromeTrace::new();
+        for n in self.topo.node_ids() {
+            tr.process_name(n.0, &self.topo.node(n).name);
+        }
+        if let Some(samplers) = &self.tel.samplers {
+            tr.add_samplers(samplers);
+        }
+        if let Some(spans) = &self.tel.spans {
+            tr.add_spans(spans, self.now.0);
+        }
+        tr.add_recorder_events(self.tel.rec.iter());
+        tr
     }
 
     /// The deadlock post-mortem, captured automatically when the first
@@ -428,6 +501,7 @@ impl Network {
         if let Some(total) = bytes {
             self.ledger.on_start(id, total, self.now.0, path.len() as u32);
         }
+        self.tel.on_flow_start(id, src, dst, prio, bytes, path.len() as u32, self.now.0);
         self.flows.insert(
             id,
             FlowMeta { src, src_index, total: bytes, delivered: 0, cnp_delay, finished: false },
@@ -474,6 +548,10 @@ impl Network {
         self.started = true;
         // Monitor.
         self.queue.push(self.now + self.cfg.monitor_interval, Event::MonitorTick);
+        // Timeline samplers.
+        if let Some(period) = self.tel.sampler_period_ps() {
+            self.queue.push(self.now + Dur(period), Event::TimelineSample);
+        }
         // Periodic feedback timers (CBFC / time-based GFC) on every port.
         let period = match self.cfg.fc {
             FcMode::Cbfc { period } => Some(period),
@@ -560,7 +638,37 @@ impl Network {
             Event::DcqcnTimer { host, flow } => self.on_dcqcn_timer(host, flow),
             Event::Cnp { host, flow } => self.on_cnp(host, flow),
             Event::MonitorTick => self.on_monitor_tick(),
+            Event::TimelineSample => self.on_timeline_sample(),
         }
+    }
+
+    /// One sampler tick: collect the per-port observations, feed them to
+    /// the sampler set, and reschedule at its *current* cadence (which
+    /// doubles whenever the sample budget forces a decimation, so long
+    /// runs stay bounded). Pure observation — never perturbs the run.
+    fn on_timeline_sample(&mut self) {
+        if self.tel.sampler_period_ps().is_none() {
+            return;
+        }
+        let now = self.now;
+        let mtu = self.cfg.mtu;
+        let mut rows: Vec<PortSample> = Vec::new();
+        for node_ports in &self.ports {
+            for ps in node_ports {
+                let head_bytes = ps.eg[0].q.front().map_or(mtu, |sp| sp.pkt.bytes);
+                rows.push(PortSample {
+                    ingress_bytes: ps.ingress_backlog(),
+                    rate_bps: ps.tx_fc[0].assigned_rate().0,
+                    held: ps.eg[0].bytes > 0 && ps.tx_fc[0].hard_blocked(head_bytes, now),
+                    tx_bytes_cum: ps.bytes_tx,
+                });
+            }
+        }
+        self.tel.on_timeline_sample(now.0, &rows);
+        // Re-read the cadence: this very sample may have tripped a
+        // decimation, doubling it.
+        let period = self.tel.sampler_period_ps().expect("samplers checked on");
+        self.queue.push(now + Dur(period), Event::TimelineSample);
     }
 
     fn on_arrive(&mut self, node: NodeId, port: usize, pkt: Packet) {
@@ -576,6 +684,7 @@ impl Network {
         self.stats.delivered_packets += 1;
         self.stats.delivered_bytes += pkt.bytes;
         self.tel.on_deliver(self.now.0, node, port, pkt.prio, pkt.bytes);
+        self.tel.on_flow_delivery(pkt.flow, pkt.bytes, self.now.0);
         // Keep credit accounting alive on the host's ingress (the switch's
         // egress towards us spends credits) — the sink drains instantly.
         {
@@ -632,6 +741,7 @@ impl Network {
         };
         if let Some((src, src_index)) = finished {
             self.ledger.on_finish(pkt.flow, self.now.0);
+            self.tel.on_flow_finish(pkt.flow, self.now.0);
             self.host_state.get_mut(&src).expect("host").flows.retain(|f| f.id != pkt.flow);
             if let Some(dst_hs) = self.host_state.get_mut(&node) {
                 dst_hs.cnp_gens.remove(&pkt.flow);
@@ -898,9 +1008,11 @@ impl Network {
         }
         // Control frames first (strict priority, immune to pause).
         if let Some(ctrl) = self.ports[n][port].ctrl_q.pop_front() {
-            let tx_time = Dur::for_bytes(ctrl.payload.wire_bytes(), self.cfg.capacity);
+            let wire = ctrl.payload.wire_bytes();
+            let tx_time = Dur::for_bytes(wire, self.cfg.capacity);
             let done = now + tx_time;
             let ps = &mut self.ports[n][port];
+            ps.bytes_tx += wire;
             ps.tx_busy = true;
             ps.current_ctrl = Some(ctrl);
             self.queue.push(done, Event::TxComplete { node, port });
@@ -963,6 +1075,7 @@ impl Network {
         let tx_time = Dur::for_bytes(sp.pkt.bytes, self.cfg.capacity);
         let done = now + tx_time;
         ps.tx_fc[prio].on_sent(sp.pkt.bytes, tx_time, done);
+        ps.bytes_tx += sp.pkt.bytes;
         ps.tx_busy = true;
         ps.current_data = Some((sp, prio as u8));
         ps.wrr_next = (prio + 1) % self.cfg.num_priorities;

@@ -105,6 +105,10 @@ pub struct PortState {
     /// Packets dropped at this ingress (buffer overflow — must stay 0 in
     /// lossless configs).
     pub drops: u64,
+    /// Cumulative bytes this port has put on the wire (data frames plus
+    /// control frames) — the basis of the timeline's link-utilization
+    /// track.
+    pub bytes_tx: u64,
 }
 
 impl PortState {
@@ -129,6 +133,7 @@ impl PortState {
             ctrl_bytes_rx: 0,
             ctrl_msgs_rx: 0,
             drops: 0,
+            bytes_tx: 0,
         }
     }
 

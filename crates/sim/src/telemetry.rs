@@ -12,10 +12,24 @@
 use crate::fc::CtrlPayload;
 use gfc_core::pfc::PfcEvent;
 use gfc_telemetry::{
-    names, CounterId, CtrlClass, EventRecord, FlightRecorder, ForensicsReport, GaugeId, HistId,
-    MetricsRegistry, RecordKind, TelemetryConfig,
+    names, CounterId, CtrlClass, EventRecord, FlightRecorder, FlowSpans, ForensicsReport, GaugeId,
+    HistId, MetricsRegistry, RecordKind, SamplerSet, TelemetryConfig,
 };
 use gfc_topology::NodeId;
+
+/// One port's raw observations at a sampler tick; the telemetry glue
+/// turns the cumulative tx counter into a per-interval utilization.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PortSample {
+    /// Ingress occupancy (all priorities), bytes.
+    pub(crate) ingress_bytes: u64,
+    /// Assigned egress-limiter rate (priority 0), bits per second.
+    pub(crate) rate_bps: u64,
+    /// Hard-blocked (paused / credit-starved) with backlog (priority 0).
+    pub(crate) held: bool,
+    /// Cumulative bytes transmitted on the wire.
+    pub(crate) tx_bytes_cum: u64,
+}
 
 /// Classify a control payload for counting/recording.
 pub(crate) fn ctrl_class(payload: &CtrlPayload) -> CtrlClass {
@@ -39,6 +53,16 @@ pub(crate) struct SimTelemetry {
     pub(crate) forensics_on: bool,
     /// The post-mortem, captured at most once per run.
     pub(crate) forensics: Option<ForensicsReport>,
+    /// Timeline samplers (None unless `cfg.timeline.sample_period_ps > 0`).
+    pub(crate) samplers: Option<SamplerSet>,
+    /// Per-flow spans (None unless `cfg.timeline.spans`).
+    pub(crate) spans: Option<FlowSpans>,
+    /// Link capacity, for the utilization track.
+    capacity_bps: u64,
+    /// Previous cumulative tx bytes per registered sampler port.
+    prev_tx: Vec<u64>,
+    /// Instant of the previous sampler tick.
+    prev_sample_ps: Option<u64>,
     events: CounterId,
     enqueues: CounterId,
     pause_rx: CounterId,
@@ -57,7 +81,7 @@ pub(crate) struct SimTelemetry {
 }
 
 impl SimTelemetry {
-    pub(crate) fn new(cfg: &TelemetryConfig, buffer_bytes: u64) -> SimTelemetry {
+    pub(crate) fn new(cfg: &TelemetryConfig, buffer_bytes: u64, capacity_bps: u64) -> SimTelemetry {
         let mut reg =
             if cfg.metrics { MetricsRegistry::new() } else { MetricsRegistry::disabled() };
         // Occupancy buckets at fixed fractions of the ingress buffer.
@@ -90,7 +114,88 @@ impl SimTelemetry {
             rec: FlightRecorder::new(cfg.flight_recorder),
             forensics_on: cfg.forensics,
             forensics: None,
+            samplers: cfg
+                .timeline
+                .sampling()
+                .then(|| SamplerSet::new(cfg.timeline.sample_period_ps, cfg.timeline.max_samples)),
+            spans: cfg.timeline.spans.then(|| FlowSpans::new(cfg.timeline.stall_gap_or_default())),
+            capacity_bps,
+            prev_tx: Vec::new(),
+            prev_sample_ps: None,
             reg,
+        }
+    }
+
+    /// Register the four standard sampler tracks for `(node, port)` under
+    /// `label`; a no-op with the samplers off. Call once per port, before
+    /// the first tick, in the same order ticks will supply rows.
+    pub(crate) fn register_timeline_port(&mut self, node: NodeId, port: usize, label: &str) {
+        if let Some(s) = &mut self.samplers {
+            s.register_port(node.0, port as u16, label);
+            self.prev_tx.push(0);
+        }
+    }
+
+    /// The samplers' current cadence, ps (doubles on decimation); `None`
+    /// when sampling is off.
+    pub(crate) fn sampler_period_ps(&self) -> Option<u64> {
+        self.samplers.as_ref().map(SamplerSet::period_ps)
+    }
+
+    /// One sampler tick: `ports` in registration order.
+    pub(crate) fn on_timeline_sample(&mut self, t_ps: u64, ports: &[PortSample]) {
+        let Some(samplers) = &mut self.samplers else { return };
+        debug_assert_eq!(ports.len(), self.prev_tx.len(), "port set changed mid-run");
+        let dt_ps = self.prev_sample_ps.map_or(t_ps, |p| t_ps.saturating_sub(p));
+        let mut row = Vec::with_capacity(ports.len() * 4);
+        for (prev, p) in self.prev_tx.iter_mut().zip(ports) {
+            let sent_bits = p.tx_bytes_cum.saturating_sub(*prev) as f64 * 8.0;
+            let util = if dt_ps > 0 && self.capacity_bps > 0 {
+                (sent_bits * 1e12 / (dt_ps as f64 * self.capacity_bps as f64)).min(1.0)
+            } else {
+                0.0
+            };
+            row.push(p.ingress_bytes as f64);
+            row.push(p.rate_bps as f64);
+            row.push(if p.held { 1.0 } else { 0.0 });
+            row.push(util);
+            *prev = p.tx_bytes_cum;
+        }
+        samplers.sample(t_ps, &row);
+        self.prev_sample_ps = Some(t_ps);
+    }
+
+    /// Span hook: a flow started.
+    #[inline]
+    #[allow(clippy::too_many_arguments)] // mirrors FlowSpans::on_start
+    pub(crate) fn on_flow_start(
+        &mut self,
+        id: u64,
+        src: NodeId,
+        dst: NodeId,
+        prio: u8,
+        bytes: Option<u64>,
+        path_links: u32,
+        t_ps: u64,
+    ) {
+        if let Some(spans) = &mut self.spans {
+            spans.on_start(id, src.0, dst.0, prio, bytes, path_links, t_ps);
+        }
+    }
+
+    /// Span hook: `bytes` of a flow reached its destination.
+    #[inline]
+    pub(crate) fn on_flow_delivery(&mut self, id: u64, bytes: u64, t_ps: u64) {
+        if let Some(spans) = &mut self.spans {
+            spans.on_delivery(id, bytes, t_ps);
+        }
+    }
+
+    /// Span hook: a flow's last byte was delivered.
+    #[inline]
+    pub(crate) fn on_flow_finish(&mut self, id: u64, t_ps: u64) {
+        if let Some(spans) = &mut self.spans {
+            spans.on_finish(id, t_ps);
         }
     }
 

@@ -2,6 +2,15 @@
 //!
 //! Tracing is opt-in per observation point so that large sweeps pay
 //! nothing for instrumentation they don't use.
+//!
+//! The per-port observation points (`ingress_queue` / `ingress_rate` /
+//! `egress_rate`) are **deprecated**: the timeline samplers
+//! (`SimConfig::telemetry.timeline`, see
+//! [`Network::timeline_samplers`](crate::Network::timeline_samplers))
+//! cover every port with bounded memory and export straight to CSV and
+//! Chrome trace JSON. The fields remain as a shim so existing callers
+//! compile. The flow-level series (`dcqcn_flows`, `host_throughput_bin`)
+//! have no sampler equivalent and stay supported.
 
 use gfc_analysis::{ThroughputMeter, TimeSeries};
 use gfc_core::units::Dur;
@@ -16,13 +25,27 @@ pub type PortKey = (NodeId, usize, u8);
 pub struct TraceConfig {
     /// Ingress-queue length series at these points (sampled on every
     /// change).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the timeline samplers (`SimConfig::telemetry.timeline`) — every port's \
+                ingress occupancy, with bounded memory"
+    )]
     pub ingress_queue: Vec<PortKey>,
     /// Ingress arrival-rate meters at these points, with this bin width.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the timeline samplers' link-utilization track (upstream egress) instead"
+    )]
     pub ingress_rate: Vec<PortKey>,
     /// Bin width for `ingress_rate` (default 10 µs).
+    #[deprecated(since = "0.1.0", note = "only meaningful with the deprecated `ingress_rate`")]
     pub ingress_rate_bin: Dur,
     /// Assigned egress-limiter rate series at these points (sampled on
     /// every flow-control update).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the timeline samplers' assigned-rate track (`SimConfig::telemetry.timeline`)"
+    )]
     pub egress_rate: Vec<PortKey>,
     /// DCQCN per-flow rate series for these flow ids.
     pub dcqcn_flows: Vec<u64>,
@@ -35,6 +58,7 @@ impl Default for TraceConfig {
     /// No observation points, with the documented 10 µs ingress-rate bin
     /// (a derived `Default` would zero the bin width, making any later
     /// opt-in meter degenerate).
+    #[allow(deprecated)] // the shim still initializes the legacy fields
     fn default() -> Self {
         TraceConfig {
             ingress_queue: Vec::new(),
@@ -56,6 +80,12 @@ impl TraceConfig {
     /// Observe every `(node, port)` of `topo` at priority 0: ingress
     /// queue lengths, ingress arrival rates, and assigned egress rates.
     /// Convenient for forensic single runs; too heavy for sweeps.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the timeline samplers (`SimConfig::telemetry.timeline = \
+                TimelineConfig::full()`): same coverage, bounded memory, CSV/Perfetto export"
+    )]
+    #[allow(deprecated)]
     pub fn all_ports(topo: &Topology) -> Self {
         let mut keys: Vec<PortKey> = Vec::new();
         for n in topo.node_ids() {
@@ -89,6 +119,7 @@ pub struct Traces {
 
 impl Traces {
     /// Initialize storage for a configuration.
+    #[allow(deprecated)] // the shim still honors the legacy opt-ins
     pub fn for_config(tc: &TraceConfig) -> Self {
         let mut t = Traces::default();
         for &k in &tc.ingress_queue {
@@ -108,6 +139,7 @@ impl Traces {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shim's behavior is exactly what's under test
 mod tests {
     use super::*;
     use gfc_topology::Ring;

@@ -18,16 +18,23 @@
 //!   per-port occupancies, and the trailing recorder events, rendered as
 //!   text or Graphviz DOT.
 
+pub mod export;
 pub mod forensics;
 pub mod recorder;
 pub mod registry;
+pub mod timeline;
 
+pub use export::ChromeTrace;
 pub use forensics::{
     ForensicsReport, ForensicsTrigger, PortOccupancy, WaitForGraph, WfSide, WfVertex,
 };
 pub use recorder::{CtrlClass, EventRecord, FlightRecorder, RecordKind};
 pub use registry::{
-    names, CounterId, GaugeId, HistId, MetricEntry, MetricValue, MetricsRegistry, Snapshot,
+    names, percentile, CounterId, GaugeId, HistId, MetricEntry, MetricValue, MetricsRegistry,
+    Percentiles, Snapshot,
+};
+pub use timeline::{
+    FlowSpan, FlowSpans, SamplerSet, SpanOutcome, TimelineConfig, TrackKind, TrackMeta,
 };
 
 use serde::{Deserialize, Serialize};
@@ -45,26 +52,45 @@ pub struct TelemetryConfig {
     pub flight_recorder: usize,
     /// Capture a [`ForensicsReport`] when a deadlock verdict first lands.
     pub forensics: bool,
+    /// Timeline layer: periodic per-port samplers and per-flow spans
+    /// (see [`TimelineConfig`]).
+    pub timeline: TimelineConfig,
 }
 
 impl TelemetryConfig {
     /// Everything off — the configuration for perf-sensitive sweeps.
     pub fn off() -> TelemetryConfig {
-        TelemetryConfig { metrics: false, flight_recorder: 0, forensics: false }
+        TelemetryConfig {
+            metrics: false,
+            flight_recorder: 0,
+            forensics: false,
+            timeline: TimelineConfig::off(),
+        }
     }
 
-    /// Metrics + forensics on and a deep flight recorder — the
-    /// configuration for debugging a single run.
+    /// Metrics + forensics on, a deep flight recorder, and the timeline
+    /// layer sampling — the configuration for debugging a single run.
     pub fn full() -> TelemetryConfig {
-        TelemetryConfig { metrics: true, flight_recorder: 4096, forensics: true }
+        TelemetryConfig {
+            metrics: true,
+            flight_recorder: 4096,
+            forensics: true,
+            timeline: TimelineConfig::full(),
+        }
     }
 }
 
 impl Default for TelemetryConfig {
-    /// Metrics and forensics on, flight recorder off: the snapshot API
-    /// works everywhere, while the per-event recording cost is opt-in.
+    /// Metrics and forensics on, flight recorder and timeline off: the
+    /// snapshot API works everywhere, while the per-event and per-period
+    /// recording costs are opt-in.
     fn default() -> TelemetryConfig {
-        TelemetryConfig { metrics: true, flight_recorder: 0, forensics: true }
+        TelemetryConfig {
+            metrics: true,
+            flight_recorder: 0,
+            forensics: true,
+            timeline: TimelineConfig::off(),
+        }
     }
 }
 
@@ -77,9 +103,13 @@ mod tests {
         let d = TelemetryConfig::default();
         assert!(d.metrics && d.forensics);
         assert_eq!(d.flight_recorder, 0);
+        assert!(!d.timeline.sampling() && !d.timeline.spans);
         let off = TelemetryConfig::off();
         assert!(!off.metrics && !off.forensics);
         assert_eq!(off.flight_recorder, 0);
-        assert!(TelemetryConfig::full().flight_recorder > 0);
+        assert!(!off.timeline.sampling());
+        let full = TelemetryConfig::full();
+        assert!(full.flight_recorder > 0);
+        assert!(full.timeline.sampling() && full.timeline.spans);
     }
 }

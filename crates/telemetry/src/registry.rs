@@ -274,6 +274,39 @@ impl Snapshot {
         now.saturating_sub(then) as f64 * 8.0 / (dt as f64 / 1e12)
     }
 
+    /// Approximate `p`-th percentile (0–100) of a histogram metric,
+    /// linearly interpolated inside the containing bucket. Observations
+    /// in the overflow bucket resolve to the last bound (a lower bound on
+    /// the true value). `None` if the metric is missing, not a histogram,
+    /// or empty.
+    pub fn percentile(&self, name: &str, p: f64) -> Option<f64> {
+        let (bounds, counts, count) = self.entries.iter().find_map(|e| match &e.value {
+            MetricValue::Histogram { bounds, counts, count, .. } if e.name == name => {
+                Some((bounds, counts, *count))
+            }
+            _ => None,
+        })?;
+        if count == 0 {
+            return None;
+        }
+        let rank = (p.clamp(0.0, 100.0) / 100.0) * count as f64;
+        let mut seen = 0.0;
+        for (i, &c) in counts.iter().enumerate() {
+            let next = seen + c as f64;
+            if next >= rank && c > 0 {
+                let Some(&hi) = bounds.get(i) else {
+                    // Overflow bucket: the last finite bound is all we know.
+                    return Some(bounds.last().copied().unwrap_or(0) as f64);
+                };
+                let lo = if i == 0 { 0 } else { bounds[i - 1] };
+                let frac = ((rank - seen) / c as f64).clamp(0.0, 1.0);
+                return Some(lo as f64 + frac * (hi - lo) as f64);
+            }
+            seen = next;
+        }
+        Some(bounds.last().copied().unwrap_or(0) as f64)
+    }
+
     /// One-line human summary: time, delivered bytes, goodput, drops,
     /// control messages, hold-and-wait episodes.
     pub fn brief(&self) -> String {
@@ -352,7 +385,54 @@ impl Snapshot {
     }
 }
 
-fn json_str(s: &str) -> String {
+/// Nearest-rank `p`-th percentile (0–100) of unsorted `samples`; `None`
+/// if empty. The shared primitive behind FCT-span and experiment
+/// statistics — use this instead of per-experiment sort-and-index math.
+pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));
+    let rank = ((p.clamp(0.0, 100.0) / 100.0) * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
+}
+
+/// The p50/p95/p99 triple of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Percentiles {
+    /// Median (nearest rank).
+    pub p50: f64,
+    /// 95th percentile (nearest rank).
+    pub p95: f64,
+    /// 99th percentile (nearest rank).
+    pub p99: f64,
+}
+
+impl Percentiles {
+    /// Compute all three from unsorted samples; `None` if empty.
+    pub fn of(samples: &[f64]) -> Option<Percentiles> {
+        Some(Percentiles {
+            p50: percentile(samples, 50.0)?,
+            p95: percentile(samples, 95.0)?,
+            p99: percentile(samples, 99.0)?,
+        })
+    }
+
+    /// The same triple with every value multiplied by `k` — unit
+    /// conversion for display (e.g. picoseconds to ms with `1e-9`).
+    pub fn scaled(&self, k: f64) -> Percentiles {
+        Percentiles { p50: self.p50 * k, p95: self.p95 * k, p99: self.p99 * k }
+    }
+}
+
+impl core::fmt::Display for Percentiles {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "p50={:.3} p95={:.3} p99={:.3}", self.p50, self.p95, self.p99)
+    }
+}
+
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -444,6 +524,29 @@ pub mod names {
     /// GFC feedback stage observed at each stage-frame receipt
     /// (histogram).
     pub const STAGE_HIST: &str = "fc.stage.values";
+
+    /// Flow spans that finished before the horizon (derived, spans on).
+    pub const SPANS_FINISHED: &str = "flow.spans.finished";
+    /// Flow spans still unfinished at the horizon (derived, spans on).
+    pub const SPANS_STALLED: &str = "flow.spans.stalled_at_end";
+    /// Median flow completion time, ps (derived, spans on).
+    pub const FCT_P50_PS: &str = "flow.fct.p50_ps";
+    /// 95th-percentile flow completion time, ps (derived, spans on).
+    pub const FCT_P95_PS: &str = "flow.fct.p95_ps";
+    /// 99th-percentile flow completion time, ps (derived, spans on).
+    pub const FCT_P99_PS: &str = "flow.fct.p99_ps";
+    /// Median FCT slowdown vs. the ideal, in thousandths (derived).
+    pub const SLOWDOWN_P50_MILLI: &str = "flow.slowdown.p50_milli";
+    /// 95th-percentile slowdown, thousandths (derived).
+    pub const SLOWDOWN_P95_MILLI: &str = "flow.slowdown.p95_milli";
+    /// 99th-percentile slowdown, thousandths (derived).
+    pub const SLOWDOWN_P99_MILLI: &str = "flow.slowdown.p99_milli";
+    /// Median accumulated stall time across all spans, ps (derived).
+    pub const STALL_P50_PS: &str = "flow.stall.p50_ps";
+    /// 95th-percentile stall time, ps (derived).
+    pub const STALL_P95_PS: &str = "flow.stall.p95_ps";
+    /// 99th-percentile stall time, ps (derived).
+    pub const STALL_P99_PS: &str = "flow.stall.p99_ps";
 }
 
 #[cfg(test)]
@@ -546,5 +649,45 @@ mod tests {
     #[test]
     fn json_escapes_strings() {
         assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&[7.0], 99.0), Some(7.0));
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&v, 50.0), Some(50.0));
+        assert_eq!(percentile(&v, 95.0), Some(95.0));
+        assert_eq!(percentile(&v, 99.0), Some(99.0));
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 100.0), Some(100.0));
+        // Unsorted input is handled.
+        assert_eq!(percentile(&[3.0, 1.0, 2.0], 50.0), Some(2.0));
+        let p = Percentiles::of(&v).unwrap();
+        assert_eq!((p.p50, p.p95, p.p99), (50.0, 95.0, 99.0));
+        assert_eq!(format!("{p}"), "p50=50.000 p95=95.000 p99=99.000");
+    }
+
+    #[test]
+    fn snapshot_histogram_percentile_interpolates() {
+        let mut reg = MetricsRegistry::new();
+        let h = reg.histogram("occ", &[100, 200]);
+        // 10 observations ≤ 100, 10 in (100, 200].
+        for _ in 0..10 {
+            reg.observe(h, 50);
+        }
+        for _ in 0..10 {
+            reg.observe(h, 150);
+        }
+        let snap = reg.snapshot();
+        // Median rank 10 lands exactly at the top of the first bucket.
+        assert_eq!(snap.percentile("occ", 50.0), Some(100.0));
+        // Rank 15 is halfway through the second bucket.
+        assert_eq!(snap.percentile("occ", 75.0), Some(150.0));
+        assert_eq!(snap.percentile("missing", 50.0), None);
+        // Overflow observations clamp to the last bound.
+        reg.observe(h, 1000);
+        let snap = reg.snapshot();
+        assert_eq!(snap.percentile("occ", 100.0), Some(200.0));
     }
 }
