@@ -1,0 +1,179 @@
+//! **core_throughput** — events/sec of the simulator core, the tracked
+//! perf trajectory behind every figure regeneration.
+//!
+//! Two canonical scenarios:
+//!
+//! * `ring_wedge_pfc` — the Fig. 9 testbed ring under PFC (wedge
+//!   formation plus the post-deadlock idle loop);
+//! * `fattree_k8_gfc` — a failed k = 8 fat-tree under buffer-based GFC
+//!   with the closed-loop enterprise workload (one Fig. 16 panel-(a)
+//!   case), the scaling axis of the §6.2 sweeps.
+//!
+//! Unlike the figure benches this target hand-rolls its timing loop
+//! instead of using Criterion: it needs the *event count* of each run
+//! (from the telemetry `sim.events` counter) next to the wall clock to
+//! report events/sec, and it writes the result as `BENCH_core.json` at
+//! the repo root so the perf trajectory is tracked as an artifact.
+//!
+//! Run with `cargo bench -p gfc-bench --bench core_throughput`.
+//! Environment knobs:
+//!
+//! * `GFC_BENCH_SMOKE=1` — shortened horizons for the CI smoke step;
+//! * `GFC_BENCH_RUNS=N` — timed repetitions per scenario (default 3;
+//!   the fastest run is reported — every repetition replays the same
+//!   deterministic event sequence, so min is the noise-free estimator);
+//! * `GFC_BENCH_OUT=path` — where to write the JSON (default
+//!   `<repo root>/BENCH_core.json`).
+
+use gfc_core::units::{Dur, Time};
+use gfc_experiments::common::{sim_config_300k, sim_config_testbed, Scheme};
+use gfc_sim::flowgen::ClosedLoopWorkload;
+use gfc_sim::{Network, TraceConfig};
+use gfc_telemetry::names;
+use gfc_topology::cbd::all_pairs_depgraph;
+use gfc_topology::fattree::FatTree;
+use gfc_topology::{Ring, Routing};
+use gfc_workload::{DestPolicy, EmpiricalCdf, FlowSizeDist};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// One scenario's measurement.
+struct Measurement {
+    name: &'static str,
+    sim_horizon_ms: f64,
+    events: u64,
+    wall_ms: f64,
+    events_per_sec: f64,
+    runs: usize,
+}
+
+/// Time `build`+`run` cycles: the network construction is excluded, the
+/// event loop (including lazy SPF route resolution, which is part of the
+/// per-flow hot path) is timed. Returns the fastest of `runs` timings.
+fn measure(
+    name: &'static str,
+    horizon: Time,
+    runs: usize,
+    build: impl Fn() -> Network,
+) -> Measurement {
+    let mut best_wall = f64::INFINITY;
+    let mut events = 0u64;
+    for r in 0..runs {
+        let mut net = build();
+        let start = Instant::now();
+        net.run_until(horizon);
+        let wall = start.elapsed().as_secs_f64();
+        let ev = net.metrics_snapshot().counter(names::EVENTS).unwrap_or(0);
+        if r == 0 {
+            events = ev;
+        } else {
+            assert_eq!(ev, events, "{name}: event count varied across identical runs");
+        }
+        best_wall = best_wall.min(wall);
+    }
+    Measurement {
+        name,
+        sim_horizon_ms: horizon.as_millis_f64(),
+        events,
+        wall_ms: best_wall * 1e3,
+        events_per_sec: events as f64 / best_wall,
+        runs,
+    }
+}
+
+/// The Fig. 9 ring wedge: three clockwise greedy flows under PFC on the
+/// testbed parameterization; the fabric wedges within milliseconds and
+/// the remainder of the horizon exercises the idle monitor loop.
+fn ring_wedge(horizon: Time, runs: usize) -> Measurement {
+    measure("ring_wedge_pfc", horizon, runs, || {
+        let ring = Ring::new(3);
+        let cfg = sim_config_testbed(Scheme::Pfc, 9);
+        let routing = Routing::fixed(ring.clockwise_routes());
+        let mut net = Network::new(ring.topo.clone(), routing, cfg, TraceConfig::none());
+        let stagger = Dur::from_micros(500);
+        for (i, (src, dst)) in ring.clockwise_flows().into_iter().enumerate() {
+            net.run_until(Time(stagger.0 * i as u64));
+            net.start_flow(src, dst, None, 0).expect("clockwise route");
+        }
+        net
+    })
+}
+
+/// One Fig. 16 panel-(a) case: the first connected, CBD-free k = 8
+/// fat-tree under 5 % link failures, buffer-based GFC, closed-loop
+/// enterprise workload from every host.
+fn fattree_k8(horizon: Time, runs: usize) -> Measurement {
+    let mut seed = 4242u64;
+    let ft = loop {
+        seed = seed.wrapping_add(1);
+        let mut ft = FatTree::new(8);
+        let mut rng = StdRng::seed_from_u64(seed);
+        ft.inject_failures(&mut rng, 0.05);
+        if ft.topo.hosts_connected() && all_pairs_depgraph(&ft.topo).find_cycle().is_none() {
+            break ft;
+        }
+    };
+    let racks: Vec<u32> = (0..ft.hosts.len()).map(|h| ft.rack_of_host(h) as u32).collect();
+    measure("fattree_k8_gfc", horizon, runs, || {
+        let cfg = sim_config_300k(Scheme::GfcBuffer, 4242);
+        let mut net = Network::new(ft.topo.clone(), Routing::spf(), cfg, TraceConfig::none());
+        net.install_workload(Box::new(ClosedLoopWorkload {
+            sizes: FlowSizeDist::Empirical(EmpiricalCdf::enterprise()),
+            dests: DestPolicy::inter_rack(racks.clone()),
+            num_hosts: ft.hosts.len(),
+            prio: 0,
+            stop_after: None,
+        }));
+        net
+    })
+}
+
+fn render_json(mode: &str, ms: &[Measurement]) -> String {
+    let mut out = String::from("{\n");
+    out += "  \"bench\": \"core_throughput\",\n";
+    out += &format!("  \"mode\": \"{mode}\",\n");
+    out += "  \"scenarios\": [\n";
+    for (i, m) in ms.iter().enumerate() {
+        out += &format!(
+            "    {{\"name\": \"{}\", \"sim_horizon_ms\": {:.3}, \"events\": {}, \
+             \"wall_ms\": {:.3}, \"events_per_sec\": {:.0}, \"runs\": {}}}{}\n",
+            m.name,
+            m.sim_horizon_ms,
+            m.events,
+            m.wall_ms,
+            m.events_per_sec,
+            m.runs,
+            if i + 1 < ms.len() { "," } else { "" }
+        );
+    }
+    out += "  ]\n}\n";
+    out
+}
+
+fn main() {
+    let smoke = std::env::var("GFC_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let runs: usize =
+        std::env::var("GFC_BENCH_RUNS").ok().and_then(|v| v.parse().ok()).unwrap_or(3);
+    let mode = if smoke { "smoke" } else { "full" };
+    // Smoke horizons keep the CI step comfortably under two minutes.
+    let (ring_h, ft_h) = if smoke {
+        (Time::from_millis(10), Time::from_millis(2))
+    } else {
+        (Time::from_millis(30), Time::from_millis(6))
+    };
+    println!("core_throughput ({mode}, {runs} runs per scenario)");
+    let ms = [ring_wedge(ring_h, runs), fattree_k8(ft_h, runs)];
+    for m in &ms {
+        println!(
+            "  {:<16} {:>10} events in {:>9.2} ms wall  =>  {:>11.0} events/sec  \
+             ({:.1} ms simulated)",
+            m.name, m.events, m.wall_ms, m.events_per_sec, m.sim_horizon_ms
+        );
+    }
+    let json = render_json(mode, &ms);
+    let out = std::env::var("GFC_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_core.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out, json).expect("write BENCH_core.json");
+    println!("wrote {out}");
+}

@@ -1,0 +1,136 @@
+//! A minimal Fx hasher (the rustc / Firefox multiply-fold hash) and the
+//! `HashMap`/`HashSet` aliases built on it.
+//!
+//! The std `HashMap` defaults to SipHash-1-3, which is DoS-resistant but
+//! costs tens of nanoseconds per lookup — noticeable on simulator hot
+//! paths that key small integers (flow ids, `(node, port, prio)` tuples).
+//! Fx is a few shifts and one multiply per word, is deterministic across
+//! runs and platforms of the same word size, and is exactly right for
+//! trusted in-process keys. Use it where keys are *genuinely sparse*
+//! (otherwise prefer a dense `Vec` indexed table, which beats any hash).
+//!
+//! This is a vendored-in-place stand-in for the `rustc-hash` crate (the
+//! build is offline); the algorithm is the classic one: for each word,
+//! `hash = (hash rotate-left 5 XOR word) * SEED`.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The Fx multiply-fold hasher. Not DoS-resistant; in-process keys only.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in chunks.by_ref() {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(tail) | ((rest.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_hashers() {
+        let hash = |x: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(x);
+            h.finish()
+        };
+        assert_eq!(hash(42), hash(42));
+        assert_ne!(hash(42), hash(43));
+    }
+
+    #[test]
+    fn byte_slices_hash_by_content() {
+        let hash = |b: &[u8]| {
+            let mut h = FxHasher::default();
+            h.write(b);
+            h.finish()
+        };
+        assert_eq!(hash(b"hello world"), hash(b"hello world"));
+        assert_ne!(hash(b"hello world"), hash(b"hello worle"));
+        // Length participates for non-multiple-of-8 tails.
+        assert_ne!(hash(b"ab"), hash(b"ab\0"));
+    }
+
+    #[test]
+    fn map_works_like_std() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(7, "seven");
+        m.insert(11, "eleven");
+        assert_eq!(m.get(&7), Some(&"seven"));
+        assert_eq!(m.remove(&11), Some("eleven"));
+        assert!(!m.contains_key(&11));
+        let mut s: FxHashSet<(u32, u8)> = FxHashSet::default();
+        assert!(s.insert((3, 1)));
+        assert!(!s.insert((3, 1)));
+    }
+}

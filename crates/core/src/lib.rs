@@ -20,6 +20,7 @@
 //! | [`gfc_time`] | time-based GFC (§5.2) |
 //! | [`rate_limiter`] | the three-register egress Rate Limiter (§5.3) |
 //! | [`frames`] | wire codecs: PFC/GFC MAC control frame, InfiniBand FCP |
+//! | [`fxhash`] | the Fx multiply-fold hasher + `FxHashMap`/`FxHashSet` for hot sparse-key tables |
 //! | [`params`] | §5.4 parameter derivations for 10/40/100G CEE and IB |
 //!
 //! Every state machine is deterministic and side-effect-free: the
@@ -54,6 +55,7 @@ pub mod cbfc;
 pub mod conceptual;
 pub mod fc_mode;
 pub mod frames;
+pub mod fxhash;
 pub mod gfc_buffer;
 pub mod gfc_time;
 pub mod mapping;

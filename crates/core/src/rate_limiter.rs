@@ -36,6 +36,11 @@ pub struct RateLimiter {
     last_tx_time: Dur,
     /// Completion instant of the last packet sent.
     last_completion: Time,
+    /// Cached `gap_after(last_tx_time)`, refreshed whenever `rate` or
+    /// `last_tx_time` changes — [`Self::earliest_send`] runs on every
+    /// transmission attempt of every queue, and the gap formula's 128-bit
+    /// division is too hot there.
+    cur_gap: Dur,
 }
 
 impl RateLimiter {
@@ -57,6 +62,7 @@ impl RateLimiter {
             min_unit,
             last_tx_time: Dur::ZERO,
             last_completion: Time::ZERO,
+            cur_gap: Dur::ZERO,
         }
     }
 
@@ -79,6 +85,7 @@ impl RateLimiter {
     pub fn set_rate(&mut self, r: Rate) {
         self.rate =
             if r == Rate::ZERO { Rate::ZERO } else { r.max(self.min_unit).min(self.capacity) };
+        self.cur_gap = self.gap_after(self.last_tx_time);
     }
 
     /// Earliest instant a new packet may begin transmission, given `now`:
@@ -88,7 +95,7 @@ impl RateLimiter {
         if self.rate == Rate::ZERO {
             return Time::MAX;
         }
-        now.max(self.last_completion.saturating_add(self.gap_after(self.last_tx_time)))
+        now.max(self.last_completion.saturating_add(self.cur_gap))
     }
 
     /// Whether a packet may begin transmission at `now`.
@@ -102,6 +109,7 @@ impl RateLimiter {
     pub fn on_packet_sent(&mut self, tx_time: Dur, completion: Time) {
         self.last_tx_time = tx_time;
         self.last_completion = completion;
+        self.cur_gap = self.gap_after(tx_time);
     }
 
     /// The idle gap the limiter inserts after a packet whose serialization
@@ -123,6 +131,7 @@ impl RateLimiter {
     pub fn reset(&mut self) {
         self.last_tx_time = Dur::ZERO;
         self.last_completion = Time::ZERO;
+        self.cur_gap = self.gap_after(Dur::ZERO);
     }
 }
 

@@ -120,6 +120,16 @@ impl Dur {
         if rate.0 == 0 {
             return Dur::MAX;
         }
+        // Realistic link rates (1/10/25/40/100 G) divide the ps-per-bit
+        // scale exactly, reducing the serialization time to one u64
+        // multiply; this runs twice per transmitted frame, and the
+        // general case below is a u128 division (a libcall).
+        const BIT_PS: u64 = 8 * PS_PER_SEC;
+        if BIT_PS.is_multiple_of(rate.0) {
+            if let Some(ps) = bytes.checked_mul(BIT_PS / rate.0) {
+                return Dur(ps);
+            }
+        }
         let bits = bytes as u128 * 8;
         let ps = bits * PS_PER_SEC as u128 / rate.0 as u128;
         Dur(ps.min(u64::MAX as u128) as u64)

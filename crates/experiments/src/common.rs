@@ -197,6 +197,60 @@ pub fn csv_track_series(csv: &str, suffix: &str) -> Vec<(String, TimeSeries)> {
     out
 }
 
+/// Run `work` over every case on a scoped worker pool and return the
+/// results **in case order**.
+///
+/// The sweep experiments (Figs. 16/17, Table 1) fan independent
+/// simulations out over threads; each previously hand-rolled its own
+/// `thread::scope` + shared-`Mutex` pool and merged results in *completion*
+/// order — harmless for integer censuses, but order-sensitive for
+/// floating-point sample aggregation. This helper centralizes the
+/// pattern: cases are claimed from an atomic cursor (work-stealing, so an
+/// expensive case never stalls the queue behind it), every worker buffers
+/// `(index, result)` pairs locally, and the merge places results by index
+/// — the output is identical to a sequential `cases.iter().map(...)` run,
+/// regardless of thread count or scheduling.
+///
+/// Determinism contract: `work` must derive any randomness from its
+/// `(index, case)` arguments alone (per-case seeds), never from shared
+/// mutable state.
+pub fn parallel_cases<T, R>(
+    threads: usize,
+    cases: &[T],
+    work: impl Fn(usize, &T) -> R + Sync,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(cases.len(), || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads.max(1))
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= cases.len() {
+                            break;
+                        }
+                        local.push((i, work(i, &cases[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("sweep worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots.into_iter().map(|r| r.expect("case skipped by the worker pool")).collect()
+}
+
 /// Split one CSV row with the same quoting convention the sampler's
 /// `to_csv` uses (fields containing commas or quotes are double-quoted).
 fn split_csv_row(line: &str) -> Vec<String> {
@@ -257,6 +311,21 @@ mod tests {
         let rates = csv_track_series(csv, " rate");
         assert_eq!(rates.len(), 1);
         assert_eq!(rates[0].1.points(), &[(0, 1e9), (50, 5e8)]);
+    }
+
+    #[test]
+    fn parallel_cases_matches_sequential_order() {
+        let cases: Vec<u64> = (0..48).collect();
+        let sequential: Vec<u64> =
+            cases.iter().enumerate().map(|(i, &c)| ((i as u64) << 8) | (c * 3)).collect();
+        for threads in [1, 3, 8] {
+            let parallel = parallel_cases(threads, &cases, |i, &c| {
+                // Finish later cases sooner to shuffle completion order.
+                std::thread::sleep(std::time::Duration::from_micros(2 * (48 - c)));
+                ((i as u64) << 8) | (c * 3)
+            });
+            assert_eq!(parallel, sequential, "threads={threads}");
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! unbounded slowdown (unfinished flows) while GFC stays close to the
 //! CBD-free numbers.
 
-use crate::common::{row, sim_config_300k, Scale, Scheme};
+use crate::common::{parallel_cases, row, sim_config_300k, Scale, Scheme};
 use gfc_analysis::Summary;
 use gfc_core::units::Time;
 use gfc_sim::config::PumpPolicy;
@@ -21,7 +21,6 @@ use gfc_topology::Routing;
 use gfc_workload::{DestPolicy, EmpiricalCdf, FlowSizeDist};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::Mutex;
 
 /// Parameters for the performance comparison.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -214,41 +213,36 @@ pub fn run(params: PerfParams) -> PerfResult {
         }
     }
 
+    // One unit per (case, scheme) pair — the granularity the shared pool
+    // steals at — merged back in unit order, so the per-scheme sample
+    // vectors (and their floating-point summaries) are independent of
+    // thread scheduling.
     let run_panel = |cases: &[(FatTree, Option<Vec<_>>)]| {
-        let out: Mutex<HashMap<String, SchemePerf>> = Mutex::new(
-            Scheme::ALL.iter().map(|s| (s.name().to_string(), SchemePerf::new())).collect(),
-        );
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..params.threads.max(1) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= cases.len() * Scheme::ALL.len() {
-                        break;
-                    }
-                    let (case_idx, scheme_idx) = (i / Scheme::ALL.len(), i % Scheme::ALL.len());
-                    let scheme = Scheme::ALL[scheme_idx];
-                    let (ft, flows) = &cases[case_idx];
-                    let (tput, sd, fin, unfin, dead) = run_case(
-                        ft,
-                        flows.as_deref(),
-                        scheme,
-                        &params,
-                        params.seed ^ (case_idx as u64) << 16 ^ scheme_idx as u64,
-                    );
-                    let mut out = out.lock().expect("perf mutex poisoned");
-                    let e = out.get_mut(scheme.name()).expect("scheme row");
-                    e.throughput_samples.push(tput);
-                    if let Some(sd) = sd {
-                        e.slowdown_samples.push(sd);
-                    }
-                    e.finished += fin;
-                    e.unfinished += unfin;
-                    e.deadlocks += dead as usize;
-                });
-            }
+        let units: Vec<(usize, usize)> =
+            (0..cases.len()).flat_map(|c| (0..Scheme::ALL.len()).map(move |s| (c, s))).collect();
+        let results = parallel_cases(params.threads, &units, |_, &(case_idx, scheme_idx)| {
+            let (ft, flows) = &cases[case_idx];
+            run_case(
+                ft,
+                flows.as_deref(),
+                Scheme::ALL[scheme_idx],
+                &params,
+                params.seed ^ (case_idx as u64) << 16 ^ scheme_idx as u64,
+            )
         });
-        out.into_inner().expect("perf mutex poisoned")
+        let mut out: HashMap<String, SchemePerf> =
+            Scheme::ALL.iter().map(|s| (s.name().to_string(), SchemePerf::new())).collect();
+        for (&(_, scheme_idx), (tput, sd, fin, unfin, dead)) in units.iter().zip(results) {
+            let e = out.get_mut(Scheme::ALL[scheme_idx].name()).expect("scheme row");
+            e.throughput_samples.push(tput);
+            if let Some(sd) = sd {
+                e.slowdown_samples.push(sd);
+            }
+            e.finished += fin;
+            e.unfinished += unfin;
+            e.deadlocks += dead as usize;
+        }
+        out
     };
 
     let cbd_free = run_panel(&free_cases);

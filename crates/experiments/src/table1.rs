@@ -11,7 +11,7 @@
 //! module checks are: GFC counts are zero, PFC/CBFC counts are positive
 //! on CBD-prone topologies, and the CBD-prone fraction falls as k grows.
 
-use crate::common::{row, sim_config_300k, Scale, Scheme};
+use crate::common::{parallel_cases, row, sim_config_300k, Scale, Scheme};
 use gfc_core::units::Time;
 use gfc_sim::flowgen::ClosedLoopWorkload;
 use gfc_sim::{Network, TraceConfig};
@@ -20,7 +20,6 @@ use gfc_topology::Routing;
 use gfc_workload::{DestPolicy, EmpiricalCdf, FlowSizeDist};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::Mutex;
 
 /// Census parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -132,80 +131,76 @@ fn simulate_once(
     net.structurally_deadlocked()
 }
 
+/// One topology's census contribution (`None`: not CBD-prone).
+struct TopoOutcome {
+    /// Static deadlock-susceptibility flag per scheme (in `Scheme::ALL`
+    /// order).
+    static_flags: [bool; Scheme::ALL.len()],
+    /// Whether any repeat deadlocked, per scheme.
+    deadlocked: [bool; Scheme::ALL.len()],
+}
+
 /// Run the census.
 pub fn run(params: Table1Params) -> Table1Result {
     let mut per_k = Vec::new();
     for &k in &params.ks {
-        let census = Mutex::new(KCensus {
+        // One unit per topology on the shared sweep pool; outcomes merge
+        // in topology order. Seeds derive from (k, t) alone, so the
+        // census is independent of thread count and scheduling.
+        let topos: Vec<usize> = (0..params.topologies_per_k).collect();
+        let outcomes = parallel_cases(params.threads, &topos, |_, &t| {
+            use rand::{rngs::StdRng, SeedableRng};
+            let topo_seed = params.seed ^ ((k as u64) << 32) ^ t as u64;
+            let mut ft = FatTree::new(k);
+            let mut rng = StdRng::seed_from_u64(topo_seed);
+            ft.inject_failures(&mut rng, params.failure_prob);
+            let g = gfc_topology::cbd::all_pairs_depgraph(&ft.topo);
+            let cycle = g.find_cycle()?;
+            let mut outcome = TopoOutcome {
+                static_flags: [false; Scheme::ALL.len()],
+                deadlocked: [false; Scheme::ALL.len()],
+            };
+            // Realize the adversarial flow combination once per topology
+            // (the paper waits for churn to find it); an unrealizable
+            // cycle still counts as CBD-prone.
+            let Some(cycle_flows) = gfc_topology::cbd::realize_cycle(&ft.topo, &cycle) else {
+                return Some(outcome);
+            };
+            for (si, &scheme) in Scheme::ALL.iter().enumerate() {
+                // Static prediction for this (topology, scheme) pair,
+                // recorded next to the runtime census.
+                let cfg = sim_config_300k(scheme, topo_seed);
+                let verdict = gfc_sim::preflight(&ft.topo, &Routing::spf(), &cfg).verdict();
+                outcome.static_flags[si] = verdict.deadlock_susceptible;
+                for r in 0..params.repeats {
+                    let run_seed = topo_seed.wrapping_mul(31).wrapping_add(r as u64);
+                    if simulate_once(&ft, &cycle_flows, scheme, params.horizon, run_seed) {
+                        outcome.deadlocked[si] = true;
+                        break; // one deadlock makes this a case
+                    }
+                }
+            }
+            Some(outcome)
+        });
+        let mut census = KCensus {
             k,
             sampled: params.topologies_per_k,
             cbd_prone: 0,
             deadlock_cases: Scheme::ALL.iter().map(|s| (s.name().to_string(), 0)).collect(),
             static_cases: Scheme::ALL.iter().map(|s| (s.name().to_string(), 0)).collect(),
-        });
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..params.threads.max(1) {
-                scope.spawn(|| {
-                    use rand::{rngs::StdRng, SeedableRng};
-                    loop {
-                        let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if t >= params.topologies_per_k {
-                            break;
-                        }
-                        let topo_seed = params.seed ^ ((k as u64) << 32) ^ t as u64;
-                        let mut ft = FatTree::new(k);
-                        let mut rng = StdRng::seed_from_u64(topo_seed);
-                        ft.inject_failures(&mut rng, params.failure_prob);
-                        let g = gfc_topology::cbd::all_pairs_depgraph(&ft.topo);
-                        let Some(cycle) = g.find_cycle() else {
-                            continue;
-                        };
-                        census.lock().expect("census mutex poisoned").cbd_prone += 1;
-                        // Realize the adversarial flow combination once per
-                        // topology (the paper waits for churn to find it).
-                        let Some(cycle_flows) = gfc_topology::cbd::realize_cycle(&ft.topo, &cycle)
-                        else {
-                            continue;
-                        };
-                        for scheme in Scheme::ALL {
-                            // Static prediction for this (topology, scheme)
-                            // pair, recorded next to the runtime census.
-                            let cfg = sim_config_300k(scheme, topo_seed);
-                            let verdict =
-                                gfc_sim::preflight(&ft.topo, &Routing::spf(), &cfg).verdict();
-                            if verdict.deadlock_susceptible {
-                                *census
-                                    .lock()
-                                    .expect("census mutex poisoned")
-                                    .static_cases
-                                    .get_mut(scheme.name())
-                                    .expect("scheme row") += 1;
-                            }
-                            for r in 0..params.repeats {
-                                let run_seed = topo_seed.wrapping_mul(31).wrapping_add(r as u64);
-                                if simulate_once(
-                                    &ft,
-                                    &cycle_flows,
-                                    scheme,
-                                    params.horizon,
-                                    run_seed,
-                                ) {
-                                    *census
-                                        .lock()
-                                        .expect("census mutex poisoned")
-                                        .deadlock_cases
-                                        .get_mut(scheme.name())
-                                        .expect("scheme row") += 1;
-                                    break; // one deadlock makes this a case
-                                }
-                            }
-                        }
-                    }
-                });
+        };
+        for outcome in outcomes.into_iter().flatten() {
+            census.cbd_prone += 1;
+            for (si, scheme) in Scheme::ALL.iter().enumerate() {
+                if outcome.static_flags[si] {
+                    *census.static_cases.get_mut(scheme.name()).expect("scheme row") += 1;
+                }
+                if outcome.deadlocked[si] {
+                    *census.deadlock_cases.get_mut(scheme.name()).expect("scheme row") += 1;
+                }
             }
-        });
-        per_k.push(census.into_inner().expect("census mutex poisoned"));
+        }
+        per_k.push(census);
     }
     Table1Result { params, per_k }
 }

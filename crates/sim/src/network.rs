@@ -24,10 +24,11 @@ use crate::event::{Event, EventQueue};
 use crate::fc::{CtrlPayload, FcReceiver, Gate};
 use crate::flowgen::{FlowRequest, Workload};
 use crate::packet::Packet;
-use crate::port::{IngressPacket, PortState, QueuedCtrl, StagedPacket};
+use crate::port::{IngressPacket, PortState, PortTable, QueuedCtrl, StagedPacket};
 use crate::telemetry::{PortSample, SimTelemetry};
 use crate::trace::{TraceConfig, Traces};
 use gfc_analysis::{FlowLedger, ProgressMonitor, ThroughputMeter};
+use gfc_core::fxhash::FxHashMap;
 use gfc_core::units::{Dur, Rate, Time};
 use gfc_dcqcn::{CnpGenerator, ReactionPoint};
 use gfc_telemetry::{
@@ -37,7 +38,6 @@ use gfc_telemetry::{
 use gfc_topology::{LinkId, NodeId, NodeKind, Routing, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// One active flow at its source host.
@@ -59,8 +59,10 @@ struct HostState {
     flows: Vec<HostFlow>,
     rr: usize,
     tick_at: Option<Time>,
-    /// Per-flow CNP pacing at the *receiver* side.
-    cnp_gens: HashMap<u64, CnpGenerator>,
+    /// Per-flow CNP pacing at the *receiver* side. Keys are the few flows
+    /// currently being ECN-marked toward this host — genuinely sparse, so
+    /// a hash map (Fx: cheap, deterministic) beats a dense table here.
+    cnp_gens: FxHashMap<u64, CnpGenerator>,
     /// The workload returned `None`; stop polling it for this host.
     workload_done: bool,
 }
@@ -98,12 +100,41 @@ pub struct Network {
     pub topo: Topology,
     cfg: SimConfig,
     routing: Routing,
-    ports: Vec<Vec<PortState>>,
+    ports: PortTable,
     /// Per-node rotating offset for fair ingress pumping.
     pump_rr: Vec<usize>,
     /// Per-node arrival sequence counters (for arrival-ordered pumping).
     arrival_seq: Vec<u64>,
-    host_state: HashMap<NodeId, HostState>,
+    /// Per-node bitmask of ports whose ingress FIFOs hold packets, so
+    /// [`Self::pump`] exits in one load on the (common) empty case and
+    /// skips idle ports otherwise. Nodes with more than 64 ports are
+    /// pinned at `u64::MAX` (= always scan; correctness never depends on
+    /// a clear bit).
+    ing_pending: Vec<u64>,
+    /// Per-node bitmask of ports whose ingress FIFO heads are known
+    /// head-of-line blocked (every non-empty priority's head targets an
+    /// egress with no free staging slot). Maintained only on the
+    /// round-robin ≤ 64-port fast path; a set bit is *exact*, never
+    /// stale: it is cleared on every transition that can make the head
+    /// movable again — a staging slot freeing at a target egress (see
+    /// [`Self::start_data_tx`] waking `head_waiters`), a new arrival at
+    /// the port, or the head itself changing.
+    ing_blocked: Vec<u64>,
+    /// `head_waiters[node][egress_port]`: bitmask of this node's ingress
+    /// ports whose blocked FIFO head targets that egress. Cleared
+    /// wholesale when the egress frees a slot (the woken ingresses are
+    /// re-checked and re-marked if still blocked), so bits may linger
+    /// after a head unblocks by other means — a spurious wake is a
+    /// harmless re-check.
+    head_waiters: Vec<Box<[u64]>>,
+    /// Per-link `(a, port on a, port on b)`: O(1) next-hop port lookup on
+    /// the per-hop forwarding path (replaces the adjacency scan).
+    link_ports: Vec<(NodeId, u16, u16)>,
+    /// Host state, dense by host index (`host_list` order).
+    hosts: Vec<HostState>,
+    /// NodeId → host index (`u32::MAX` for switches). NodeIds are dense,
+    /// so this is a straight table lookup on the delivery hot path.
+    host_of_node: Vec<u32>,
     host_list: Vec<NodeId>,
     queue: EventQueue,
     now: Time,
@@ -115,7 +146,8 @@ pub struct Network {
     trace_cfg: TraceConfig,
     /// Per-(node, port) received-control-bandwidth meters (Fig. 19).
     ctrl_meters: Option<Vec<Vec<ThroughputMeter>>>,
-    flows: HashMap<u64, FlowMeta>,
+    /// Flow metadata, dense by flow id (ids are assigned 0, 1, 2, …).
+    flows: Vec<FlowMeta>,
     next_flow_id: u64,
     next_pkt_id: u64,
     stats: SimStats,
@@ -157,23 +189,26 @@ impl Network {
             }
         };
         cfg.validate();
-        let mut ports: Vec<Vec<PortState>> = Vec::with_capacity(topo.num_nodes());
+        let mut nested: Vec<Vec<PortState>> = Vec::with_capacity(topo.num_nodes());
         for n in topo.node_ids() {
             let mut node_ports = Vec::new();
             for &(peer, link) in topo.ports(n) {
                 let peer_port = topo.port_of(peer, link);
                 node_ports.push(PortState::new(&cfg, link, peer, peer_port));
             }
-            ports.push(node_ports);
+            nested.push(node_ports);
         }
+        let ports = PortTable::new(nested);
         let host_list = topo.hosts();
-        let mut host_state = HashMap::new();
+        let mut host_of_node = vec![u32::MAX; topo.num_nodes()];
+        let mut hosts = Vec::with_capacity(host_list.len());
         for (i, &h) in host_list.iter().enumerate() {
-            host_state.insert(h, HostState { index: i, ..Default::default() });
+            host_of_node[h.0 as usize] = u32::try_from(i).expect("host count fits u32");
+            hosts.push(HostState { index: i, ..Default::default() });
         }
         let ctrl_meters = cfg.ctrl_bw_bin.map(|bin| {
             ports
-                .iter()
+                .nodes()
                 .map(|np| np.iter().map(|_| ThroughputMeter::new(bin.0)).collect())
                 .collect()
         });
@@ -188,15 +223,33 @@ impl Network {
         }
         let traces = Traces::for_config(&trace_cfg);
         let rng = StdRng::seed_from_u64(cfg.seed);
-        let pump_rr = vec![0; ports.len()];
-        let arrival_seq = vec![0u64; ports.len()];
+        let pump_rr = vec![0; ports.num_nodes()];
+        let arrival_seq = vec![0u64; ports.num_nodes()];
+        let ing_pending =
+            ports.nodes().map(|np| if np.len() > 64 { u64::MAX } else { 0 }).collect();
+        let ing_blocked = vec![0; ports.num_nodes()];
+        let head_waiters = ports.nodes().map(|np| vec![0; np.len()].into_boxed_slice()).collect();
+        let link_ports = topo
+            .link_ids()
+            .map(|l| {
+                let link = topo.link(l);
+                let pa = u16::try_from(topo.port_of(link.a, l)).expect("port index fits u16");
+                let pb = u16::try_from(topo.port_of(link.b, l)).expect("port index fits u16");
+                (link.a, pa, pb)
+            })
+            .collect();
         Network {
             topo,
             routing,
             ports,
             pump_rr,
             arrival_seq,
-            host_state,
+            ing_pending,
+            ing_blocked,
+            head_waiters,
+            link_ports,
+            hosts,
+            host_of_node,
             host_list,
             queue: EventQueue::new(),
             now: Time::ZERO,
@@ -207,7 +260,7 @@ impl Network {
             traces,
             trace_cfg,
             ctrl_meters,
-            flows: HashMap::new(),
+            flows: Vec::new(),
             next_flow_id: 0,
             next_pkt_id: 0,
             stats: SimStats::default(),
@@ -225,6 +278,43 @@ impl Network {
     /// (`None` when `cfg.preflight` was [`gfc_verify::PreflightPolicy::Skip`]).
     pub fn preflight_report(&self) -> Option<&gfc_verify::Report> {
         self.preflight_report.as_ref()
+    }
+
+    /// Whether `node` is a host, via the dense host table (the `Node`
+    /// metadata record carries a name `String`; keep it off the per-event
+    /// dispatch path).
+    #[inline]
+    fn is_host(&self, node: NodeId) -> bool {
+        self.host_of_node[node.0 as usize] != u32::MAX
+    }
+
+    /// The port `link` occupies on `node` (O(1), unlike
+    /// [`Topology::port_of`]'s adjacency scan — this sits on the per-hop
+    /// forwarding path).
+    #[inline]
+    fn out_port(&self, node: NodeId, link: LinkId) -> usize {
+        let (a, pa, pb) = self.link_ports[link.0 as usize];
+        if node == a {
+            pa as usize
+        } else {
+            pb as usize
+        }
+    }
+
+    /// The host state of `node`. Panics if `node` is not a host.
+    #[inline]
+    fn host(&self, node: NodeId) -> &HostState {
+        let idx = self.host_of_node[node.0 as usize];
+        debug_assert_ne!(idx, u32::MAX, "{node:?} is not a host");
+        &self.hosts[idx as usize]
+    }
+
+    /// Mutable host state of `node`. Panics if `node` is not a host.
+    #[inline]
+    fn host_mut(&mut self, node: NodeId) -> &mut HostState {
+        let idx = self.host_of_node[node.0 as usize];
+        debug_assert_ne!(idx, u32::MAX, "{node:?} is not a host");
+        &mut self.hosts[idx as usize]
     }
 
     /// Install a workload; each host is primed with its first flow when the
@@ -315,7 +405,7 @@ impl Network {
                 `TraceConfig` ingress-queue series for per-port detail"
     )]
     pub fn ingress_bytes(&self, node: NodeId, port: usize, prio: u8) -> u64 {
-        self.ports[node.0 as usize][port].ing_bytes[prio as usize]
+        self.ports[node.0 as usize][port].pq(prio as usize).ing_bytes
     }
 
     /// Total feedback messages *generated* by all ingress ports.
@@ -332,20 +422,15 @@ impl Network {
     }
 
     fn sum_feedback_generated(&self) -> u64 {
-        self.ports
-            .iter()
-            .flatten()
-            .flat_map(|p| p.ing_rx.iter())
-            .map(super::fc::FcReceiver::messages_sent)
-            .sum()
+        self.ports.all().iter().flat_map(PortState::pqs).map(|pq| pq.ing_rx.messages_sent()).sum()
     }
 
     fn sum_hold_and_wait(&self) -> u64 {
         self.ports
+            .all()
             .iter()
-            .flatten()
-            .flat_map(|p| p.tx_fc.iter())
-            .map(super::fc::FcSender::hold_and_wait_episodes)
+            .flat_map(PortState::pqs)
+            .map(|pq| pq.tx_fc.hold_and_wait_episodes())
             .sum()
     }
 
@@ -366,9 +451,9 @@ impl Network {
         snap.push_counter(names::CTRL_BYTES, self.stats.ctrl_bytes);
         snap.push_counter(names::HOLD_AND_WAIT, self.sum_hold_and_wait());
         snap.push_counter(names::FEEDBACK_GENERATED, self.sum_feedback_generated());
-        let ingress: u64 = self.ports.iter().flatten().map(PortState::ingress_backlog).sum();
+        let ingress: u64 = self.ports.all().iter().map(PortState::ingress_backlog).sum();
         let backlog: u64 =
-            ingress + self.ports.iter().flatten().map(PortState::egress_backlog).sum::<u64>();
+            ingress + self.ports.all().iter().map(PortState::egress_backlog).sum::<u64>();
         snap.push_counter(names::INGRESS_BYTES, ingress);
         snap.push_counter(names::BACKLOG_BYTES, backlog);
         if self.now.0 > 0 {
@@ -462,8 +547,8 @@ impl Network {
     /// Whether any queue in the network still holds packets.
     pub fn backlogged(&self) -> bool {
         self.ports
+            .all()
             .iter()
-            .flatten()
             .any(|p| p.ingress_backlog() > 0 || p.egress_backlog() > 0 || !p.ctrl_q.is_empty())
     }
 
@@ -497,15 +582,20 @@ impl Network {
         let id = self.next_flow_id;
         self.next_flow_id += 1;
         let cnp_delay = self.cfg.prop_delay.mul_u64(path.len() as u64) + self.cfg.ctrl_proc_delay;
-        let src_index = self.host_state[&src].index;
+        let src_index = self.host(src).index;
         if let Some(total) = bytes {
             self.ledger.on_start(id, total, self.now.0, path.len() as u32);
         }
         self.tel.on_flow_start(id, src, dst, prio, bytes, path.len() as u32, self.now.0);
-        self.flows.insert(
-            id,
-            FlowMeta { src, src_index, total: bytes, delivered: 0, cnp_delay, finished: false },
-        );
+        debug_assert_eq!(id as usize, self.flows.len(), "flow ids must stay dense");
+        self.flows.push(FlowMeta {
+            src,
+            src_index,
+            total: bytes,
+            delivered: 0,
+            cnp_delay,
+            finished: false,
+        });
         let rp = self.cfg.dcqcn.map(ReactionPoint::new);
         if let Some(p) = &rp {
             let rate = p.rate_bps();
@@ -514,7 +604,7 @@ impl Network {
             self.queue.push(self.now + period, Event::DcqcnTimer { host: src, flow: id });
         }
         let now = self.now;
-        let hs = self.host_state.get_mut(&src).expect("source host state");
+        let hs = self.host_mut(src);
         hs.flows.push(HostFlow { id, dst, remaining: bytes, path, prio, rp, next_eligible: now });
         self.refill_host(src);
         Some(id)
@@ -525,13 +615,9 @@ impl Network {
     pub fn run_until(&mut self, t_end: Time) {
         self.ensure_started();
         while !self.halted {
-            let Some(t) = self.queue.peek_time() else {
+            let Some((t, ev)) = self.queue.pop_at_or_before(t_end) else {
                 break;
             };
-            if t > t_end {
-                break;
-            }
-            let (t, ev) = self.queue.pop().expect("peeked event vanished");
             debug_assert!(t >= self.now, "event time went backwards");
             self.now = t;
             self.handle(ev);
@@ -584,7 +670,7 @@ impl Network {
     /// under link failures).
     fn spawn_from_workload(&mut self, idx: usize) {
         let host = self.host_list[idx];
-        if self.host_state[&host].workload_done {
+        if self.hosts[idx].workload_done {
             return;
         }
         let Some(mut w) = self.workload.take() else {
@@ -593,7 +679,7 @@ impl Network {
         for _attempt in 0..64 {
             match w.next_flow(idx, self.now, &mut self.rng) {
                 None => {
-                    self.host_state.get_mut(&host).expect("host").workload_done = true;
+                    self.hosts[idx].workload_done = true;
                     break;
                 }
                 Some(FlowRequest { dst_index, bytes, prio }) => {
@@ -632,7 +718,7 @@ impl Network {
             Event::TxComplete { node, port } => self.on_tx_complete(node, port),
             Event::PeriodicFeedback { node, port } => self.on_periodic_feedback(node, port),
             Event::HostTick { host } => {
-                self.host_state.get_mut(&host).expect("host").tick_at = None;
+                self.host_mut(host).tick_at = None;
                 self.refill_host(host);
             }
             Event::DcqcnTimer { host, flow } => self.on_dcqcn_timer(host, flow),
@@ -653,16 +739,15 @@ impl Network {
         let now = self.now;
         let mtu = self.cfg.mtu;
         let mut rows: Vec<PortSample> = Vec::new();
-        for node_ports in &self.ports {
-            for ps in node_ports {
-                let head_bytes = ps.eg[0].q.front().map_or(mtu, |sp| sp.pkt.bytes);
-                rows.push(PortSample {
-                    ingress_bytes: ps.ingress_backlog(),
-                    rate_bps: ps.tx_fc[0].assigned_rate().0,
-                    held: ps.eg[0].bytes > 0 && ps.tx_fc[0].hard_blocked(head_bytes, now),
-                    tx_bytes_cum: ps.bytes_tx,
-                });
-            }
+        for ps in self.ports.all() {
+            let pq = ps.pq(0);
+            let head_bytes = pq.eg.q.front().map_or(mtu, |sp| sp.pkt.bytes);
+            rows.push(PortSample {
+                ingress_bytes: ps.ingress_backlog(),
+                rate_bps: pq.tx_fc.assigned_rate().0,
+                held: pq.eg.bytes > 0 && pq.tx_fc.hard_blocked(head_bytes, now),
+                tx_bytes_cum: ps.bytes_tx,
+            });
         }
         self.tel.on_timeline_sample(now.0, &rows);
         // Re-read the cadence: this very sample may have tripped a
@@ -672,9 +757,10 @@ impl Network {
     }
 
     fn on_arrive(&mut self, node: NodeId, port: usize, pkt: Packet) {
-        match self.topo.node(node).kind {
-            NodeKind::Host => self.deliver_at_host(node, port, pkt),
-            NodeKind::Switch => self.forward_at_switch(node, port, pkt),
+        if self.is_host(node) {
+            self.deliver_at_host(node, port, pkt);
+        } else {
+            self.forward_at_switch(node, port, pkt);
         }
     }
 
@@ -688,7 +774,7 @@ impl Network {
         // Keep credit accounting alive on the host's ingress (the switch's
         // egress towards us spends credits) — the sink drains instantly.
         {
-            let rx = &mut self.ports[node.0 as usize][port].ing_rx[pkt.prio as usize];
+            let rx = &mut self.ports[node.0 as usize][port].pq_mut(pkt.prio as usize).ing_rx;
             if matches!(rx, FcReceiver::Cbfc(_) | FcReceiver::GfcTime(_)) {
                 rx.on_arrival(0, pkt.bytes);
                 rx.on_drain(0, pkt.bytes);
@@ -699,14 +785,14 @@ impl Network {
             if let Some(dc) = self.cfg.dcqcn {
                 let now_ps = self.now.0;
                 let fire = {
-                    let hs = self.host_state.get_mut(&node).expect("host");
+                    let hs = self.host_mut(node);
                     hs.cnp_gens
                         .entry(pkt.flow)
                         .or_insert_with(|| CnpGenerator::new(dc.cnp_interval_ps))
                         .on_marked_packet(now_ps)
                 };
                 if fire {
-                    if let Some(meta) = self.flows.get(&pkt.flow) {
+                    if let Some(meta) = self.flows.get(pkt.flow as usize) {
                         let due = self.now + meta.cnp_delay;
                         let src = meta.src;
                         self.queue.push(due, Event::Cnp { host: src, flow: pkt.flow });
@@ -716,7 +802,7 @@ impl Network {
         }
         // Throughput attribution to the source host.
         if let Some(bin) = self.trace_cfg.host_throughput_bin {
-            if let Some(meta) = self.flows.get(&pkt.flow) {
+            if let Some(meta) = self.flows.get(pkt.flow as usize) {
                 let src = meta.src;
                 self.traces
                     .host_throughput
@@ -727,7 +813,7 @@ impl Network {
         }
         // Flow completion.
         let finished = {
-            let Some(meta) = self.flows.get_mut(&pkt.flow) else {
+            let Some(meta) = self.flows.get_mut(pkt.flow as usize) else {
                 return;
             };
             meta.delivered += pkt.bytes;
@@ -742,10 +828,8 @@ impl Network {
         if let Some((src, src_index)) = finished {
             self.ledger.on_finish(pkt.flow, self.now.0);
             self.tel.on_flow_finish(pkt.flow, self.now.0);
-            self.host_state.get_mut(&src).expect("host").flows.retain(|f| f.id != pkt.flow);
-            if let Some(dst_hs) = self.host_state.get_mut(&node) {
-                dst_hs.cnp_gens.remove(&pkt.flow);
-            }
+            self.host_mut(src).flows.retain(|f| f.id != pkt.flow);
+            self.host_mut(node).cnp_gens.remove(&pkt.flow);
             if self.workload.is_some() {
                 self.spawn_from_workload(src_index);
             }
@@ -758,18 +842,18 @@ impl Network {
         // Ingress admission.
         {
             let ps = &mut self.ports[node.0 as usize][port];
-            if ps.ing_bytes[prio] + bytes > self.cfg.buffer_bytes {
+            if ps.pq(prio).ing_bytes + bytes > self.cfg.buffer_bytes {
                 ps.drops += 1;
                 self.stats.drops += 1;
                 self.tel.on_drop(self.now.0, node, port, pkt.prio, bytes);
                 return;
             }
-            ps.ing_bytes[prio] += bytes;
+            ps.pq_mut(prio).ing_bytes += bytes;
         }
-        let q = self.ports[node.0 as usize][port].ing_bytes[prio];
+        let q = self.ports[node.0 as usize][port].pq(prio).ing_bytes;
         self.tel.on_enqueue(self.now.0, node, port, pkt.prio, bytes, q);
         self.trace_ingress(node, port, pkt.prio, q, bytes, true);
-        let msg = self.ports[node.0 as usize][port].ing_rx[prio].on_arrival(q, bytes);
+        let msg = self.ports[node.0 as usize][port].pq_mut(prio).ing_rx.on_arrival(q, bytes);
         if let Some(payload) = msg {
             self.send_ctrl(node, port, pkt.prio, payload);
         }
@@ -779,16 +863,22 @@ impl Network {
             .next_link()
             .unwrap_or_else(|| panic!("packet {} stranded at switch {node:?}", pkt.id));
         debug_assert!(self.topo.link_alive(link), "routing used a failed link");
-        let out_port = self.topo.port_of(node, link);
+        let out_port = self.out_port(node, link);
         pkt.hop += 1;
-        let arrival_seq = self.arrival_seq[node.0 as usize];
-        self.arrival_seq[node.0 as usize] += 1;
-        self.ports[node.0 as usize][out_port].eg[prio].voq_bytes += bytes;
-        self.ports[node.0 as usize][port].ing_q[prio].push_back(IngressPacket {
+        let n = node.0 as usize;
+        let arrival_seq = self.arrival_seq[n];
+        self.arrival_seq[n] += 1;
+        self.ports[n][out_port].pq_mut(prio).eg.voq_bytes += bytes;
+        self.ports[n][port].pq_mut(prio).ing_q.push_back(IngressPacket {
             pkt,
             out_port,
             arrival_seq,
         });
+        if self.ports[n].len() <= 64 {
+            self.ing_pending[n] |= 1 << port;
+            // The arrival may have installed a new (movable) head.
+            self.ing_blocked[n] &= !(1 << port);
+        }
         self.pump(node);
     }
 
@@ -799,62 +889,115 @@ impl Network {
         let n = node.0 as usize;
         let num_ports = self.ports[n].len();
         let np = self.cfg.num_priorities;
+        let round_robin = matches!(self.cfg.pump, crate::config::PumpPolicy::RoundRobin);
+        let slots = match self.cfg.pump {
+            crate::config::PumpPolicy::OutputQueued => usize::MAX,
+            _ => self.cfg.stage_slots,
+        };
         loop {
-            // Collect movable heads: (ingress port, prio) whose target
+            // One load answers the common case: no ingress FIFO holds
+            // anything, nothing to move.
+            let pending = self.ing_pending[n];
+            if pending == 0 {
+                return;
+            }
+            // Find a movable head: an (ingress port, prio) whose target
             // egress has a free staging slot.
-            let slots = match self.cfg.pump {
-                crate::config::PumpPolicy::OutputQueued => usize::MAX,
-                _ => self.cfg.stage_slots,
-            };
-            let mut best: Option<(usize, usize, u64)> = None; // (ing, prio, seq)
-            let start = self.pump_rr[n];
-            for i in 0..num_ports {
-                let ing = (start + i) % num_ports;
-                for prio in 0..np {
-                    let Some(head) = self.ports[n][ing].ing_q[prio].front() else {
-                        continue;
-                    };
-                    if self.ports[n][head.out_port].eg[prio].q.len() >= slots {
-                        continue; // head-of-line wait at the ingress FIFO
+            let best: Option<(usize, usize)> = if round_robin && num_ports <= 64 {
+                // Round-robin fast path: walk only the set bits of the
+                // pending-and-not-blocked mask, in rotated order, and
+                // take the first movable head — the same selection the
+                // generic scan below makes, without touching idle or
+                // known-blocked ports. Ports that turn out blocked are
+                // recorded in `ing_blocked` + `head_waiters`, so a node
+                // whose every waiting head is staged-out resolves the
+                // next pump in two loads.
+                let start = self.pump_rr[n]; // < num_ports <= 64
+                let avail = pending & !self.ing_blocked[n];
+                let lo = (1u64 << start) - 1;
+                let mut found = None;
+                'scan: for m0 in [avail & !lo, avail & lo] {
+                    let mut m = m0;
+                    while m != 0 {
+                        let ing = m.trailing_zeros() as usize;
+                        let mut any_head = false;
+                        for prio in 0..np {
+                            let Some(head) = self.ports[n][ing].pq(prio).ing_q.front() else {
+                                continue;
+                            };
+                            any_head = true;
+                            let out_port = head.out_port;
+                            if self.ports[n][out_port].pq(prio).eg.q.len() < slots {
+                                found = Some((ing, prio));
+                                break 'scan;
+                            }
+                            // Head-of-line wait: wake this ingress when
+                            // the target egress frees a slot.
+                            self.head_waiters[n][out_port] |= 1 << ing;
+                        }
+                        if any_head {
+                            self.ing_blocked[n] |= 1 << ing;
+                        }
+                        m &= m - 1;
                     }
-                    match self.cfg.pump {
-                        crate::config::PumpPolicy::RoundRobin => {
+                }
+                found
+            } else {
+                let mut best: Option<(usize, usize, u64)> = None; // (ing, prio, seq)
+                let start = self.pump_rr[n];
+                for i in 0..num_ports {
+                    let ing = (start + i) % num_ports;
+                    // Skip ports with empty FIFOs without touching their
+                    // state (bit 64+ ports always scan — their node's
+                    // mask is pinned at MAX).
+                    if ing < 64 && pending & (1 << ing) == 0 {
+                        continue;
+                    }
+                    for prio in 0..np {
+                        let Some(head) = self.ports[n][ing].pq(prio).ing_q.front() else {
+                            continue;
+                        };
+                        if self.ports[n][head.out_port].pq(prio).eg.q.len() >= slots {
+                            continue; // head-of-line wait at the ingress FIFO
+                        }
+                        if round_robin {
                             best = Some((ing, prio, head.arrival_seq));
                             break;
                         }
-                        _ => {
-                            if best.is_none_or(|(_, _, s)| head.arrival_seq < s) {
-                                best = Some((ing, prio, head.arrival_seq));
-                            }
+                        if best.is_none_or(|(_, _, s)| head.arrival_seq < s) {
+                            best = Some((ing, prio, head.arrival_seq));
                         }
                     }
+                    if round_robin && best.is_some() {
+                        break;
+                    }
                 }
-                if matches!(self.cfg.pump, crate::config::PumpPolicy::RoundRobin) && best.is_some()
-                {
-                    break;
-                }
-            }
-            let Some((ing, prio, _)) = best else { return };
+                best.map(|(ing, prio, _)| (ing, prio))
+            };
+            let Some((ing, prio)) = best else { return };
             // Grant: move up to `pump_batch` packets from the chosen FIFO
             // (the DPDK testbed switch forwards in such bursts).
             let mut granted = 0usize;
             while granted < self.cfg.pump_batch {
-                let Some(head) = self.ports[n][ing].ing_q[prio].front() else {
+                let Some(head) = self.ports[n][ing].pq(prio).ing_q.front() else {
                     break;
                 };
-                if self.ports[n][head.out_port].eg[prio].q.len() >= slots {
+                if self.ports[n][head.out_port].pq(prio).eg.q.len() >= slots {
                     break;
                 }
                 let IngressPacket { pkt, out_port, .. } =
-                    self.ports[n][ing].ing_q[prio].pop_front().expect("head vanished");
+                    self.ports[n][ing].pq_mut(prio).ing_q.pop_front().expect("head vanished");
                 let bytes = pkt.bytes;
-                let eg = &mut self.ports[n][out_port].eg[prio];
+                let eg = &mut self.ports[n][out_port].pq_mut(prio).eg;
                 eg.bytes += bytes;
                 eg.q.push_back(StagedPacket { pkt, ingress_port: Some(ing) });
                 granted += 1;
                 self.try_transmit(node, out_port);
             }
-            self.pump_rr[n] = (ing + 1) % num_ports;
+            if num_ports <= 64 && self.ports[n][ing].pqs().all(|pq| pq.ing_q.is_empty()) {
+                self.ing_pending[n] &= !(1 << ing);
+            }
+            self.pump_rr[n] = if ing + 1 >= num_ports { 0 } else { ing + 1 };
         }
     }
 
@@ -870,16 +1013,18 @@ impl Network {
         if let Some(meters) = &mut self.ctrl_meters {
             meters[node.0 as usize][port].record(self.now.0, wire);
         }
-        let rate_before = self.ports[node.0 as usize][port].tx_fc[prio as usize].assigned_rate();
-        let opened = self.ports[node.0 as usize][port].tx_fc[prio as usize]
+        let rate_before = self.ports[node.0 as usize][port].pq(prio as usize).tx_fc.assigned_rate();
+        let opened = self.ports[node.0 as usize][port]
+            .pq_mut(prio as usize)
+            .tx_fc
             .on_ctrl(payload, self.now)
             .expect("control payload matches the scheme fixed at construction");
-        let rate_after = self.ports[node.0 as usize][port].tx_fc[prio as usize].assigned_rate();
+        let rate_after = self.ports[node.0 as usize][port].pq(prio as usize).tx_fc.assigned_rate();
         self.tel.on_ctrl_rx(self.now.0, node, port, prio, &payload, (rate_before.0, rate_after.0));
         // Trace the assigned egress rate if this point is observed.
         let key = (node, port, prio);
         if self.traces.egress_rate.contains_key(&key) {
-            let rate = self.ports[node.0 as usize][port].tx_fc[prio as usize].assigned_rate();
+            let rate = self.ports[node.0 as usize][port].pq(prio as usize).tx_fc.assigned_rate();
             self.traces
                 .egress_rate
                 .get_mut(&key)
@@ -898,7 +1043,7 @@ impl Network {
             _ => return,
         };
         for prio in 0..self.cfg.num_priorities {
-            let msg = self.ports[node.0 as usize][port].ing_rx[prio].periodic();
+            let msg = self.ports[node.0 as usize][port].pq_mut(prio).ing_rx.periodic();
             if let Some(payload) = msg {
                 self.send_ctrl(node, port, prio as u8, payload);
             }
@@ -909,7 +1054,7 @@ impl Network {
     fn on_dcqcn_timer(&mut self, host: NodeId, flow: u64) {
         let Some(dc) = self.cfg.dcqcn else { return };
         let rate = {
-            let hs = self.host_state.get_mut(&host).expect("host");
+            let hs = self.host_mut(host);
             let Some(f) = hs.flows.iter_mut().find(|f| f.id == flow) else {
                 return;
             };
@@ -927,7 +1072,7 @@ impl Network {
 
     fn on_cnp(&mut self, host: NodeId, flow: u64) {
         let rate = {
-            let hs = self.host_state.get_mut(&host).expect("host");
+            let hs = self.host_mut(host);
             let Some(f) = hs.flows.iter_mut().find(|f| f.id == flow) else {
                 return;
             };
@@ -988,7 +1133,8 @@ impl Network {
                 let ps = &self.ports[node.0 as usize][port];
                 (ps.peer, ps.peer_port)
             };
-            self.queue.push(
+            self.queue.push_fifo(
+                EventQueue::LANE_CTRL_OOB,
                 self.now + tau,
                 Event::CtrlApply { node: peer, port: peer_port, prio, payload },
             );
@@ -1021,12 +1167,17 @@ impl Network {
         // Data: round-robin across priorities.
         let mut wake: Option<Time> = None;
         for i in 0..np {
-            let prio = (self.ports[n][port].wrr_next + i) % np;
-            let head_bytes = match self.ports[n][port].eg[prio].q.front() {
+            // wrr_next < np, i < np: one conditional subtract is an exact
+            // modulo (hardware division is too hot on this path).
+            let mut prio = self.ports[n][port].wrr_next + i;
+            if prio >= np {
+                prio -= np;
+            }
+            let head_bytes = match self.ports[n][port].pq(prio).eg.q.front() {
                 Some(sp) => sp.pkt.bytes,
                 None => continue,
             };
-            match self.ports[n][port].tx_fc[prio].gate(head_bytes, now) {
+            match self.ports[n][port].pq_mut(prio).tx_fc.gate(head_bytes, now) {
                 Gate::Blocked => {
                     self.tel.on_gate_blocked();
                     continue;
@@ -1056,30 +1207,37 @@ impl Network {
         let now = self.now;
         // ECN marking at switch egress, based on the egress queue length
         // including the departing packet.
-        let mark = match (self.topo.node(node).kind, self.cfg.ecn) {
-            (NodeKind::Switch, Some(m)) => {
+        let mark = match (self.is_host(node), self.cfg.ecn) {
+            (false, Some(m)) => {
                 // Mark against the virtual output queue: everything in the
                 // node currently destined to this egress.
-                let qlen = self.ports[n][port].eg[prio].voq_bytes;
+                let qlen = self.ports[n][port].pq(prio).eg.voq_bytes;
                 let u: f64 = self.rng.gen_range(0.0..1.0);
                 m.should_mark(qlen, u)
             }
             _ => false,
         };
         let ps = &mut self.ports[n][port];
-        let mut sp = ps.eg[prio].q.pop_front().expect("gate passed on empty queue");
-        ps.eg[prio].bytes -= sp.pkt.bytes;
+        let mut sp = ps.pq_mut(prio).eg.q.pop_front().expect("gate passed on empty queue");
+        ps.pq_mut(prio).eg.bytes -= sp.pkt.bytes;
         if mark {
             sp.pkt.ecn_marked = true;
         }
         let tx_time = Dur::for_bytes(sp.pkt.bytes, self.cfg.capacity);
         let done = now + tx_time;
-        ps.tx_fc[prio].on_sent(sp.pkt.bytes, tx_time, done);
+        ps.pq_mut(prio).tx_fc.on_sent(sp.pkt.bytes, tx_time, done);
         ps.bytes_tx += sp.pkt.bytes;
         ps.tx_busy = true;
         ps.current_data = Some((sp, prio as u8));
-        ps.wrr_next = (prio + 1) % self.cfg.num_priorities;
+        ps.wrr_next = if prio + 1 >= self.cfg.num_priorities { 0 } else { prio + 1 };
         self.queue.push(done, Event::TxComplete { node, port });
+        // This egress just freed a staging slot: ingress FIFO heads that
+        // head-of-line blocked on it are movable again.
+        let w = self.head_waiters[n][port];
+        if w != 0 {
+            self.ing_blocked[n] &= !w;
+            self.head_waiters[n][port] = 0;
+        }
     }
 
     fn on_tx_complete(&mut self, node: NodeId, port: usize) {
@@ -1091,7 +1249,8 @@ impl Network {
                 (ps.peer, ps.peer_port)
             };
             let due = self.now + self.cfg.prop_delay + self.cfg.ctrl_proc_delay;
-            self.queue.push(
+            self.queue.push_fifo(
+                EventQueue::LANE_CTRL,
                 due,
                 Event::CtrlApply {
                     node: peer,
@@ -1105,31 +1264,36 @@ impl Network {
         }
         let (sp, prio) =
             self.ports[n][port].current_data.take().expect("tx completed with no frame");
-        let bytes = sp.pkt.bytes;
+        let StagedPacket { pkt, ingress_port } = sp;
+        let bytes = pkt.bytes;
+        let flow = pkt.flow;
         let (peer, peer_port) = {
             let ps = &self.ports[n][port];
             (ps.peer, ps.peer_port)
         };
-        // Hand the frame to the wire.
-        self.queue.push(
+        // Hand the frame to the wire — moved into the event pool by
+        // value, no per-hop clone. Constant propagation delay ⇒ arrivals
+        // are due in push order: they ride the O(1) FIFO lane.
+        self.queue.push_fifo(
+            EventQueue::LANE_ARRIVE,
             self.now + self.cfg.prop_delay,
-            Event::Arrive { node: peer, port: peer_port, pkt: sp.pkt.clone() },
+            Event::Arrive { node: peer, port: peer_port, pkt },
         );
         // Release the local ingress charge (switch transit traffic).
-        if let Some(ing) = sp.ingress_port {
+        if let Some(ing) = ingress_port {
             {
-                let voq = &mut self.ports[n][port].eg[prio as usize].voq_bytes;
+                let voq = &mut self.ports[n][port].pq_mut(prio as usize).eg.voq_bytes;
                 debug_assert!(*voq >= bytes, "VOQ accounting underflow");
                 *voq -= bytes;
             }
             let q_after = {
-                let cnt = &mut self.ports[n][ing].ing_bytes[prio as usize];
+                let cnt = &mut self.ports[n][ing].pq_mut(prio as usize).ing_bytes;
                 debug_assert!(*cnt >= bytes, "ingress accounting underflow");
                 *cnt -= bytes;
                 *cnt
             };
             self.trace_ingress(node, ing, prio, q_after, bytes, false);
-            let msg = self.ports[n][ing].ing_rx[prio as usize].on_drain(q_after, bytes);
+            let msg = self.ports[n][ing].pq_mut(prio as usize).ing_rx.on_drain(q_after, bytes);
             if let Some(payload) = msg {
                 self.send_ctrl(node, ing, prio, payload);
             }
@@ -1138,8 +1302,8 @@ impl Network {
         } else {
             // Host NIC: feed DCQCN's byte counter and top the queue up.
             if self.cfg.dcqcn.is_some() {
-                let hs = self.host_state.get_mut(&node).expect("host");
-                if let Some(f) = hs.flows.iter_mut().find(|f| f.id == sp.pkt.flow) {
+                let hs = self.host_mut(node);
+                if let Some(f) = hs.flows.iter_mut().find(|f| f.id == flow) {
                     if let Some(rp) = &mut f.rp {
                         rp.on_bytes_sent(bytes);
                     }
@@ -1165,13 +1329,13 @@ impl Network {
             Send { pkt: Packet },
         }
         loop {
-            let staged: usize = self.ports[host.0 as usize][0].eg.iter().map(|e| e.q.len()).sum();
+            let staged: usize = self.ports[host.0 as usize][0].pqs().map(|pq| pq.eg.q.len()).sum();
             if staged >= 2 {
                 return;
             }
             let next_pkt_id = self.next_pkt_id;
             let step = {
-                let hs = self.host_state.get_mut(&host).expect("host");
+                let hs = self.host_mut(host);
                 if hs.flows.is_empty() {
                     Step::Idle
                 } else {
@@ -1179,7 +1343,13 @@ impl Network {
                     let mut chosen: Option<usize> = None;
                     let mut earliest: Option<Time> = None;
                     for i in 0..len {
-                        let idx = (hs.rr + i) % len;
+                        // `rr` can exceed `len` after flow removals; the
+                        // subtract loop is an exact modulo without the
+                        // hardware division (twice per sourced packet).
+                        let mut idx = hs.rr + i;
+                        while idx >= len {
+                            idx -= len;
+                        }
                         let f = &hs.flows[idx];
                         if f.remaining == Some(0) {
                             continue; // fully enqueued, awaiting delivery
@@ -1201,7 +1371,7 @@ impl Network {
                             _ => Step::Idle,
                         },
                         Some(idx) => {
-                            hs.rr = (idx + 1) % len;
+                            hs.rr = if idx + 1 >= len { 0 } else { idx + 1 };
                             let f = &mut hs.flows[idx];
                             let size = match f.remaining {
                                 Some(rem) => {
@@ -1244,7 +1414,7 @@ impl Network {
                     self.next_pkt_id += 1;
                     let prio = pkt.prio as usize;
                     let bytes = pkt.bytes;
-                    let eg = &mut self.ports[host.0 as usize][0].eg[prio];
+                    let eg = &mut self.ports[host.0 as usize][0].pq_mut(prio).eg;
                     eg.bytes += bytes;
                     eg.q.push_back(StagedPacket { pkt, ingress_port: None });
                     self.try_transmit(host, 0);
@@ -1266,6 +1436,11 @@ impl Network {
         pkt_bytes: u64,
         arrival: bool,
     ) {
+        // Nothing observed (the overwhelmingly common case): skip the key
+        // construction and map probes — this runs per enqueue and drain.
+        if self.traces.ingress_queue.is_empty() && self.traces.ingress_rate.is_empty() {
+            return;
+        }
         let key = (node, port, prio);
         if let Some(s) = self.traces.ingress_queue.get_mut(&key) {
             s.push(self.now.0, q_bytes as f64);
@@ -1311,9 +1486,10 @@ impl Network {
             };
             g.vertex(side, n as u32, p as u16, &format!("{name}:{dir}{p}"))
         };
-        for (n, node_ports) in self.ports.iter().enumerate() {
+        for (n, node_ports) in self.ports.nodes().enumerate() {
             for (p, ps) in node_ports.iter().enumerate() {
-                for (prio, eq) in ps.eg.iter().enumerate() {
+                for pq in ps.pqs() {
+                    let eq = &pq.eg;
                     // Staged packets charge local ingresses: those
                     // ingresses wait on this egress to drain.
                     for sp in &eq.q {
@@ -1325,15 +1501,15 @@ impl Network {
                     }
                     let Some(head) = eq.q.front() else { continue };
                     // Egress blocked → waits on the downstream ingress.
-                    if ps.tx_fc[prio].hard_blocked(head.pkt.bytes, self.now) {
+                    if pq.tx_fc.hard_blocked(head.pkt.bytes, self.now) {
                         let from = vertex(&mut g, WfSide::Egress, n, p);
                         let to = vertex(&mut g, WfSide::Ingress, ps.peer.0 as usize, ps.peer_port);
                         g.edge(from, to);
                     }
                 }
                 // Ingress FIFO heads wait on their target egress.
-                for fifo in &ps.ing_q {
-                    if let Some(head) = fifo.front() {
+                for pq in ps.pqs() {
+                    if let Some(head) = pq.ing_q.front() {
                         let from = vertex(&mut g, WfSide::Ingress, n, p);
                         let to = vertex(&mut g, WfSide::Egress, n, head.out_port);
                         g.edge(from, to);

@@ -1,11 +1,23 @@
 //! Per-port simulator state: ingress accounting, egress queues, control
 //! queue, and the transmission scheduler's bookkeeping.
+//!
+//! ## Layout
+//!
+//! Per-priority state is grouped in [`PrioState`] — one struct per
+//! `(port, priority)` instead of five parallel `Vec`s — so the fields a
+//! forwarding step touches together (ingress occupancy, FIFO, receiver,
+//! egress, sender) sit in one cache region. Priority 0 is stored inline
+//! in [`PortState`]: the headline configurations run a single priority,
+//! and inlining it removes the last pointer chase from the per-packet
+//! path. All ports of all nodes live in one contiguous [`PortTable`]
+//! indexed as `ports[node][port]`.
 
 use crate::config::SimConfig;
 use crate::fc::{CtrlPayload, FcReceiver, FcSender};
 use crate::packet::Packet;
 use gfc_topology::{LinkId, NodeId};
 use std::collections::VecDeque;
+use std::ops::{Index, IndexMut};
 
 /// A packet staged at an egress, remembering which local ingress buffer is
 /// charged for it (None for locally sourced traffic, i.e. host NICs).
@@ -61,6 +73,35 @@ pub struct QueuedCtrl {
     pub prio: u8,
 }
 
+/// Everything one `(port, priority)` pair owns: the per-event hot set.
+#[derive(Debug, Clone)]
+pub struct PrioState {
+    /// Ingress buffer occupancy, bytes (FIFO + staged + in-flight;
+    /// released when the last bit leaves the node).
+    pub ing_bytes: u64,
+    /// Ingress FIFO (the input buffer of Fig. 2; subject to head-of-line
+    /// blocking exactly like the paper's switches).
+    pub ing_q: VecDeque<IngressPacket>,
+    /// Ingress flow-control receiver.
+    pub ing_rx: FcReceiver,
+    /// Egress queue.
+    pub eg: EgressQueue,
+    /// Egress flow-control sender (+ rate limiter).
+    pub tx_fc: FcSender,
+}
+
+impl PrioState {
+    fn new(cfg: &SimConfig) -> Self {
+        PrioState {
+            ing_bytes: 0,
+            ing_q: VecDeque::new(),
+            ing_rx: FcReceiver::for_config(cfg),
+            eg: EgressQueue::default(),
+            tx_fc: FcSender::for_config(cfg),
+        }
+    }
+}
+
 /// Everything one port of one node owns.
 #[derive(Debug, Clone)]
 pub struct PortState {
@@ -70,20 +111,12 @@ pub struct PortState {
     pub peer: NodeId,
     /// The port index this cable occupies on the peer.
     pub peer_port: usize,
-    /// Per-priority ingress buffer occupancy, bytes (FIFO + staged +
-    /// in-flight; released when the last bit leaves the node).
-    pub ing_bytes: Vec<u64>,
-    /// Per-priority ingress FIFOs (the input buffers of Fig. 2; subject to
-    /// head-of-line blocking exactly like the paper's switches).
-    pub ing_q: Vec<VecDeque<IngressPacket>>,
-    /// Per-priority ingress flow-control receivers.
-    pub ing_rx: Vec<FcReceiver>,
-    /// Per-priority egress queues.
-    pub eg: Vec<EgressQueue>,
+    /// Priority 0's state, inline (see the module docs).
+    pq0: PrioState,
+    /// Priorities `1..num_priorities`, if any.
+    pq_rest: Box<[PrioState]>,
     /// Control frames awaiting the wire (strict priority over data).
     pub ctrl_q: VecDeque<QueuedCtrl>,
-    /// Per-priority egress flow-control senders (+ rate limiters).
-    pub tx_fc: Vec<FcSender>,
     /// Whether a transmission is in flight on this port.
     pub tx_busy: bool,
     /// The control frame in flight, if the current transmission is one.
@@ -114,17 +147,13 @@ pub struct PortState {
 impl PortState {
     /// Fresh port state wired to `(link, peer, peer_port)`.
     pub fn new(cfg: &SimConfig, link: LinkId, peer: NodeId, peer_port: usize) -> Self {
-        let np = cfg.num_priorities;
         PortState {
             link,
             peer,
             peer_port,
-            ing_bytes: vec![0; np],
-            ing_q: (0..np).map(|_| VecDeque::new()).collect(),
-            ing_rx: (0..np).map(|_| FcReceiver::for_config(cfg)).collect(),
-            eg: (0..np).map(|_| EgressQueue::default()).collect(),
+            pq0: PrioState::new(cfg),
+            pq_rest: (1..cfg.num_priorities).map(|_| PrioState::new(cfg)).collect(),
             ctrl_q: VecDeque::new(),
-            tx_fc: (0..np).map(|_| FcSender::for_config(cfg)).collect(),
             tx_busy: false,
             current_ctrl: None,
             current_data: None,
@@ -137,13 +166,94 @@ impl PortState {
         }
     }
 
+    /// The state of priority `prio`.
+    #[inline]
+    pub fn pq(&self, prio: usize) -> &PrioState {
+        if prio == 0 {
+            &self.pq0
+        } else {
+            &self.pq_rest[prio - 1]
+        }
+    }
+
+    /// Mutable state of priority `prio`.
+    #[inline]
+    pub fn pq_mut(&mut self, prio: usize) -> &mut PrioState {
+        if prio == 0 {
+            &mut self.pq0
+        } else {
+            &mut self.pq_rest[prio - 1]
+        }
+    }
+
+    /// All priorities in order.
+    pub fn pqs(&self) -> impl Iterator<Item = &PrioState> {
+        std::iter::once(&self.pq0).chain(self.pq_rest.iter())
+    }
+
     /// Total bytes staged across all egress priorities.
     pub fn egress_backlog(&self) -> u64 {
-        self.eg.iter().map(|e| e.bytes).sum()
+        self.pqs().map(|pq| pq.eg.bytes).sum()
     }
 
     /// Total ingress occupancy across priorities.
     pub fn ingress_backlog(&self) -> u64 {
-        self.ing_bytes.iter().sum()
+        self.pqs().map(|pq| pq.ing_bytes).sum()
+    }
+}
+
+/// All ports of all nodes in one contiguous slab, indexed
+/// `table[node][port]` — `table[node]` yields the node's ports as a
+/// slice. One allocation instead of one per node, so sweeping the fabric
+/// (pump scans, timeline samples, backlog sums) walks memory linearly.
+#[derive(Debug)]
+pub struct PortTable {
+    states: Vec<PortState>,
+    /// `base[n]..base[n + 1]` is node `n`'s slice of `states`.
+    base: Vec<u32>,
+}
+
+impl PortTable {
+    /// Flatten the per-node port lists into one table.
+    pub fn new(nested: Vec<Vec<PortState>>) -> Self {
+        let mut base = Vec::with_capacity(nested.len() + 1);
+        let mut states = Vec::with_capacity(nested.iter().map(Vec::len).sum());
+        base.push(0);
+        for node_ports in nested {
+            states.extend(node_ports);
+            base.push(u32::try_from(states.len()).expect("port count fits u32"));
+        }
+        PortTable { states, base }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.base.len() - 1
+    }
+
+    /// Every port of every node, in node order.
+    pub fn all(&self) -> &[PortState] {
+        &self.states
+    }
+
+    /// Per-node port slices, in node order.
+    pub fn nodes(&self) -> impl Iterator<Item = &[PortState]> {
+        self.base.windows(2).map(|w| &self.states[w[0] as usize..w[1] as usize])
+    }
+}
+
+impl Index<usize> for PortTable {
+    type Output = [PortState];
+
+    #[inline]
+    fn index(&self, node: usize) -> &[PortState] {
+        &self.states[self.base[node] as usize..self.base[node + 1] as usize]
+    }
+}
+
+impl IndexMut<usize> for PortTable {
+    #[inline]
+    fn index_mut(&mut self, node: usize) -> &mut [PortState] {
+        &mut self.states[self.base[node] as usize..self.base[node + 1] as usize]
     }
 }

@@ -13,9 +13,9 @@
 //! have no sampler equivalent and stay supported.
 
 use gfc_analysis::{ThroughputMeter, TimeSeries};
+use gfc_core::fxhash::FxHashMap;
 use gfc_core::units::Dur;
 use gfc_topology::{NodeId, Topology};
-use std::collections::HashMap;
 
 /// Identifies one `(node, port, priority)` observation point.
 pub type PortKey = (NodeId, usize, u8);
@@ -102,19 +102,22 @@ impl TraceConfig {
     }
 }
 
-/// Collected traces, keyed as configured.
+/// Collected traces, keyed as configured. The maps are Fx-hashed: the
+/// opt-in observation points are sparse (a handful of ports/flows out of
+/// thousands), and the lookups sit on the per-event hot path when
+/// tracing is enabled.
 #[derive(Debug, Default)]
 pub struct Traces {
     /// Ingress queue length (bytes) series.
-    pub ingress_queue: HashMap<PortKey, TimeSeries>,
+    pub ingress_queue: FxHashMap<PortKey, TimeSeries>,
     /// Ingress arrival meters (input rate).
-    pub ingress_rate: HashMap<PortKey, ThroughputMeter>,
+    pub ingress_rate: FxHashMap<PortKey, ThroughputMeter>,
     /// Assigned egress rate (bits/s) series.
-    pub egress_rate: HashMap<PortKey, TimeSeries>,
+    pub egress_rate: FxHashMap<PortKey, TimeSeries>,
     /// DCQCN rate (bits/s) series per flow.
-    pub dcqcn_rate: HashMap<u64, TimeSeries>,
+    pub dcqcn_rate: FxHashMap<u64, TimeSeries>,
     /// Delivered bytes metered per *source* host.
-    pub host_throughput: HashMap<NodeId, ThroughputMeter>,
+    pub host_throughput: FxHashMap<NodeId, ThroughputMeter>,
 }
 
 impl Traces {
