@@ -169,9 +169,12 @@ impl Network {
     /// Unless `cfg.preflight` opts out, the `gfc-verify` static analysis
     /// runs first and the builder panics (with the full lint report) on
     /// Error-level findings — a theorem-precondition violation, an unsound
-    /// PFC threshold, or a hard-gated scheme on a CBD-prone routing.
-    /// Adversarial experiments that run unsound configurations on purpose
-    /// (the Fig. 9/12 deadlock studies) set
+    /// PFC threshold, or a hard-gated scheme on a routing whose
+    /// host-realizable dependency graph sustains a circular wait (the
+    /// exact GFC012 peeling verdict; a routing that is merely CBD-prone
+    /// by the conservative GFC011 prefilter but peels clean is admitted
+    /// with an Info note). Adversarial experiments that run unsound
+    /// configurations on purpose (the Fig. 9/12 deadlock studies) set
     /// [`PreflightPolicy::Acknowledge`](gfc_verify::PreflightPolicy).
     pub fn new(topo: Topology, routing: Routing, cfg: SimConfig, trace_cfg: TraceConfig) -> Self {
         let preflight_report = match cfg.preflight {
@@ -278,6 +281,15 @@ impl Network {
     /// (`None` when `cfg.preflight` was [`gfc_verify::PreflightPolicy::Skip`]).
     pub fn preflight_report(&self) -> Option<&gfc_verify::Report> {
         self.preflight_report.as_ref()
+    }
+
+    /// The condensed static verdict, for printing next to runtime deadlock
+    /// verdicts (`None` when preflight was skipped). The interesting bit
+    /// for experiment tables is [`gfc_verify::StaticVerdict`]'s
+    /// `deadlock_susceptible` vs. `exact_deadlock_free` split: the former
+    /// predicts the run wedges, the latter certifies it cannot.
+    pub fn static_verdict(&self) -> Option<gfc_verify::StaticVerdict> {
+        self.preflight_report.as_ref().map(gfc_verify::Report::verdict)
     }
 
     /// Whether `node` is a host, via the dense host table (the `Node`

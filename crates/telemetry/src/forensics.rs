@@ -10,6 +10,7 @@
 
 use crate::recorder::EventRecord;
 use core::fmt::Write as _;
+use gfc_topology::render::{render_chain, CHAIN_MAX_HOPS};
 use std::collections::HashMap;
 
 /// Which side of a port a wait-for vertex models.
@@ -216,20 +217,23 @@ impl ForensicsReport {
         if self.cycle.is_empty() {
             let _ = writeln!(out, "no wait-for cycle at capture time");
         } else {
-            let _ = writeln!(out, "wait-for cycle ({} vertices):", self.cycle.len());
-            for (i, &v) in self.cycle.iter().enumerate() {
-                let vx = &self.graph.vertices()[v];
-                let next = self.cycle[(i + 1) % self.cycle.len()];
-                let nx = &self.graph.vertices()[next];
-                let _ = writeln!(
-                    out,
-                    "  {} [{}] waits-on {} [{}]",
-                    vx.label,
-                    vx.side.as_str(),
-                    nx.label,
-                    nx.side.as_str()
-                );
-            }
+            // One chained line via the shared renderer, closed back onto
+            // the first vertex to show the circular wait.
+            let mut hops: Vec<String> = self
+                .cycle
+                .iter()
+                .map(|&v| {
+                    let vx = &self.graph.vertices()[v];
+                    format!("{} [{}]", vx.label, vx.side.as_str())
+                })
+                .collect();
+            hops.push(hops[0].clone());
+            let _ = writeln!(
+                out,
+                "wait-for cycle ({} vertices):\n  {}",
+                self.cycle.len(),
+                render_chain(&hops, " waits-on ", 2 * CHAIN_MAX_HOPS)
+            );
         }
         let _ = writeln!(out, "port occupancies at stall:");
         for o in &self.occupancies {

@@ -6,13 +6,28 @@
 //! `v→w`. A cycle in this dependency graph is a CBD — the structural
 //! precondition of deadlock.
 //!
-//! Two analyses are provided:
+//! Three analyses are provided:
 //!
 //! * [`depgraph_for_flows`] — dependencies induced by a concrete flow set
 //!   (used to verify scenario constructions such as Fig. 1 and Fig. 11);
 //! * [`cbd_prone`] — dependencies induced by *every possible host pair*
 //!   under SPF/ECMP (every equal-cost DAG edge), the paper's Table 1
-//!   prefilter for "cases which are prone to generate CBD".
+//!   prefilter for "cases which are prone to generate CBD". This union is
+//!   conservative: it contains "phantom" dependencies whose upstream link
+//!   no host-originated flow toward that destination ever crosses;
+//! * [`realizable_all_pairs_depgraph`] — the host-reachable subgraph of
+//!   the above (only dependencies some complete host-to-host flow can
+//!   exercise), the basis of the exact deadlock-freedom verdict.
+//!
+//! On top of the graph, [`DepGraph::condensation`] computes the strongly
+//! connected components with an *iterative* Tarjan (generated topologies
+//! produce DFS stacks deep enough to overflow a recursive one),
+//! [`DepGraph::peel`] decides deadlock-freedom exactly by repeatedly
+//! discarding dependencies that can always drain (a link whose occupants
+//! never wait — delivery into a host, or an edge into already-peeled
+//! links — can always complete; deadlock-free iff the residual empties),
+//! and [`DepGraph::break_set`] names a small set of directed links whose
+//! removal acyclifies a component (greedy feedback-vertex heuristic).
 
 use crate::graph::{DirLink, NodeId, NodeKind, Topology};
 use crate::routing::{path_dirlinks, DstTree};
@@ -39,6 +54,219 @@ impl DepGraph {
     /// Number of dependency edges.
     pub fn num_edges(&self) -> usize {
         self.edges.values().map(std::collections::HashSet::len).sum()
+    }
+
+    /// All vertices (directed links appearing as a source or target of
+    /// some dependency), sorted by [`DirLink::index`].
+    pub fn vertices(&self) -> Vec<u64> {
+        let mut set: HashSet<u64> = self.edges.keys().copied().collect();
+        for succs in self.edges.values() {
+            set.extend(succs.iter().copied());
+        }
+        let mut vs: Vec<u64> = set.into_iter().collect();
+        vs.sort_unstable();
+        vs
+    }
+
+    /// Sorted successors of a vertex (empty if it has no out-edges).
+    pub fn successors(&self, v: u64) -> Vec<u64> {
+        let mut s: Vec<u64> =
+            self.edges.get(&v).map(|s| s.iter().copied().collect()).unwrap_or_default();
+        s.sort_unstable();
+        s
+    }
+
+    /// Whether the dependency edge `from → to` is present (by index).
+    pub fn has_edge_idx(&self, from: u64, to: u64) -> bool {
+        self.edges.get(&from).is_some_and(|s| s.contains(&to))
+    }
+
+    /// The subgraph induced by the vertex set `keep`.
+    fn induced(&self, keep: &HashSet<u64>) -> DepGraph {
+        let mut edges: HashMap<u64, HashSet<u64>> = HashMap::new();
+        for (&from, succs) in &self.edges {
+            if !keep.contains(&from) {
+                continue;
+            }
+            let kept: HashSet<u64> = succs.iter().copied().filter(|t| keep.contains(t)).collect();
+            if !kept.is_empty() {
+                edges.insert(from, kept);
+            }
+        }
+        DepGraph { edges }
+    }
+
+    /// Strongly connected components by *iterative* Tarjan — no recursion,
+    /// so the DFS depth of a generated thousand-node topology cannot
+    /// overflow the thread stack. Components come out in Tarjan's reverse
+    /// topological order; members are sorted.
+    pub fn condensation(&self) -> Condensation {
+        let verts = self.vertices();
+        let n = verts.len();
+        let idx_of: HashMap<u64, usize> = verts.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        let adj: Vec<Vec<usize>> =
+            verts.iter().map(|&v| self.successors(v).iter().map(|t| idx_of[t]).collect()).collect();
+
+        const UNSET: usize = usize::MAX;
+        let mut index = vec![UNSET; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut sccs: Vec<Scc> = Vec::new();
+
+        for root in 0..n {
+            if index[root] != UNSET {
+                continue;
+            }
+            // Explicit DFS frames: (vertex, next-successor cursor).
+            let mut frames: Vec<(usize, usize)> = vec![(root, 0)];
+            while let Some(&mut (v, ref mut cursor)) = frames.last_mut() {
+                if *cursor == 0 {
+                    index[v] = next_index;
+                    low[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                if *cursor < adj[v].len() {
+                    let u = adj[v][*cursor];
+                    *cursor += 1;
+                    if index[u] == UNSET {
+                        frames.push((u, 0));
+                    } else if on_stack[u] {
+                        low[v] = low[v].min(index[u]);
+                    }
+                } else {
+                    if low[v] == index[v] {
+                        let mut members = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("Tarjan stack holds the component");
+                            on_stack[w] = false;
+                            members.push(verts[w]);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        members.sort_unstable();
+                        let cyclic = members.len() > 1 || self.has_edge_idx(members[0], members[0]);
+                        sccs.push(Scc { members, cyclic });
+                    }
+                    frames.pop();
+                    if let Some(&mut (p, _)) = frames.last_mut() {
+                        low[p] = low[p].min(low[v]);
+                    }
+                }
+            }
+        }
+        Condensation { sccs }
+    }
+
+    /// A representative cycle inside a cyclic component: walk from the
+    /// smallest member along the smallest in-component successor until a
+    /// vertex repeats. Deterministic; empty for an acyclic component.
+    pub fn cycle_in_scc(&self, scc: &Scc) -> Vec<u64> {
+        if !scc.cyclic {
+            return Vec::new();
+        }
+        let set: HashSet<u64> = scc.members.iter().copied().collect();
+        let mut pos: HashMap<u64, usize> = HashMap::new();
+        let mut path: Vec<u64> = Vec::new();
+        let mut v = scc.members[0];
+        loop {
+            if let Some(&p) = pos.get(&v) {
+                return path[p..].to_vec();
+            }
+            pos.insert(v, path.len());
+            path.push(v);
+            v = self
+                .successors(v)
+                .into_iter()
+                .find(|t| set.contains(t))
+                .expect("every vertex of a cyclic SCC has an in-SCC successor");
+        }
+    }
+
+    /// A small set of directed links whose removal acyclifies `scc`:
+    /// greedy feedback-vertex heuristic, repeatedly deleting the vertex
+    /// with the largest `in_degree × out_degree` inside the largest
+    /// remaining cyclic sub-component (ties break to the lowest index)
+    /// until nothing cyclic is left. For a simple cycle this finds a
+    /// single link — the minimum. Iterative throughout.
+    pub fn break_set(&self, scc: &Scc) -> Vec<u64> {
+        if !scc.cyclic {
+            return Vec::new();
+        }
+        let mut alive: HashSet<u64> = scc.members.iter().copied().collect();
+        let mut removed = Vec::new();
+        loop {
+            let sub = self.induced(&alive);
+            let cond = sub.condensation();
+            let Some(worst) = cond.cyclic_by_size().into_iter().next() else {
+                break;
+            };
+            let wset: HashSet<u64> = worst.members.iter().copied().collect();
+            let mut best: Option<(usize, u64)> = None;
+            for &v in &worst.members {
+                let out = sub.successors(v).iter().filter(|t| wset.contains(t)).count();
+                let inn = worst.members.iter().filter(|&&u| sub.has_edge_idx(u, v)).count();
+                let score = inn * out;
+                // Members ascend, so `>` keeps the lowest index on ties.
+                if best.is_none_or(|(s, _)| score > s) {
+                    best = Some((score, v));
+                }
+            }
+            let (_, v) = best.expect("cyclic component has members");
+            alive.remove(&v);
+            removed.push(v);
+        }
+        removed
+    }
+
+    /// Exact deadlock-freedom by iterative peeling: a directed link whose
+    /// occupants never wait on another dependency (zero remaining
+    /// out-degree — e.g. delivery into a host, or every downstream
+    /// dependency already shown to drain) always completes; remove it and
+    /// repeat. The routing is deadlock-free if and only if the residual
+    /// graph empties — the leftover vertices are exactly the links that
+    /// can reach a dependency cycle.
+    pub fn peel(&self) -> PeelOutcome {
+        let verts = self.vertices();
+        let n = verts.len();
+        let idx_of: HashMap<u64, usize> = verts.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        let mut out_deg = vec![0usize; n];
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, &v) in verts.iter().enumerate() {
+            for t in self.successors(v) {
+                out_deg[i] += 1;
+                preds[idx_of[&t]].push(i);
+            }
+        }
+        let mut removed = vec![false; n];
+        let mut frontier: Vec<usize> = (0..n).filter(|&i| out_deg[i] == 0).collect();
+        let mut rounds = 0;
+        let mut peeled = 0;
+        while !frontier.is_empty() {
+            rounds += 1;
+            for &i in &frontier {
+                removed[i] = true;
+                peeled += 1;
+            }
+            let mut next = Vec::new();
+            for &i in &frontier {
+                for &p in &preds[i] {
+                    out_deg[p] -= 1;
+                    if out_deg[p] == 0 && !removed[p] {
+                        next.push(p);
+                    }
+                }
+            }
+            next.sort_unstable();
+            frontier = next;
+        }
+        let residual =
+            verts.iter().enumerate().filter(|&(i, _)| !removed[i]).map(|(_, &v)| v).collect();
+        PeelOutcome { peeled, rounds, residual }
     }
 
     /// Whether the graph contains a cycle.
@@ -101,6 +329,129 @@ impl DepGraph {
         }
         None
     }
+}
+
+/// One strongly connected component of a [`DepGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scc {
+    /// Member vertices ([`DirLink::index`] encodings), sorted ascending.
+    pub members: Vec<u64>,
+    /// Whether the component contains a cycle (more than one member, or a
+    /// single member with a self-dependency).
+    pub cyclic: bool,
+}
+
+impl Scc {
+    /// Number of directed links in the component.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the component is empty (never, for Tarjan output).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// The SCC condensation of a [`DepGraph`].
+#[derive(Debug, Clone, Default)]
+pub struct Condensation {
+    sccs: Vec<Scc>,
+}
+
+impl Condensation {
+    /// All components, in Tarjan's reverse topological order (a component
+    /// precedes everything that depends on it).
+    pub fn sccs(&self) -> &[Scc] {
+        &self.sccs
+    }
+
+    /// The cyclic (nontrivial) components, largest first; ties break on
+    /// the smallest member so reports are deterministic.
+    pub fn cyclic_by_size(&self) -> Vec<&Scc> {
+        let mut cyc: Vec<&Scc> = self.sccs.iter().filter(|s| s.cyclic).collect();
+        cyc.sort_by(|a, b| b.len().cmp(&a.len()).then(a.members[0].cmp(&b.members[0])));
+        cyc
+    }
+
+    /// Number of cyclic components.
+    pub fn num_cyclic(&self) -> usize {
+        self.sccs.iter().filter(|s| s.cyclic).count()
+    }
+}
+
+/// Outcome of [`DepGraph::peel`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeelOutcome {
+    /// Vertices peeled (shown to always drain).
+    pub peeled: usize,
+    /// Peeling rounds until a fixpoint.
+    pub rounds: usize,
+    /// Vertices that survive every round — the directed links that can
+    /// reach a dependency cycle. Empty iff the routing is deadlock-free.
+    pub residual: Vec<u64>,
+}
+
+impl PeelOutcome {
+    /// Whether peeling emptied the graph — the exact deadlock-freedom
+    /// certificate.
+    pub fn deadlock_free(&self) -> bool {
+        self.residual.is_empty()
+    }
+}
+
+/// Add, for each `(dst, sources)` entry, the SPF/ECMP buffer dependencies
+/// that a flow from one of `sources` toward `dst` can actually exercise:
+/// a dependency `(u→v, v→w)` counts only when `u` is reachable from some
+/// source *within the equal-cost DAG toward `dst`* and `v` is a switch.
+/// This prunes the phantom edges of [`all_pairs_depgraph`], which charges
+/// every upstream link of the DAG even when no host-originated flow ever
+/// crosses it.
+pub fn spf_depgraph_for_pairs(
+    topo: &Topology,
+    pairs_by_dst: &[(NodeId, Vec<NodeId>)],
+    g: &mut DepGraph,
+) {
+    for (dst, srcs) in pairs_by_dst {
+        let tree = DstTree::compute(topo, *dst);
+        let mut reach = vec![false; topo.num_nodes()];
+        let mut stack: Vec<NodeId> = Vec::new();
+        for &s in srcs {
+            if tree.dist[s.0 as usize] != u32::MAX && !reach[s.0 as usize] {
+                reach[s.0 as usize] = true;
+                stack.push(s);
+            }
+        }
+        while let Some(u) = stack.pop() {
+            for &l in &tree.next_hops[u.0 as usize] {
+                let v = topo.peer(l, u);
+                if topo.node(v).kind == NodeKind::Switch {
+                    let incoming = topo.dir_from(l, u);
+                    for &lo in &tree.next_hops[v.0 as usize] {
+                        g.add_edge(incoming, topo.dir_from(lo, v));
+                    }
+                }
+                if !reach[v.0 as usize] {
+                    reach[v.0 as usize] = true;
+                    stack.push(v);
+                }
+            }
+        }
+    }
+}
+
+/// The host-realizable restriction of [`all_pairs_depgraph`]: only
+/// dependencies some complete host-to-host SPF/ECMP flow can exercise.
+/// A subgraph of the all-pairs union, so acyclicity of the union implies
+/// acyclicity here; the converse can fail (see the sparse ring in
+/// `scenarios`), which is exactly when the Table 1 prefilter cries wolf.
+pub fn realizable_all_pairs_depgraph(topo: &Topology) -> DepGraph {
+    let hosts = topo.hosts();
+    let pairs: Vec<(NodeId, Vec<NodeId>)> =
+        hosts.iter().map(|&d| (d, hosts.iter().copied().filter(|&s| s != d).collect())).collect();
+    let mut g = DepGraph::new();
+    spf_depgraph_for_pairs(topo, &pairs, &mut g);
+    g
 }
 
 /// Build the dependency graph induced by concrete flows, each given as
@@ -183,8 +534,7 @@ pub fn realize_cycle(
 ) -> Option<Vec<(NodeId, NodeId, Vec<crate::graph::LinkId>)>> {
     use crate::routing::walk_nodes;
     let hosts = topo.hosts();
-    let decode =
-        |idx: u64| DirLink { link: crate::graph::LinkId((idx / 2) as u32), reversed: idx % 2 == 1 };
+    let decode = DirLink::from_index;
     let mut flows = Vec::new();
     let mut tree_cache: HashMap<NodeId, DstTree> = HashMap::new();
     let n = cycle.len();
@@ -387,5 +737,194 @@ mod tests {
         let d = DirLink { link: LinkId(7), reversed: true };
         g.add_edge(d, d);
         assert_eq!(g.find_cycle().unwrap(), vec![d.index()]);
+    }
+
+    fn d(i: u32) -> DirLink {
+        DirLink { link: LinkId(i), reversed: false }
+    }
+
+    /// Two disjoint directed triangles joined by a bridge edge, plus a
+    /// dangling tail — a handcrafted two-SCC graph.
+    fn two_triangles() -> DepGraph {
+        let mut g = DepGraph::new();
+        for i in 0..3u32 {
+            g.add_edge(d(i), d((i + 1) % 3));
+            g.add_edge(d(10 + i), d(10 + (i + 1) % 3));
+        }
+        g.add_edge(d(2), d(10)); // bridge: first SCC depends on second
+        g.add_edge(d(12), d(20)); // tail out of the second SCC
+        g
+    }
+
+    #[test]
+    fn condensation_finds_both_triangles() {
+        let g = two_triangles();
+        let cond = g.condensation();
+        let cyclic = cond.cyclic_by_size();
+        assert_eq!(cyclic.len(), 2);
+        assert_eq!(cond.num_cyclic(), 2);
+        assert_eq!(cyclic[0].members, vec![d(0).index(), d(1).index(), d(2).index()]);
+        assert_eq!(cyclic[1].members, vec![d(10).index(), d(11).index(), d(12).index()]);
+        // The tail vertex is its own trivial SCC.
+        assert!(cond.sccs().iter().any(|s| !s.cyclic && s.members == vec![d(20).index()]));
+        // Reverse topological order: the depended-on tail comes first.
+        let pos = |v: u64| cond.sccs().iter().position(|s| s.members.contains(&v)).unwrap();
+        assert!(pos(d(20).index()) < pos(d(10).index()));
+        assert!(pos(d(10).index()) < pos(d(0).index()));
+    }
+
+    #[test]
+    fn representative_cycle_walks_the_component() {
+        let g = two_triangles();
+        let cond = g.condensation();
+        for scc in cond.cyclic_by_size() {
+            let cyc = g.cycle_in_scc(scc);
+            assert_eq!(cyc.len(), 3, "triangle cycle: {cyc:?}");
+            for (i, &v) in cyc.iter().enumerate() {
+                assert!(g.has_edge_idx(v, cyc[(i + 1) % cyc.len()]), "broken cycle {cyc:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn break_set_on_a_simple_cycle_is_minimal() {
+        let g = two_triangles();
+        let cond = g.condensation();
+        for scc in cond.cyclic_by_size() {
+            let bs = g.break_set(scc);
+            assert_eq!(bs.len(), 1, "a simple cycle needs exactly one removal: {bs:?}");
+            // Removing it acyclifies the component.
+            let keep: std::collections::HashSet<u64> =
+                scc.members.iter().copied().filter(|v| !bs.contains(v)).collect();
+            assert_eq!(g.induced(&keep).condensation().num_cyclic(), 0);
+        }
+    }
+
+    #[test]
+    fn break_set_on_two_chorded_cycles_prefers_the_shared_vertex() {
+        // Two cycles sharing vertex 0: 0→1→0 and 0→2→0. Removing 0 kills
+        // both; the greedy degree product must find that.
+        let mut g = DepGraph::new();
+        g.add_edge(d(0), d(1));
+        g.add_edge(d(1), d(0));
+        g.add_edge(d(0), d(2));
+        g.add_edge(d(2), d(0));
+        let cond = g.condensation();
+        let scc = cond.cyclic_by_size()[0];
+        assert_eq!(scc.len(), 3);
+        assert_eq!(g.break_set(scc), vec![d(0).index()]);
+    }
+
+    #[test]
+    fn peel_empties_acyclic_and_keeps_cycles() {
+        let mut g = DepGraph::new();
+        g.add_edge(d(0), d(1));
+        g.add_edge(d(1), d(2));
+        let p = g.peel();
+        assert!(p.deadlock_free());
+        assert_eq!((p.peeled, p.rounds), (3, 3));
+
+        let g = two_triangles();
+        let p = g.peel();
+        assert!(!p.deadlock_free());
+        // The tail peels; everything on or upstream of a cycle stays.
+        assert_eq!(p.peeled, 1);
+        assert_eq!(p.residual.len(), 6);
+    }
+
+    #[test]
+    fn peel_keeps_upstream_of_a_cycle() {
+        // 5 → 0, 0→1→2→0: vertex 5 reaches the cycle and must stay.
+        let mut g = DepGraph::new();
+        g.add_edge(d(5), d(0));
+        g.add_edge(d(0), d(1));
+        g.add_edge(d(1), d(2));
+        g.add_edge(d(2), d(0));
+        let p = g.peel();
+        assert_eq!(p.residual.len(), 4);
+        assert!(p.residual.contains(&d(5).index()));
+    }
+
+    #[test]
+    fn ring_all_pairs_condensation_is_two_simple_cycles() {
+        // On an n≥5 host-per-switch ring the all-pairs union contains the
+        // clockwise and counterclockwise n-cycles as separate SCCs (a tie
+        // in distance is never a DAG edge, so the directions never mix).
+        let ring = crate::scenarios::Ring::new(6);
+        let g = all_pairs_depgraph(&ring.topo);
+        let cond = g.condensation();
+        let cyclic = cond.cyclic_by_size();
+        assert_eq!(cyclic.len(), 2, "clockwise + counterclockwise SCCs");
+        for scc in &cyclic {
+            assert_eq!(scc.len(), 6);
+            assert_eq!(g.break_set(scc).len(), 1, "a ring direction is a simple cycle");
+        }
+        assert!(!g.peel().deadlock_free(), "host-per-switch ring cycles are realizable");
+    }
+
+    #[test]
+    fn healthy_fattree_peels_clean() {
+        use crate::fattree::FatTree;
+        let ft = FatTree::new(4);
+        let g = all_pairs_depgraph(&ft.topo);
+        assert_eq!(g.condensation().num_cyclic(), 0);
+        assert!(g.peel().deadlock_free());
+        let r = realizable_all_pairs_depgraph(&ft.topo);
+        assert!(r.peel().deadlock_free());
+    }
+
+    #[test]
+    fn realizable_graph_is_a_subgraph_of_the_union() {
+        use crate::fattree::FatTree;
+        use rand::{rngs::StdRng, SeedableRng};
+        for seed in 0..20u64 {
+            let mut ft = FatTree::new(4);
+            let mut rng = StdRng::seed_from_u64(seed);
+            ft.inject_failures(&mut rng, 0.08);
+            let union = all_pairs_depgraph(&ft.topo);
+            let real = realizable_all_pairs_depgraph(&ft.topo);
+            for v in real.vertices() {
+                for t in real.successors(v) {
+                    assert!(union.has_edge_idx(v, t), "seed {seed}: edge {v}→{t} not in union");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_ring_union_cycles_but_realizable_is_clean() {
+        // The showcase divergence: hosts on alternating switches leave the
+        // full ring cycle in the all-pairs union (phantom upstream edges),
+        // but every host-reachable dependency chain ends in a delivery —
+        // the realizable graph is acyclic, so the fabric is deadlock-free.
+        let ring = crate::scenarios::SparseRing::new(6, 2);
+        let union = all_pairs_depgraph(&ring.topo);
+        assert!(union.has_cycle(), "the union prefilter must cry wolf here");
+        let real = realizable_all_pairs_depgraph(&ring.topo);
+        assert!(!real.has_cycle());
+        assert!(real.peel().deadlock_free());
+    }
+
+    #[test]
+    fn thousand_node_ring_analysis_is_iterative() {
+        // A 512-switch ring (1024 nodes) makes every DFS path as deep as
+        // the SCC itself; run the full pipeline on a deliberately tiny
+        // (256 KB) stack to prove no step recurses.
+        std::thread::Builder::new()
+            .stack_size(256 * 1024)
+            .spawn(|| {
+                let ring = crate::scenarios::Ring::new(512);
+                let g = all_pairs_depgraph(&ring.topo);
+                let cond = g.condensation();
+                let cyclic = cond.cyclic_by_size();
+                assert_eq!(cyclic.len(), 2);
+                assert_eq!(cyclic[0].len(), 512);
+                assert_eq!(g.cycle_in_scc(cyclic[0]).len(), 512);
+                assert_eq!(g.break_set(cyclic[0]).len(), 1);
+                assert!(!g.peel().deadlock_free());
+            })
+            .expect("spawn small-stack analysis thread")
+            .join()
+            .expect("analysis must not overflow a 256 KB stack");
     }
 }

@@ -15,6 +15,11 @@
 use crate::graph::{LinkId, NodeId, Topology};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// A complete static route table: `(src, dst) → path links` (the shape
+/// [`Routing::fixed`](crate::Routing::fixed) consumes).
+pub type RouteMap = HashMap<(NodeId, NodeId), Vec<LinkId>>;
 
 /// A constructed fat-tree with its index maps.
 #[derive(Debug, Clone)]
@@ -98,6 +103,80 @@ impl FatTree {
         self.edge_agg_links.iter().chain(&self.agg_core_links).copied().collect()
     }
 
+    /// The tier of a node: host 0, edge 1, aggregation 2, core 3.
+    /// (Construction order guarantees contiguous id ranges per tier.)
+    pub fn tier(&self, n: NodeId) -> usize {
+        let i = n.0 as usize;
+        if i < self.hosts.len() {
+            0
+        } else if i < self.hosts.len() + self.edges.len() {
+            1
+        } else if i < self.hosts.len() + self.edges.len() + self.aggs.len() {
+            2
+        } else {
+            3
+        }
+    }
+
+    /// Up/down-restricted static routes for every host pair: climb toward
+    /// the core, then descend, never turning from down back to up — the
+    /// classical deadlock-free routing on multi-rooted trees. Unlike
+    /// unrestricted SPF on a failed fat-tree (whose detours can re-ascend
+    /// and close a cyclic buffer dependency, Fig. 11), these routes admit
+    /// no CBD by construction. Pairs left without a surviving up/down path
+    /// are omitted. Deterministic: BFS in port order, shortest such path.
+    pub fn updown_routes(&self) -> RouteMap {
+        let n = self.topo.num_nodes();
+        let mut routes = HashMap::new();
+        for &src in &self.hosts {
+            // BFS over product states (node, phase): state = node·2 + phase,
+            // phase 0 = still ascending, phase 1 = descending.
+            let mut parent: Vec<Option<(usize, LinkId)>> = vec![None; 2 * n];
+            let mut seen = vec![false; 2 * n];
+            let start = (src.0 as usize) * 2;
+            seen[start] = true;
+            let mut queue = VecDeque::from([start]);
+            while let Some(state) = queue.pop_front() {
+                let v = NodeId((state / 2) as u32);
+                let descending = state % 2 == 1;
+                for (u, l) in self.topo.neighbors(v) {
+                    let next = if self.tier(u) > self.tier(v) {
+                        if descending {
+                            continue; // a down→up turn would break the invariant
+                        }
+                        (u.0 as usize) * 2
+                    } else {
+                        (u.0 as usize) * 2 + 1
+                    };
+                    if !seen[next] {
+                        seen[next] = true;
+                        parent[next] = Some((state, l));
+                        queue.push_back(next);
+                    }
+                }
+            }
+            for &dst in &self.hosts {
+                if dst == src {
+                    continue;
+                }
+                // A host is always entered downward from its edge switch.
+                let target = (dst.0 as usize) * 2 + 1;
+                if !seen[target] {
+                    continue;
+                }
+                let mut links = Vec::new();
+                let mut state = target;
+                while let Some((prev, l)) = parent[state] {
+                    links.push(l);
+                    state = prev;
+                }
+                links.reverse();
+                routes.insert((src, dst), links);
+            }
+        }
+        routes
+    }
+
     /// Fail each fabric link independently with probability `p`.
     /// Returns the failed set.
     pub fn inject_failures(&mut self, rng: &mut impl Rng, p: f64) -> Vec<LinkId> {
@@ -150,6 +229,29 @@ pub fn find_fig11_failures(max_hash_tries: u64) -> Option<(FatTree, Fig11Scenari
                     return Some((ft, Fig11Scenario { failed, flow_hashes: hashes }));
                 }
             }
+        }
+    }
+    None
+}
+
+/// Search seeded failed k=4 fat-trees (8 % fabric-link failures) for the
+/// up/down showcase: a fabric whose all-pairs SPF union admits a CBD (the
+/// Table 1 prefilter cries wolf) while strict up/down routes still cover
+/// every host pair — and, by construction, admit no CBD at all. Returns
+/// the fabric and its complete up/down route set. Deterministic: seeds
+/// are tried in order and the first hit wins.
+pub fn find_updown_showcase(max_seeds: u64) -> Option<(FatTree, RouteMap)> {
+    use rand::{rngs::StdRng, SeedableRng};
+    for seed in 0..max_seeds {
+        let mut ft = FatTree::new(4);
+        let mut rng = StdRng::seed_from_u64(seed);
+        ft.inject_failures(&mut rng, 0.08);
+        if !ft.topo.hosts_connected() || !crate::cbd::cbd_prone(&ft.topo) {
+            continue;
+        }
+        let routes = ft.updown_routes();
+        if routes.len() == ft.hosts.len() * (ft.hosts.len() - 1) {
+            return Some((ft, routes));
         }
     }
     None
@@ -262,6 +364,48 @@ mod tests {
         for l in failed {
             assert!(!ft.topo.link_alive(l));
         }
+    }
+
+    #[test]
+    fn updown_routes_cover_all_pairs_and_admit_no_cbd() {
+        let ft = FatTree::new(4);
+        let routes = ft.updown_routes();
+        assert_eq!(routes.len(), 16 * 15, "every ordered host pair gets a route");
+        let flows: Vec<_> = routes.iter().map(|(&(s, _), p)| (s, p.clone())).collect();
+        for (&(s, d), p) in &routes {
+            let nodes = crate::routing::walk_nodes(&ft.topo, s, p).expect("valid walk");
+            assert_eq!(nodes.last(), Some(&d));
+            // Tiers rise monotonically, then fall — never down-then-up.
+            let tiers: Vec<usize> = nodes.iter().map(|&v| ft.tier(v)).collect();
+            let peak = tiers.iter().position(|&t| t == *tiers.iter().max().unwrap()).unwrap();
+            assert!(tiers[..=peak].windows(2).all(|w| w[1] > w[0]), "{tiers:?}");
+            assert!(tiers[peak..].windows(2).all(|w| w[1] < w[0]), "{tiers:?}");
+        }
+        assert!(!crate::cbd::depgraph_for_flows(&ft.topo, &flows).has_cycle());
+    }
+
+    #[test]
+    fn updown_on_the_fig11_fabric_is_partial_but_cbd_free() {
+        // The Fig. 11 failures disconnect some strict up/down pairs —
+        // exactly why SPF's down-then-up detours exist there, and why they
+        // deadlock. What up/down *can* route stays CBD-free.
+        let (ft, _) = find_fig11_failures(8).expect("Fig. 11 scenario exists");
+        let routes = ft.updown_routes();
+        assert!(routes.len() < 16 * 15, "Fig. 11 should sever some up/down pair");
+        assert!(!routes.is_empty());
+        let flows: Vec<_> = routes.iter().map(|(&(s, _), p)| (s, p.clone())).collect();
+        assert!(!crate::cbd::depgraph_for_flows(&ft.topo, &flows).has_cycle());
+    }
+
+    #[test]
+    fn updown_showcase_fabric_exists() {
+        // A failed fabric the Table 1 prefilter flags as CBD-prone, on
+        // which complete up/down routes exist and admit no CBD.
+        let (ft, routes) = find_updown_showcase(50).expect("showcase fabric within 50 seeds");
+        assert!(cbd_prone(&ft.topo));
+        assert_eq!(routes.len(), 16 * 15);
+        let flows: Vec<_> = routes.iter().map(|(&(s, _), p)| (s, p.clone())).collect();
+        assert!(!crate::cbd::depgraph_for_flows(&ft.topo, &flows).has_cycle());
     }
 
     #[test]

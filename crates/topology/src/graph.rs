@@ -31,6 +31,11 @@ impl DirLink {
         self.link.0 as u64 * 2 + self.reversed as u64
     }
 
+    /// Decode an [`DirLink::index`] encoding back into a directed link.
+    pub fn from_index(idx: u64) -> DirLink {
+        DirLink { link: LinkId((idx / 2) as u32), reversed: idx % 2 == 1 }
+    }
+
     /// The opposite direction of the same cable.
     pub fn flipped(self) -> DirLink {
         DirLink { link: self.link, reversed: !self.reversed }

@@ -6,12 +6,17 @@
 //!   failure injection;
 //! * [`routing`] — BFS shortest-path-first with deterministic per-flow
 //!   ECMP, plus explicit static routes for configured scenarios;
-//! * [`cbd`] — buffer-dependency graphs and cycle (CBD) detection, both
-//!   for concrete flow sets and the all-pairs "CBD-prone" prefilter of
-//!   Table 1;
-//! * [`fattree`] — k-ary fat-trees (Fig. 11), random fabric failures, and
-//!   the deterministic search for the Fig. 11 deadlock scenario;
-//! * [`scenarios`] — the Fig. 1 deadlock ring and the §7 incast dumbbell.
+//! * [`cbd`] — buffer-dependency graphs, cycle (CBD) detection, iterative
+//!   Tarjan SCC condensation, break-set heuristics, and the exact
+//!   peeling-based deadlock-freedom test — for concrete flow sets, the
+//!   all-pairs "CBD-prone" prefilter of Table 1, and its host-realizable
+//!   refinement;
+//! * [`fattree`] — k-ary fat-trees (Fig. 11), random fabric failures, the
+//!   deterministic search for the Fig. 11 deadlock scenario, and the
+//!   deadlock-free up/down-restricted routing;
+//! * [`scenarios`] — the Fig. 1 deadlock ring, the sparse ring (CBD-prone
+//!   by the prefilter yet exactly deadlock-free), and the §7 incast;
+//! * [`render`] — shared hop-chain rendering for cycle diagnostics.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,10 +24,12 @@
 pub mod cbd;
 pub mod fattree;
 pub mod graph;
+pub mod render;
 pub mod routing;
 pub mod scenarios;
 
+pub use cbd::{Condensation, DepGraph, PeelOutcome, Scc};
 pub use fattree::FatTree;
 pub use graph::{DirLink, LinkId, NodeId, NodeKind, Topology};
 pub use routing::{Routing, SpfRouting, WalkError};
-pub use scenarios::{Incast, Ring};
+pub use scenarios::{Incast, Ring, SparseRing};

@@ -1,0 +1,63 @@
+//! Shared human-readable rendering of hop chains.
+//!
+//! Both the `gfc-verify` cycle diagnostics and the `gfc-telemetry`
+//! wait-for-graph forensics print chains of hops ("S1→S2 ⇒ S2→S3 ⇒ …");
+//! this module is the single place that formats and truncates them, so a
+//! cycle looks the same in a lint finding and in a post-mortem.
+
+use crate::graph::{DirLink, Topology};
+
+/// Default number of hops shown before a chain is truncated.
+pub const CHAIN_MAX_HOPS: usize = 6;
+
+/// Join pre-formatted hop labels with `sep`. Chains longer than `max`
+/// show the first `max` hops followed by `… (N hops total)`.
+pub fn render_chain(hops: &[String], sep: &str, max: usize) -> String {
+    if hops.len() > max {
+        format!("{}{}… ({} hops total)", hops[..max].join(sep), sep, hops.len())
+    } else {
+        hops.join(sep)
+    }
+}
+
+/// The diagnostic label of a directed link, e.g. `"S1→S2"`.
+pub fn dirlink_label(topo: &Topology, d: DirLink) -> String {
+    format!("{}→{}", topo.node(topo.dir_src(d)).name, topo.node(topo.dir_dst(d)).name)
+}
+
+/// Render a dependency cycle (vertices are [`DirLink::index`] encodings)
+/// as a truncated `⇒`-separated chain of link labels.
+pub fn render_dirlink_cycle(topo: &Topology, cycle: &[u64], max: usize) -> String {
+    let hops: Vec<String> =
+        cycle.iter().map(|&i| dirlink_label(topo, DirLink::from_index(i))).collect();
+    render_chain(&hops, " ⇒ ", max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_chains_are_not_truncated() {
+        let hops = vec!["a".to_string(), "b".to_string()];
+        assert_eq!(render_chain(&hops, " ⇒ ", 6), "a ⇒ b");
+    }
+
+    #[test]
+    fn long_chains_truncate_with_total() {
+        let hops: Vec<String> = (0..9).map(|i| format!("h{i}")).collect();
+        let s = render_chain(&hops, " → ", 3);
+        assert_eq!(s, "h0 → h1 → h2 → … (9 hops total)");
+    }
+
+    #[test]
+    fn dirlink_labels_name_endpoints() {
+        let mut t = Topology::new();
+        let a = t.add_switch("S1");
+        let b = t.add_switch("S2");
+        let l = t.add_link(a, b);
+        let d = t.dir_from(l, b);
+        assert_eq!(dirlink_label(&t, d), "S2→S1");
+        assert_eq!(render_dirlink_cycle(&t, &[d.index(), d.flipped().index()], 6), "S2→S1 ⇒ S1→S2");
+    }
+}

@@ -83,6 +83,53 @@ impl Ring {
     }
 }
 
+/// A switch ring with hosts only on every `stride`-th switch — the
+/// showcase for the gap between the Table 1 all-pairs prefilter and the
+/// exact deadlock-freedom analysis.
+///
+/// With hosts on alternating switches (`stride = 2`), the all-pairs union
+/// dependency graph still contains the full clockwise (and counter-
+/// clockwise) ring cycle: every segment `(S_i→S_{i+1}, S_{i+1}→S_{i+2})`
+/// lies on *some* destination's equal-cost DAG. But the segments that
+/// pass *through* a host switch without delivering are phantom — no
+/// host-originated flow toward that destination ever arrives over their
+/// upstream link — so the host-realizable graph breaks the cycle at every
+/// host switch and the fabric is deadlock-free under any scheme.
+#[derive(Debug, Clone)]
+pub struct SparseRing {
+    /// The graph.
+    pub topo: Topology,
+    /// Host ids, in ring order of their switches.
+    pub hosts: Vec<NodeId>,
+    /// Switch ids around the cycle.
+    pub switches: Vec<NodeId>,
+    /// Inter-switch links, `ring_links[i]` connecting `S_i → S_{i+1}`.
+    pub ring_links: Vec<LinkId>,
+}
+
+impl SparseRing {
+    /// Build an `n`-switch ring with a host on every `stride`-th switch
+    /// (`stride ≥ 2` divides `n`; `stride = 1` is [`Ring`]).
+    pub fn new(n: usize, stride: usize) -> Self {
+        assert!(n >= 4, "a sparse ring needs at least 4 switches");
+        assert!(stride >= 2 && n.is_multiple_of(stride), "stride must be ≥ 2 and divide n");
+        let mut topo = Topology::new();
+        let switches: Vec<NodeId> =
+            (0..n).map(|i| topo.add_switch(format!("S{}", i + 1))).collect();
+        let hosts: Vec<NodeId> = (0..n)
+            .step_by(stride)
+            .map(|i| {
+                let h = topo.add_host(format!("H{}", i + 1));
+                topo.add_link(h, switches[i]);
+                h
+            })
+            .collect();
+        let ring_links: Vec<LinkId> =
+            (0..n).map(|i| topo.add_link(switches[i], switches[(i + 1) % n])).collect();
+        SparseRing { topo, hosts, switches, ring_links }
+    }
+}
+
 /// The §7 incast scenario: `n` sender hosts and one receiver on a single
 /// switch (Fig. 20 uses 8 senders). Every sender's traffic converges on
 /// the receiver's access link.
@@ -163,6 +210,20 @@ mod tests {
         let mut routing = Routing::fixed(ring.clockwise_routes());
         let (s, d, p) = ring.clockwise_path(0);
         assert_eq!(routing.path(&ring.topo, s, d, 99).unwrap(), p);
+    }
+
+    #[test]
+    fn sparse_ring_shape() {
+        let ring = SparseRing::new(6, 2);
+        assert_eq!(ring.switches.len(), 6);
+        assert_eq!(ring.hosts.len(), 3);
+        assert_eq!(ring.ring_links.len(), 6);
+        assert!(ring.topo.hosts_connected());
+        // Hosts sit on S1, S3, S5 (alternating).
+        for (k, &h) in ring.hosts.iter().enumerate() {
+            let (sw, _) = ring.topo.ports(h)[0];
+            assert_eq!(sw, ring.switches[2 * k]);
+        }
     }
 
     #[test]

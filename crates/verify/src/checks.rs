@@ -11,8 +11,11 @@ use gfc_core::fc_mode::FcMode;
 use gfc_core::mapping::StageTable;
 use gfc_core::theorems;
 use gfc_core::units::{Dur, Rate};
-use gfc_topology::cbd::{all_pairs_depgraph, depgraph_for_flows, DepGraph};
-use gfc_topology::{DirLink, LinkId, Routing, Topology};
+use gfc_topology::cbd::{
+    all_pairs_depgraph, depgraph_for_flows, realizable_all_pairs_depgraph, spf_depgraph_for_pairs,
+};
+use gfc_topology::render::{self, render_dirlink_cycle};
+use gfc_topology::{DepGraph, DirLink, NodeId, Routing, Scc, Topology};
 
 fn push(
     report: &mut Report,
@@ -444,92 +447,228 @@ fn check_rate_limiter(spec: &FabricSpec, report: &mut Report) {
     }
 }
 
-/// GFC011 — CBD susceptibility: does this topology + routing admit a
-/// cyclic buffer dependency, and does the scheme hold-and-wait on it?
+/// GFC011/GFC012/GFC013 — the CBD pipeline.
+///
+/// 1. Condense the *conservative* dependency graph (the Table 1 prefilter
+///    basis) into strongly connected components and report each cyclic
+///    SCC under GFC011, with a representative cycle and a break-set hint.
+/// 2. Peel the *witnessed* (host-realizable) graph: deadlock is reachable
+///    iff some vertex survives every peeling round. That exact verdict is
+///    GFC012, and it can downgrade a cyclic-but-safe GFC011 finding from
+///    Error to Info.
+/// 3. When the fabric is genuinely susceptible (residual + hard gate),
+///    GFC013 ranks break-set advisories per residual component.
 pub(crate) fn check_cbd(
     topo: &Topology,
     routing: &Routing,
     spec: &FabricSpec,
     report: &mut Report,
 ) {
-    let cycle = routing_cycle(topo, routing);
-    match cycle {
-        Some(cycle) => {
-            report.cbd_prone = true;
-            let subject = format!("routing: {}", render_cycle(topo, &cycle));
-            if spec.fc.has_hard_gate() {
-                report.deadlock_susceptible = true;
-                push(
-                    report,
-                    Code::Gfc011,
-                    Severity::Error,
-                    subject,
-                    format!(
-                        "cyclic buffer dependency under {}: once every buffer on the cycle fills, the {} gate freezes all of them — permanent deadlock (Fig. 1)",
-                        spec.fc.name(),
-                        if matches!(spec.fc, FcMode::Pfc { .. }) { "PAUSE" } else { "credit" }
-                    ),
-                    "use a GFC variant (no hold-and-wait, Theorem 4.1/5.1), or re-route to break the cycle".into(),
-                );
-            } else if spec.fc.is_gfc() {
-                push(
-                    report,
-                    Code::Gfc011,
-                    Severity::Info,
-                    subject,
-                    format!(
-                        "cyclic buffer dependency present, but {} never hold-and-waits: the deepest stage keeps trickling and the cycle drains (Theorem 4.1/5.1)",
-                        spec.fc.name()
-                    ),
-                    "no action needed while the GFC bounds (GFC001–GFC003) hold".into(),
-                );
-            } else {
-                push(
-                    report,
-                    Code::Gfc011,
-                    Severity::Info,
-                    subject,
-                    "cyclic buffer dependency present, but the fabric is lossy: overflow drops packets instead of pausing, so no deadlock (at the price of loss)".into(),
-                    "enable a GFC variant for losslessness without deadlock".into(),
-                );
-            }
-        }
-        None => push(
+    let conservative = conservative_depgraph(topo, routing);
+    let witnessed = witnessed_depgraph(topo, routing, &conservative);
+    let condensation = conservative.condensation();
+    let cyclic: Vec<&Scc> = condensation.cyclic_by_size();
+    let peel = witnessed.peel();
+    let exact_free = peel.deadlock_free();
+    report.cbd_prone = !cyclic.is_empty();
+    report.exact_deadlock_free = exact_free;
+    report.deadlock_susceptible = !exact_free && spec.fc.has_hard_gate();
+
+    // GFC011 — one finding per cyclic SCC of the conservative graph.
+    if cyclic.is_empty() {
+        push(
             report,
             Code::Gfc011,
             Severity::Info,
             format!("topology: {} nodes, {} links", topo.num_nodes(), topo.link_ids().count()),
             "no cyclic buffer dependency under this routing: circular wait is impossible for any flow-control scheme".into(),
             "no action needed".into(),
-        ),
+        );
     }
-}
-
-/// The dependency cycle this routing admits, if any: explicit static paths
-/// contribute their exact link sequences; SPF (including the static
-/// router's fallback for unconfigured pairs) contributes every equal-cost
-/// DAG edge of every host pair (the Table 1 prefilter).
-fn routing_cycle(topo: &Topology, routing: &Routing) -> Option<Vec<u64>> {
-    if let Routing::Static { paths, .. } = routing {
-        let flows: Vec<_> = paths.iter().map(|(&(src, _), links)| (src, links.clone())).collect();
-        let g: DepGraph = depgraph_for_flows(topo, &flows);
-        if let Some(c) = g.find_cycle() {
-            return Some(c);
+    for scc in &cyclic {
+        let cycle = conservative.cycle_in_scc(scc);
+        let subject =
+            format!("routing: {}", render_dirlink_cycle(topo, &cycle, render::CHAIN_MAX_HOPS));
+        let break_hint = break_set_hint(topo, &conservative, scc);
+        if spec.fc.has_hard_gate() {
+            if exact_free {
+                push(
+                    report,
+                    Code::Gfc011,
+                    Severity::Info,
+                    subject,
+                    format!(
+                        "SCC of {} directed links is cyclic in the all-pairs union, but every dependency a host flow can realize drains (GFC012): the cycle is a phantom of the conservative prefilter",
+                        scc.len()
+                    ),
+                    "no action needed — see the GFC012 peeling certificate".into(),
+                );
+            } else {
+                push(
+                    report,
+                    Code::Gfc011,
+                    Severity::Error,
+                    subject,
+                    format!(
+                        "cyclic buffer dependency (SCC of {} directed links) under {}: once every buffer on the cycle fills, the {} gate freezes all of them — permanent deadlock (Fig. 1)",
+                        scc.len(),
+                        spec.fc.name(),
+                        if matches!(spec.fc, FcMode::Pfc { .. }) { "PAUSE" } else { "credit" }
+                    ),
+                    format!(
+                        "use a GFC variant (no hold-and-wait, Theorem 4.1/5.1), or {break_hint}"
+                    ),
+                );
+            }
+        } else if spec.fc.is_gfc() {
+            push(
+                report,
+                Code::Gfc011,
+                Severity::Info,
+                subject,
+                format!(
+                    "cyclic buffer dependency present, but {} never hold-and-waits: the deepest stage keeps trickling and the cycle drains (Theorem 4.1/5.1)",
+                    spec.fc.name()
+                ),
+                "no action needed while the GFC bounds (GFC001–GFC003) hold".into(),
+            );
+        } else {
+            push(
+                report,
+                Code::Gfc011,
+                Severity::Info,
+                subject,
+                "cyclic buffer dependency present, but the fabric is lossy: overflow drops packets instead of pausing, so no deadlock (at the price of loss)".into(),
+                "enable a GFC variant for losslessness without deadlock".into(),
+            );
         }
     }
-    all_pairs_depgraph(topo).find_cycle()
+
+    // GFC012 — the exact verdict from peeling the witnessed graph.
+    if exact_free {
+        push(
+            report,
+            Code::Gfc012,
+            Severity::Info,
+            format!(
+                "dependency peeling: {} vertices drained in {} rounds",
+                peel.peeled, peel.rounds
+            ),
+            "exact deadlock-freedom certificate: every host-realizable buffer dependency eventually drains, so no circular wait is sustainable under any flow-control scheme".into(),
+            "no action needed".into(),
+        );
+    } else if spec.fc.has_hard_gate() {
+        push(
+            report,
+            Code::Gfc012,
+            Severity::Error,
+            format!(
+                "dependency peeling: {} of {} vertices survive every round",
+                peel.residual.len(),
+                peel.peeled + peel.residual.len()
+            ),
+            format!(
+                "exact analysis confirms the threat: {} directed links can sustain a circular wait, and {} hold-and-waits on it",
+                peel.residual.len(),
+                spec.fc.name()
+            ),
+            "see GFC013 for the smallest re-routing that breaks each residual component".into(),
+        );
+    } else {
+        push(
+            report,
+            Code::Gfc012,
+            Severity::Info,
+            format!(
+                "dependency peeling: {} of {} vertices survive every round",
+                peel.residual.len(),
+                peel.peeled + peel.residual.len()
+            ),
+            format!(
+                "a sustainable circular wait exists, but {} cannot freeze on it",
+                if spec.fc.is_gfc() { spec.fc.name() } else { "a lossy fabric" }
+            ),
+            "keep the scheme sound (GFC001–GFC003) or accept loss; a hard-gated scheme here would deadlock".into(),
+        );
+    }
+
+    // GFC013 — break-set advisories, only for genuinely susceptible fabrics.
+    if report.deadlock_susceptible {
+        for scc in witnessed.condensation().cyclic_by_size() {
+            let brk = witnessed.break_set(scc);
+            let labels: Vec<String> =
+                brk.iter().map(|&v| render::dirlink_label(topo, DirLink::from_index(v))).collect();
+            push(
+                report,
+                Code::Gfc013,
+                Severity::Warning,
+                format!(
+                    "SCC of {} directed links: {}",
+                    scc.len(),
+                    render_dirlink_cycle(topo, &witnessed.cycle_in_scc(scc), render::CHAIN_MAX_HOPS)
+                ),
+                format!(
+                    "re-routing traffic off {} directed link(s) acyclifies this component: {}",
+                    brk.len(),
+                    render::render_chain(&labels, ", ", render::CHAIN_MAX_HOPS)
+                ),
+                "steer the listed links' flows onto an acyclic overlay (up/down or spanning-tree routing), then re-run preflight".into(),
+            );
+        }
+    }
 }
 
-/// Human-readable cycle, e.g. `S1→S2 ⇒ S2→S3 ⇒ S3→S1`.
-fn render_cycle(topo: &Topology, cycle: &[u64]) -> String {
-    let hop = |idx: u64| {
-        let d = DirLink { link: LinkId((idx / 2) as u32), reversed: idx % 2 == 1 };
-        format!("{}→{}", topo.node(topo.dir_src(d)).name, topo.node(topo.dir_dst(d)).name)
-    };
-    let shown: Vec<String> = cycle.iter().take(6).map(|&i| hop(i)).collect();
-    if cycle.len() > 6 {
-        format!("{} ⇒ … ({} links in the cycle)", shown.join(" ⇒ "), cycle.len())
-    } else {
-        shown.join(" ⇒ ")
+/// The conservative dependency graph — the basis of the GFC011 prefilter.
+///
+/// SPF routing contributes the full all-pairs equal-cost union (Table 1).
+/// Static routing contributes its configured paths *exactly*, plus the
+/// SPF fallback's DAGs for only those host pairs that actually lack a
+/// configured path — a fully configured fabric is judged purely on its
+/// own routes instead of being drowned in phantom all-pairs edges.
+fn conservative_depgraph(topo: &Topology, routing: &Routing) -> DepGraph {
+    match routing {
+        Routing::Spf(_) => all_pairs_depgraph(topo),
+        Routing::Static { paths, .. } => {
+            let flows: Vec<_> =
+                paths.iter().map(|(&(src, _), links)| (src, links.clone())).collect();
+            let mut g = depgraph_for_flows(topo, &flows);
+            let hosts = topo.hosts();
+            let unconfigured: Vec<(NodeId, Vec<NodeId>)> = hosts
+                .iter()
+                .filter_map(|&dst| {
+                    let srcs: Vec<NodeId> = hosts
+                        .iter()
+                        .copied()
+                        .filter(|&src| src != dst && !paths.contains_key(&(src, dst)))
+                        .collect();
+                    (!srcs.is_empty()).then_some((dst, srcs))
+                })
+                .collect();
+            spf_depgraph_for_pairs(topo, &unconfigured, &mut g);
+            g
+        }
     }
+}
+
+/// The witnessed dependency graph GFC012 peels: only dependencies some
+/// complete host-to-host flow can exercise. For static routing the
+/// conservative graph is already flow-exact, so it is reused as-is.
+fn witnessed_depgraph(topo: &Topology, routing: &Routing, conservative: &DepGraph) -> DepGraph {
+    match routing {
+        Routing::Spf(_) => realizable_all_pairs_depgraph(topo),
+        Routing::Static { .. } => conservative.clone(),
+    }
+}
+
+/// Break-set fragment for a GFC011 hint, e.g.
+/// `re-route off 1 directed link(s): S2→S3`.
+fn break_set_hint(topo: &Topology, g: &DepGraph, scc: &Scc) -> String {
+    let brk = g.break_set(scc);
+    let labels: Vec<String> =
+        brk.iter().map(|&v| render::dirlink_label(topo, DirLink::from_index(v))).collect();
+    format!(
+        "re-route off {} directed link(s): {}",
+        brk.len(),
+        render::render_chain(&labels, ", ", render::CHAIN_MAX_HOPS)
+    )
 }

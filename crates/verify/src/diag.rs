@@ -56,11 +56,37 @@ pub enum Code {
     /// stale feedback).
     Gfc010,
     /// Cyclic-buffer-dependency susceptibility verdict for the
-    /// topology + routing + scheme combination.
+    /// topology + routing + scheme combination (per-SCC findings from the
+    /// conservative all-pairs union).
     Gfc011,
+    /// Exact deadlock-freedom verdict by iterative peeling of the
+    /// host-realizable dependency graph (the Mendlovic–Matias condition:
+    /// deadlock-free iff the residual graph empties).
+    Gfc012,
+    /// Break-set advisory for genuinely susceptible fabrics: the directed
+    /// links whose removal (re-routing) acyclifies each residual
+    /// component, ranked by component size.
+    Gfc013,
 }
 
 impl Code {
+    /// Every code, in numeric order (the SARIF rule table).
+    pub const ALL: [Code; 13] = [
+        Code::Gfc001,
+        Code::Gfc002,
+        Code::Gfc003,
+        Code::Gfc004,
+        Code::Gfc005,
+        Code::Gfc006,
+        Code::Gfc007,
+        Code::Gfc008,
+        Code::Gfc009,
+        Code::Gfc010,
+        Code::Gfc011,
+        Code::Gfc012,
+        Code::Gfc013,
+    ];
+
     /// The stable string form, e.g. `"GFC004"`.
     pub fn as_str(self) -> &'static str {
         match self {
@@ -75,6 +101,8 @@ impl Code {
             Code::Gfc009 => "GFC009",
             Code::Gfc010 => "GFC010",
             Code::Gfc011 => "GFC011",
+            Code::Gfc012 => "GFC012",
+            Code::Gfc013 => "GFC013",
         }
     }
 
@@ -91,7 +119,9 @@ impl Code {
             Code::Gfc008 => "rate-limiter register ranges",
             Code::Gfc009 => "Bm vs. physical buffer consistency",
             Code::Gfc010 => "feedback-period sanity",
-            Code::Gfc011 => "cyclic-buffer-dependency susceptibility",
+            Code::Gfc011 => "cyclic-buffer-dependency susceptibility (per SCC)",
+            Code::Gfc012 => "exact deadlock-freedom (dependency peeling)",
+            Code::Gfc013 => "break-set advisory for susceptible fabrics",
         }
     }
 }
@@ -131,11 +161,15 @@ impl fmt::Display for Diagnostic {
 /// deadlock verdicts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StaticVerdict {
-    /// The topology + routing admits a cyclic buffer dependency.
+    /// The topology + routing admits a cyclic buffer dependency in the
+    /// conservative all-pairs union graph (the Table 1 prefilter).
     pub cbd_prone: bool,
-    /// A CBD exists *and* the scheme hold-and-waits (hard gate) — the
-    /// static analysis predicts deadlock is reachable.
+    /// Deadlock is actually reachable: the host-realizable dependency
+    /// graph does not peel empty *and* the scheme hold-and-waits.
     pub deadlock_susceptible: bool,
+    /// The exact GFC012 result: the host-realizable dependency graph
+    /// peels empty, so no deadlock is reachable under any scheme.
+    pub exact_deadlock_free: bool,
     /// Error-level findings.
     pub errors: usize,
     /// Warning-level findings.
@@ -144,10 +178,11 @@ pub struct StaticVerdict {
 
 impl fmt::Display for StaticVerdict {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let shape = match (self.cbd_prone, self.deadlock_susceptible) {
-            (_, true) => "CBD + hard gate: deadlock reachable",
-            (true, false) => "CBD present, scheme immune",
-            (false, false) => "no CBD: deadlock-free",
+        let shape = match (self.cbd_prone, self.deadlock_susceptible, self.exact_deadlock_free) {
+            (_, true, _) => "CBD + hard gate: deadlock reachable",
+            (true, false, true) => "CBD-prone but exactly deadlock-free (peeling empties)",
+            (true, false, false) => "CBD present, scheme immune",
+            (false, false, _) => "no CBD: deadlock-free",
         };
         write!(f, "{shape} ({} errors, {} warnings)", self.errors, self.warnings)
     }
@@ -160,6 +195,7 @@ pub struct Report {
     /// Set by the CBD check; folded into [`Report::verdict`].
     pub(crate) cbd_prone: bool,
     pub(crate) deadlock_susceptible: bool,
+    pub(crate) exact_deadlock_free: bool,
 }
 
 impl Report {
@@ -193,6 +229,7 @@ impl Report {
         StaticVerdict {
             cbd_prone: self.cbd_prone,
             deadlock_susceptible: self.deadlock_susceptible,
+            exact_deadlock_free: self.exact_deadlock_free,
             errors: self.count(Severity::Error),
             warnings: self.count(Severity::Warning),
         }
@@ -219,6 +256,104 @@ impl Report {
         ));
         out
     }
+
+    /// Stable machine-readable JSON: the verdict plus every finding, in
+    /// check order. Field names are part of the tool's output contract.
+    pub fn to_json(&self) -> String {
+        let v = self.verdict();
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"verdict\": {{\"cbd_prone\": {}, \"deadlock_susceptible\": {}, \
+             \"exact_deadlock_free\": {}, \"errors\": {}, \"warnings\": {}}},\n",
+            v.cbd_prone, v.deadlock_susceptible, v.exact_deadlock_free, v.errors, v.warnings
+        ));
+        out.push_str("  \"diagnostics\": [");
+        for (i, d) in self.diags.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"code\": \"{}\", \"severity\": \"{}\", \"subject\": {}, \
+                 \"message\": {}, \"hint\": {}}}",
+                d.code,
+                d.severity,
+                json_string(&d.subject),
+                json_string(&d.message),
+                json_string(&d.hint)
+            ));
+        }
+        if !self.diags.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// SARIF 2.1.0: one run of the `gfc-verify` driver, every [`Code`] as
+    /// a rule, every finding as a result whose logical location names the
+    /// offending parameter or link.
+    pub fn to_sarif(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(
+            "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+             \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \
+             \"driver\": {\n          \"name\": \"gfc-verify\",\n          \"rules\": [",
+        );
+        for (i, code) in Code::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": {}}}}}",
+                code,
+                json_string(code.title())
+            ));
+        }
+        out.push_str("\n          ]\n        }\n      },\n      \"results\": [");
+        for (i, d) in self.diags.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let level = match d.severity {
+                Severity::Info => "note",
+                Severity::Warning => "warning",
+                Severity::Error => "error",
+            };
+            out.push_str(&format!(
+                "\n        {{\"ruleId\": \"{}\", \"level\": \"{}\", \
+                 \"message\": {{\"text\": {}}}, \"locations\": [{{\"logicalLocations\": \
+                 [{{\"name\": {}}}]}}]}}",
+                d.code,
+                level,
+                json_string(&format!("{} (help: {})", d.message, d.hint)),
+                json_string(&d.subject)
+            ));
+        }
+        if !self.diags.is_empty() {
+            out.push_str("\n      ");
+        }
+        out.push_str("]\n    }\n  ]\n}\n");
+        out
+    }
+}
+
+/// Escape `s` as a JSON string literal (quotes included).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 #[cfg(test)]
@@ -250,6 +385,8 @@ mod tests {
         assert!(r.summary().contains("no CBD"));
         r.cbd_prone = true;
         assert!(r.summary().contains("scheme immune"));
+        r.exact_deadlock_free = true;
+        assert!(r.summary().contains("exactly deadlock-free"));
         r.deadlock_susceptible = true;
         assert!(r.summary().contains("deadlock reachable"));
     }
@@ -258,6 +395,63 @@ mod tests {
     fn codes_are_stable_strings() {
         assert_eq!(Code::Gfc001.as_str(), "GFC001");
         assert_eq!(Code::Gfc011.as_str(), "GFC011");
+        assert_eq!(Code::Gfc012.as_str(), "GFC012");
+        assert_eq!(Code::Gfc013.as_str(), "GFC013");
         assert_eq!(format!("{}", Code::Gfc007), "GFC007");
+        assert_eq!(Code::ALL.len(), 13);
+    }
+
+    fn sample_report() -> Report {
+        let mut r = Report::new();
+        r.cbd_prone = true;
+        r.exact_deadlock_free = true;
+        r.push(Diagnostic {
+            code: Code::Gfc011,
+            severity: Severity::Info,
+            subject: "routing: S1→S2 ⇒ S2→S3".into(),
+            message: "SCC of 2 directed links is \"cyclic\"".into(),
+            hint: "see GFC012: the realizable graph peels empty".into(),
+        });
+        r
+    }
+
+    #[test]
+    fn json_shape_and_escaping() {
+        let text = sample_report().to_json();
+        assert!(text.contains("\"cbd_prone\": true"), "{text}");
+        assert!(text.contains("\"exact_deadlock_free\": true"), "{text}");
+        assert!(text.contains("\"code\": \"GFC011\""), "{text}");
+        assert!(text.contains("\"severity\": \"info\""), "{text}");
+        // The inner quotes of the message must be escaped.
+        assert!(text.contains("\\\"cyclic\\\""), "{text}");
+        assert!(!text.contains(": \"SCC of 2 directed links is \"cyclic\""), "{text}");
+    }
+
+    #[test]
+    fn sarif_shape() {
+        let text = sample_report().to_sarif();
+        assert!(text.contains("\"version\": \"2.1.0\""), "{text}");
+        assert!(text.contains("sarif-2.1.0.json"), "{text}");
+        assert!(text.contains("\"name\": \"gfc-verify\""), "{text}");
+        // Every rule is listed once, findings map severity to SARIF level.
+        for code in Code::ALL {
+            assert!(text.contains(&format!("\"id\": \"{code}\"")), "{text}");
+        }
+        assert!(text.contains("\"ruleId\": \"GFC011\""), "{text}");
+        assert!(text.contains("\"level\": \"note\""), "{text}");
+        assert!(text.contains("\"logicalLocations\""), "{text}");
+    }
+
+    #[test]
+    fn empty_report_serializes_cleanly() {
+        let r = Report::new();
+        assert!(r.to_json().contains("\"diagnostics\": []"), "{}", r.to_json());
+        assert!(r.to_sarif().contains("\"results\": []"), "{}", r.to_sarif());
+    }
+
+    #[test]
+    fn json_string_escapes_controls() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
     }
 }

@@ -28,7 +28,26 @@
 //! | GFC008 | Error/Warning/Info | rate-limiter registers: floor ≤ C, floor > 0, stage clamping |
 //! | GFC009 | Error/Info | `Bm ≤ buffer` (unused space above `Bm` is a note) |
 //! | GFC010 | Error/Warning | feedback period positive, ≥ one MTU time |
-//! | GFC011 | Error/Info | CBD susceptibility: cycle + hard gate ⇒ deadlock reachable |
+//! | GFC011 | Error/Info | CBD susceptibility, one finding per cyclic SCC of the conservative dependency graph |
+//! | GFC012 | Error/Info | exact deadlock-freedom: the host-realizable graph peels empty (Info certificate) or leaves a residual (Error under a hard gate) |
+//! | GFC013 | Warning | break-set advisory per residual component, ranked by size |
+//!
+//! GFC011 condenses the conservative (Table 1 prefilter) graph with an
+//! iterative Tarjan pass, so a cyclic fabric is reported per strongly
+//! connected component with a representative cycle and a break-set hint.
+//! GFC012 is exact for this simulator's model (deterministic source
+//! routing into shared lossless FIFO buffers): it peels the witnessed
+//! dependency graph and can downgrade a cyclic-but-safe GFC011 finding —
+//! e.g. the sparse ring, whose all-pairs union cycles but whose
+//! host-realizable graph drains — from Error to Info.
+//!
+//! Reports render as lint text ([`Report::render`]), stable JSON
+//! ([`Report::to_json`]), and SARIF 2.1.0 ([`Report::to_sarif`]) for CI
+//! upload:
+//!
+//! ```text
+//! cargo run --release --example preflight -- corpus --sarif-dir target/sarif
+//! ```
 //!
 //! The simulator runs this pass from `Network::new` (see the
 //! `SimConfig::preflight` policy) and the experiment harness prints the
@@ -37,7 +56,7 @@
 //! before it exists anywhere but on paper.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod checks;
 mod diag;
@@ -70,7 +89,8 @@ mod tests {
     use gfc_core::fc_mode::FcMode;
     use gfc_core::theorems;
     use gfc_core::units::{kb, Dur, Rate};
-    use gfc_topology::{Ring, Routing};
+    use gfc_topology::cbd::all_pairs_depgraph;
+    use gfc_topology::{Ring, Routing, SparseRing};
 
     /// The §6.2.2 fabric: 10G CEE, 300 KB buffers, τ ≈ 7.4 µs.
     fn spec_10g(fc: FcMode) -> FabricSpec {
@@ -217,8 +237,13 @@ mod tests {
         let spec = spec_10g(FcMode::Pfc { xoff: kb(280), xon: kb(277) });
         let r = preflight(&ring.topo, &routing, &spec);
         assert!(codes(&r, Severity::Error).contains(&Code::Gfc011), "{}", r.render());
+        // The exact analysis agrees (GFC012 Error) and the break-set
+        // advisory names a way out (GFC013 Warning).
+        assert!(codes(&r, Severity::Error).contains(&Code::Gfc012), "{}", r.render());
+        assert!(codes(&r, Severity::Warning).contains(&Code::Gfc013), "{}", r.render());
+        assert!(r.render().contains("re-routing traffic off"), "{}", r.render());
         let v = r.verdict();
-        assert!(v.cbd_prone && v.deadlock_susceptible);
+        assert!(v.cbd_prone && v.deadlock_susceptible && !v.exact_deadlock_free);
     }
 
     #[test]
@@ -255,5 +280,82 @@ mod tests {
         let text = r.render();
         assert!(text.contains("→"), "cycle rendering missing: {text}");
         assert!(text.contains("error[GFC011]"), "{text}");
+    }
+
+    #[test]
+    fn sparse_ring_prefilter_cries_wolf_but_gfc012_downgrades() {
+        // Hosts on alternating switches: the all-pairs union still carries
+        // both full ring cycles, but no host-realizable flow set sustains
+        // them. The conservative GFC011 finding must come out as Info (not
+        // Error) with the GFC012 peeling certificate alongside — even
+        // under PFC, the hold-and-wait scheme.
+        let ring = SparseRing::new(6, 2);
+        let routing = Routing::spf();
+        let spec = spec_10g(FcMode::Pfc { xoff: kb(280), xon: kb(277) });
+        let r = preflight(&ring.topo, &routing, &spec);
+        assert!(!r.has_errors(), "{}", r.render());
+        let v = r.verdict();
+        assert!(v.cbd_prone, "the prefilter should still cry wolf:\n{}", r.render());
+        assert!(v.exact_deadlock_free && !v.deadlock_susceptible, "{}", r.render());
+        assert!(codes(&r, Severity::Info).contains(&Code::Gfc011), "{}", r.render());
+        assert!(codes(&r, Severity::Info).contains(&Code::Gfc012), "{}", r.render());
+        assert!(r.render().contains("phantom"), "{}", r.render());
+    }
+
+    #[test]
+    fn fully_configured_updown_fattree_is_judged_on_its_own_routes() {
+        // A failed fat-tree whose all-pairs SPF union is CBD-prone, but
+        // with a complete up/down route table configured. The old check
+        // unconditionally unioned in the all-pairs fallback and misflagged
+        // this fabric under PFC; judging only the configured routes (plus
+        // SPF for pairs that actually lack one — none here) reports it
+        // deadlock-free, and GFC012 certifies it.
+        let (ft, routes) =
+            gfc_topology::fattree::find_updown_showcase(50).expect("showcase fabric exists");
+        assert!(
+            all_pairs_depgraph(&ft.topo).has_cycle(),
+            "the showcase must be one the all-pairs basis would misflag"
+        );
+        let routing = Routing::fixed(routes);
+        let spec = spec_10g(FcMode::Pfc { xoff: kb(280), xon: kb(277) });
+        let r = preflight(&ft.topo, &routing, &spec);
+        assert!(!r.has_errors(), "{}", r.render());
+        let v = r.verdict();
+        assert!(!v.cbd_prone && v.exact_deadlock_free && !v.deadlock_susceptible, "{}", r.render());
+    }
+
+    #[test]
+    fn partially_configured_static_routing_still_checks_unserved_pairs() {
+        // Only one clockwise route configured: the other host pairs fall
+        // back to SPF, whose direct-link paths are acyclic on the
+        // triangle — so the combined conservative graph stays clean.
+        let ring = Ring::new(3);
+        let (s, d, p) = ring.clockwise_path(0);
+        let routing = Routing::fixed([((s, d), p)].into_iter().collect());
+        let spec = spec_10g(FcMode::Pfc { xoff: kb(280), xon: kb(277) });
+        let r = preflight(&ring.topo, &routing, &spec);
+        assert!(!r.has_errors(), "{}", r.render());
+        assert!(!r.verdict().cbd_prone, "{}", r.render());
+    }
+
+    #[test]
+    fn preflight_scales_without_recursion() {
+        // 512 switches + 512 hosts under SPF: the SCC/peel pipeline must
+        // complete in a deliberately tiny 256 KB stack (a recursive Tarjan
+        // or DFS would overflow at this depth).
+        let handle = std::thread::Builder::new()
+            .stack_size(256 * 1024)
+            .spawn(|| {
+                let ring = Ring::new(512);
+                let spec = spec_10g(FcMode::Pfc { xoff: kb(280), xon: kb(277) });
+                let r = preflight(&ring.topo, &Routing::spf(), &spec);
+                let v = r.verdict();
+                // Internal consistency, whatever the ring's verdict:
+                // susceptible ⇒ prone, and exact-free excludes susceptible.
+                assert!(!v.deadlock_susceptible || v.cbd_prone);
+                assert!(!(v.exact_deadlock_free && v.deadlock_susceptible));
+            })
+            .expect("spawn");
+        handle.join().expect("preflight overflowed the stack");
     }
 }
