@@ -1,0 +1,285 @@
+//! **bench_matrix** — the topology × scheme × load grid behind the perf
+//! trajectory: 12 cells = {ring3/greedy, ft_k4/uniform, ft_k4/incast} ×
+//! {PFC, CBFC, buffer-GFC, time-GFC}, each timed with the shared
+//! hand-rolled runner (event counts are asserted bit-identical across
+//! repetitions; the fastest run is reported).
+//!
+//! Writes `BENCH_matrix.json` at the repo root with a `meta` block
+//! (commit, rustc, CPU model, core count, mode) and one cell per line.
+//! With `GFC_BENCH_BASELINE=path` set, the run additionally gates itself
+//! against the committed baseline: each cell's events/s ratio is
+//! normalized by the median ratio across cells (the machine-speed
+//! factor), and a cell trips if it regressed more than 10 % normalized.
+//! Tripped cells are re-measured up to three times in *fresh processes*
+//! (keeping the max events/s — noise only ever slows a min-of-N cell
+//! down, and the slow modes are process-level) before the run exits
+//! non-zero with the per-cell delta table.
+//!
+//! Environment knobs (shared with `core_throughput`):
+//!
+//! * `GFC_BENCH_SMOKE=1` — shortened horizons for the CI smoke step;
+//! * `GFC_BENCH_RUNS=N` — timed repetitions per cell (default 3);
+//! * `GFC_BENCH_OUT=path` — output path (default
+//!   `<repo root>/BENCH_matrix.json`);
+//! * `GFC_BENCH_BASELINE=path` — enable the regression gate against
+//!   this baseline JSON.
+
+use gfc_bench::{
+    cell_json, measure, meta_json, parse_cells, parse_mode, regression_gate, run_meta, Measurement,
+};
+use gfc_core::units::{Dur, Time};
+use gfc_experiments::common::{sim_config_300k, sim_config_testbed, Scheme};
+use gfc_sim::flowgen::ClosedLoopWorkload;
+use gfc_sim::{Network, TraceConfig};
+use gfc_topology::cbd::all_pairs_depgraph;
+use gfc_topology::fattree::FatTree;
+use gfc_topology::{Ring, Routing};
+use gfc_workload::{DestPolicy, EmpiricalCdf, FlowSizeDist};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Stable slug for a scheme, used in cell names and the JSON.
+fn slug(scheme: Scheme) -> &'static str {
+    match scheme {
+        Scheme::Pfc => "pfc",
+        Scheme::Cbfc => "cbfc",
+        Scheme::GfcBuffer => "gfc_buffer",
+        Scheme::GfcTime => "gfc_time",
+    }
+}
+
+/// One matrix cell plus its grid coordinates (for the JSON columns).
+struct Cell {
+    topo: &'static str,
+    load: &'static str,
+    scheme: &'static str,
+    m: Measurement,
+}
+
+/// ring3/greedy: the Fig. 9 testbed ring, three staggered clockwise
+/// greedy flows. Under PFC the fabric wedges and the tail of the horizon
+/// exercises the idle monitor loop; the other schemes keep it saturated.
+fn ring_cell(scheme: Scheme, horizon: Time, runs: usize) -> Cell {
+    let m = measure(format!("ring3:greedy:{}", slug(scheme)), horizon, runs, || {
+        let ring = Ring::new(3);
+        let cfg = sim_config_testbed(scheme, 9);
+        let routing = Routing::fixed(ring.clockwise_routes());
+        let mut net = Network::new(ring.topo.clone(), routing, cfg, TraceConfig::none());
+        let stagger = Dur::from_micros(500);
+        for (i, (src, dst)) in ring.clockwise_flows().into_iter().enumerate() {
+            net.run_until(Time(stagger.0 * i as u64));
+            net.start_flow(src, dst, None, 0).expect("clockwise route");
+        }
+        net
+    });
+    Cell { topo: "ring3", load: "greedy", scheme: slug(scheme), m }
+}
+
+/// The first connected, CBD-free k = 4 fat-tree under 5 % link failures —
+/// the same search the k = 8 core scenario uses, scaled down so twelve
+/// cells stay CI-sized.
+fn failed_ft4() -> FatTree {
+    let mut seed = 440u64;
+    loop {
+        seed = seed.wrapping_add(1);
+        let mut ft = FatTree::new(4);
+        let mut rng = StdRng::seed_from_u64(seed);
+        ft.inject_failures(&mut rng, 0.05);
+        if ft.topo.hosts_connected() && all_pairs_depgraph(&ft.topo).find_cycle().is_none() {
+            return ft;
+        }
+    }
+}
+
+/// ft_k4 under a closed-loop enterprise workload with the given
+/// destination policy ("uniform" inter-rack or "incast" all-to-one).
+fn ft4_cell(
+    ft: &FatTree,
+    scheme: Scheme,
+    load: &'static str,
+    dests: &DestPolicy,
+    horizon: Time,
+    runs: usize,
+) -> Cell {
+    let m = measure(format!("ft_k4:{load}:{}", slug(scheme)), horizon, runs, || {
+        let cfg = sim_config_300k(scheme, 440);
+        let mut net = Network::new(ft.topo.clone(), Routing::spf(), cfg, TraceConfig::none());
+        net.install_workload(Box::new(ClosedLoopWorkload {
+            sizes: FlowSizeDist::Empirical(EmpiricalCdf::enterprise()),
+            dests: dests.clone(),
+            num_hosts: ft.hosts.len(),
+            prio: 0,
+            stop_after: None,
+        }));
+        net
+    });
+    Cell { topo: "ft_k4", load, scheme: slug(scheme), m }
+}
+
+/// Render the full output JSON: meta block plus one cell per line.
+fn render_json(cells: &[Cell], meta: &gfc_bench::RunMeta, mode: &str, runs: usize) -> String {
+    let mut json = String::from("{\n  \"bench\": \"bench_matrix\",\n");
+    json += &meta_json(meta, mode, runs);
+    json += ",\n  \"cells\": [\n";
+    for (i, c) in cells.iter().enumerate() {
+        let extra = format!(
+            "\"topo\": \"{}\", \"load\": \"{}\", \"scheme\": \"{}\", ",
+            c.topo, c.load, c.scheme
+        );
+        json += &format!(
+            "    {}{}\n",
+            cell_json(&c.m, &extra),
+            if i + 1 < cells.len() { "," } else { "" }
+        );
+    }
+    json += "  ]\n}\n";
+    json
+}
+
+fn main() {
+    let smoke = std::env::var("GFC_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let runs: usize =
+        std::env::var("GFC_BENCH_RUNS").ok().and_then(|v| v.parse().ok()).unwrap_or(3);
+    let mode = if smoke { "smoke" } else { "full" };
+    // Twelve cells: the smoke horizons keep the whole grid (runs × cells)
+    // inside the CI smoke budget.
+    // Even the smoke cells need a few ms of wall time each: on shared
+    // runners, scheduler steal bursts outlast sub-millisecond runs and
+    // min-of-N stops converging, which makes the gate flaky.
+    let (ring_h, ft_h) = if smoke {
+        (Time::from_millis(4), Time::from_millis(2))
+    } else {
+        (Time::from_millis(12), Time::from_millis(3))
+    };
+    let ft = failed_ft4();
+    let racks: Vec<u32> = (0..ft.hosts.len()).map(|h| ft.rack_of_host(h) as u32).collect();
+    let uniform = DestPolicy::inter_rack(racks);
+    let incast = DestPolicy::AllToOne { sink: 0 };
+
+    // Child mode for gate retries: measure exactly one cell in a fresh
+    // process and print a single machine-readable line. The slow
+    // measurement modes seen on shared runners are *process-level*
+    // (code layout, scheduler state), so an in-process re-measure
+    // inherits them — a re-exec draws fresh.
+    if let Ok(name) = std::env::var("GFC_BENCH_ONLY") {
+        let parts: Vec<&str> = name.split(':').collect();
+        assert_eq!(parts.len(), 3, "GFC_BENCH_ONLY wants topo:load:scheme, got {name}");
+        let scheme = Scheme::ALL
+            .iter()
+            .copied()
+            .find(|s| slug(*s) == parts[2])
+            .unwrap_or_else(|| panic!("unknown scheme slug {}", parts[2]));
+        let cell = match parts[0] {
+            "ring3" => ring_cell(scheme, ring_h, runs),
+            "ft_k4" => {
+                let (load, dests): (&'static str, _) = match parts[1] {
+                    "uniform" => ("uniform", &uniform),
+                    "incast" => ("incast", &incast),
+                    other => panic!("unknown load {other}"),
+                };
+                ft4_cell(&ft, scheme, load, dests, ft_h, runs)
+            }
+            other => panic!("unknown topo {other}"),
+        };
+        println!("GFC_CELL {} {} {}", cell.m.name, cell.m.events, cell.m.events_per_sec);
+        return;
+    }
+    println!("bench_matrix ({mode}, {runs} runs per cell)");
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &scheme in &Scheme::ALL {
+        cells.push(ring_cell(scheme, ring_h, runs));
+    }
+    for &scheme in &Scheme::ALL {
+        cells.push(ft4_cell(&ft, scheme, "uniform", &uniform, ft_h, runs));
+    }
+    for &scheme in &Scheme::ALL {
+        cells.push(ft4_cell(&ft, scheme, "incast", &incast, ft_h, runs));
+    }
+    for c in &cells {
+        println!(
+            "  {:<26} {:>10} events in {:>9.2} ms wall  =>  {:>11.0} events/sec",
+            c.m.name, c.m.events, c.m.wall_ms, c.m.events_per_sec
+        );
+    }
+
+    let meta = run_meta();
+    let json = render_json(&cells, &meta, mode, runs);
+    let out = std::env::var("GFC_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_matrix.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out, &json).expect("write BENCH_matrix.json");
+    println!("wrote {out}");
+
+    if let Ok(baseline_path) = std::env::var("GFC_BENCH_BASELINE") {
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+        if let (Some(b), Some(c)) = (parse_mode(&baseline), parse_mode(&json)) {
+            if b != c {
+                println!("  note: baseline mode \"{b}\" differs from current mode \"{c}\"");
+            }
+        }
+        let base_cells = parse_cells(&baseline);
+        let current = |cells: &[Cell]| -> Vec<(String, f64)> {
+            cells.iter().map(|c| (c.m.name.clone(), c.m.events_per_sec)).collect()
+        };
+        let mut report = regression_gate(&base_cells, &current(&cells), 0.10);
+        // Noise on a shared runner only ever makes a min-of-N measurement
+        // of deterministic work *slower*, never faster. So a tripped cell
+        // that clears the bar when re-measured was noise, while a genuine
+        // regression stays slow on every retry: keep the max events/s per
+        // cell and only then fail. Each retry runs the cell in a *fresh
+        // process* (GFC_BENCH_ONLY child mode) because the slow modes are
+        // process-level and an in-process re-measure inherits them.
+        // (Cell-set mismatches are not retried.)
+        let exe = std::env::current_exe().expect("current exe");
+        let mut remeasured = false;
+        for retry in 1..=3 {
+            if !report.failed || report.regressed.is_empty() {
+                break;
+            }
+            println!(
+                "  {} cell(s) below threshold; re-measuring in fresh processes (retry {retry}/3)",
+                report.regressed.len()
+            );
+            for name in &report.regressed {
+                let i = cells
+                    .iter()
+                    .position(|c| &c.m.name == name)
+                    .expect("regressed cell is in the grid");
+                let out = std::process::Command::new(&exe)
+                    .env("GFC_BENCH_ONLY", name)
+                    .env_remove("GFC_BENCH_BASELINE")
+                    .output()
+                    .expect("spawn re-measure child");
+                assert!(out.status.success(), "re-measure child failed for {name}");
+                let stdout = String::from_utf8_lossy(&out.stdout);
+                let line = stdout
+                    .lines()
+                    .find_map(|l| l.strip_prefix("GFC_CELL "))
+                    .unwrap_or_else(|| panic!("no GFC_CELL line from child for {name}"));
+                let mut fields = line.split_whitespace();
+                assert_eq!(fields.next(), Some(name.as_str()), "child measured the wrong cell");
+                let events: u64 = fields.next().and_then(|f| f.parse().ok()).expect("events");
+                let eps: f64 = fields.next().and_then(|f| f.parse().ok()).expect("events/s");
+                assert_eq!(events, cells[i].m.events, "event count changed on re-measure");
+                if eps > cells[i].m.events_per_sec {
+                    cells[i].m.events_per_sec = eps;
+                    cells[i].m.wall_ms = events as f64 / eps * 1e3;
+                    remeasured = true;
+                }
+            }
+            report = regression_gate(&base_cells, &current(&cells), 0.10);
+        }
+        if remeasured {
+            std::fs::write(&out, render_json(&cells, &meta, mode, runs))
+                .expect("rewrite BENCH_matrix.json");
+        }
+        println!("regression gate vs {baseline_path}:");
+        print!("{}", report.table);
+        if report.failed {
+            println!("regression gate FAILED");
+            std::process::exit(1);
+        }
+        println!("regression gate passed");
+    }
+}

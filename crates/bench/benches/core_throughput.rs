@@ -1,19 +1,24 @@
 //! **core_throughput** — events/sec of the simulator core, the tracked
 //! perf trajectory behind every figure regeneration.
 //!
-//! Two canonical scenarios:
+//! Three canonical scenarios:
 //!
 //! * `ring_wedge_pfc` — the Fig. 9 testbed ring under PFC (wedge
 //!   formation plus the post-deadlock idle loop);
 //! * `fattree_k8_gfc` — a failed k = 8 fat-tree under buffer-based GFC
 //!   with the closed-loop enterprise workload (one Fig. 16 panel-(a)
-//!   case), the scaling axis of the §6.2 sweeps.
+//!   case), the scaling axis of the §6.2 sweeps;
+//! * `ring_wedge_probe` — the ring scenario again with the engine
+//!   self-profiler on, printed next to `ring_wedge_pfc` as the measured
+//!   cost of the probe's per-event `Instant::now()` pair (the off
+//!   configuration's hook is a single predictable branch).
 //!
 //! Unlike the figure benches this target hand-rolls its timing loop
 //! instead of using Criterion: it needs the *event count* of each run
 //! (from the telemetry `sim.events` counter) next to the wall clock to
 //! report events/sec, and it writes the result as `BENCH_core.json` at
-//! the repo root so the perf trajectory is tracked as an artifact.
+//! the repo root — with the commit, rustc, CPU model and core count in a
+//! `meta` block — so the perf trajectory is tracked as an artifact.
 //!
 //! Run with `cargo bench -p gfc-bench --bench core_throughput`.
 //! Environment knobs:
@@ -25,79 +30,34 @@
 //! * `GFC_BENCH_OUT=path` — where to write the JSON (default
 //!   `<repo root>/BENCH_core.json`).
 
+use gfc_bench::{cell_json, measure, meta_json, run_meta, Measurement};
 use gfc_core::units::{Dur, Time};
 use gfc_experiments::common::{sim_config_300k, sim_config_testbed, Scheme};
 use gfc_sim::flowgen::ClosedLoopWorkload;
 use gfc_sim::{Network, TraceConfig};
-use gfc_telemetry::names;
 use gfc_topology::cbd::all_pairs_depgraph;
 use gfc_topology::fattree::FatTree;
 use gfc_topology::{Ring, Routing};
 use gfc_workload::{DestPolicy, EmpiricalCdf, FlowSizeDist};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::Instant;
 
-/// One scenario's measurement.
-struct Measurement {
-    name: &'static str,
-    sim_horizon_ms: f64,
-    events: u64,
-    wall_ms: f64,
-    events_per_sec: f64,
-    runs: usize,
-}
-
-/// Time `build`+`run` cycles: the network construction is excluded, the
-/// event loop (including lazy SPF route resolution, which is part of the
-/// per-flow hot path) is timed. Returns the fastest of `runs` timings.
-fn measure(
-    name: &'static str,
-    horizon: Time,
-    runs: usize,
-    build: impl Fn() -> Network,
-) -> Measurement {
-    let mut best_wall = f64::INFINITY;
-    let mut events = 0u64;
-    for r in 0..runs {
-        let mut net = build();
-        let start = Instant::now();
-        net.run_until(horizon);
-        let wall = start.elapsed().as_secs_f64();
-        let ev = net.metrics_snapshot().counter(names::EVENTS).unwrap_or(0);
-        if r == 0 {
-            events = ev;
-        } else {
-            assert_eq!(ev, events, "{name}: event count varied across identical runs");
-        }
-        best_wall = best_wall.min(wall);
+/// Build the Fig. 9 ring wedge: three clockwise greedy flows under PFC on
+/// the testbed parameterization; the fabric wedges within milliseconds
+/// and the remainder of the horizon exercises the idle monitor loop.
+/// `probe` additionally turns the engine self-profiler on.
+fn build_ring(probe: bool) -> Network {
+    let ring = Ring::new(3);
+    let mut cfg = sim_config_testbed(Scheme::Pfc, 9);
+    cfg.telemetry.probe = probe;
+    let routing = Routing::fixed(ring.clockwise_routes());
+    let mut net = Network::new(ring.topo.clone(), routing, cfg, TraceConfig::none());
+    let stagger = Dur::from_micros(500);
+    for (i, (src, dst)) in ring.clockwise_flows().into_iter().enumerate() {
+        net.run_until(Time(stagger.0 * i as u64));
+        net.start_flow(src, dst, None, 0).expect("clockwise route");
     }
-    Measurement {
-        name,
-        sim_horizon_ms: horizon.as_millis_f64(),
-        events,
-        wall_ms: best_wall * 1e3,
-        events_per_sec: events as f64 / best_wall,
-        runs,
-    }
-}
-
-/// The Fig. 9 ring wedge: three clockwise greedy flows under PFC on the
-/// testbed parameterization; the fabric wedges within milliseconds and
-/// the remainder of the horizon exercises the idle monitor loop.
-fn ring_wedge(horizon: Time, runs: usize) -> Measurement {
-    measure("ring_wedge_pfc", horizon, runs, || {
-        let ring = Ring::new(3);
-        let cfg = sim_config_testbed(Scheme::Pfc, 9);
-        let routing = Routing::fixed(ring.clockwise_routes());
-        let mut net = Network::new(ring.topo.clone(), routing, cfg, TraceConfig::none());
-        let stagger = Dur::from_micros(500);
-        for (i, (src, dst)) in ring.clockwise_flows().into_iter().enumerate() {
-            net.run_until(Time(stagger.0 * i as u64));
-            net.start_flow(src, dst, None, 0).expect("clockwise route");
-        }
-        net
-    })
+    net
 }
 
 /// One Fig. 16 panel-(a) case: the first connected, CBD-free k = 8
@@ -129,28 +89,6 @@ fn fattree_k8(horizon: Time, runs: usize) -> Measurement {
     })
 }
 
-fn render_json(mode: &str, ms: &[Measurement]) -> String {
-    let mut out = String::from("{\n");
-    out += "  \"bench\": \"core_throughput\",\n";
-    out += &format!("  \"mode\": \"{mode}\",\n");
-    out += "  \"scenarios\": [\n";
-    for (i, m) in ms.iter().enumerate() {
-        out += &format!(
-            "    {{\"name\": \"{}\", \"sim_horizon_ms\": {:.3}, \"events\": {}, \
-             \"wall_ms\": {:.3}, \"events_per_sec\": {:.0}, \"runs\": {}}}{}\n",
-            m.name,
-            m.sim_horizon_ms,
-            m.events,
-            m.wall_ms,
-            m.events_per_sec,
-            m.runs,
-            if i + 1 < ms.len() { "," } else { "" }
-        );
-    }
-    out += "  ]\n}\n";
-    out
-}
-
 fn main() {
     let smoke = std::env::var("GFC_BENCH_SMOKE").is_ok_and(|v| v == "1");
     let runs: usize =
@@ -163,7 +101,11 @@ fn main() {
         (Time::from_millis(30), Time::from_millis(6))
     };
     println!("core_throughput ({mode}, {runs} runs per scenario)");
-    let ms = [ring_wedge(ring_h, runs), fattree_k8(ft_h, runs)];
+    let ms = [
+        measure("ring_wedge_pfc", ring_h, runs, || build_ring(false)),
+        fattree_k8(ft_h, runs),
+        measure("ring_wedge_probe", ring_h, runs, || build_ring(true)),
+    ];
     for m in &ms {
         println!(
             "  {:<16} {:>10} events in {:>9.2} ms wall  =>  {:>11.0} events/sec  \
@@ -171,7 +113,33 @@ fn main() {
             m.name, m.events, m.wall_ms, m.events_per_sec, m.sim_horizon_ms
         );
     }
-    let json = render_json(mode, &ms);
+    // The probe run replays the exact same event sequence; the throughput
+    // delta is the profiler's own cost (two monotonic-clock reads per
+    // event). A collapse below 40% of the unprobed rate means the probed
+    // dispatch loop stopped being out-of-line — fail loudly.
+    let (off, on) = (&ms[0], &ms[2]);
+    assert_eq!(off.events, on.events, "probe changed the event sequence");
+    println!(
+        "  probe overhead: {:.1}% ({:.0} -> {:.0} events/sec)",
+        (1.0 - on.events_per_sec / off.events_per_sec) * 100.0,
+        off.events_per_sec,
+        on.events_per_sec
+    );
+    assert!(
+        on.events_per_sec >= 0.4 * off.events_per_sec,
+        "probe overhead out of range: {:.0} vs {:.0} events/sec",
+        on.events_per_sec,
+        off.events_per_sec
+    );
+
+    let meta = run_meta();
+    let mut json = String::from("{\n  \"bench\": \"core_throughput\",\n");
+    json += &meta_json(&meta, mode, runs);
+    json += ",\n  \"scenarios\": [\n";
+    for (i, m) in ms.iter().enumerate() {
+        json += &format!("    {}{}\n", cell_json(m, ""), if i + 1 < ms.len() { "," } else { "" });
+    }
+    json += "  ]\n}\n";
     let out = std::env::var("GFC_BENCH_OUT")
         .unwrap_or_else(|_| format!("{}/../../BENCH_core.json", env!("CARGO_MANIFEST_DIR")));
     std::fs::write(&out, json).expect("write BENCH_core.json");

@@ -5,11 +5,23 @@
 //! regeneration with Criterion. Run a single figure with e.g.
 //! `cargo bench -p gfc-bench --bench fig09_ring_pfc_gfc`, or everything
 //! with `cargo bench --workspace`.
+//!
+//! Two targets hand-roll their timing loops instead (they need event
+//! counts next to wall clocks): `core_throughput` (the canonical
+//! scenarios, `BENCH_core.json`) and `bench_matrix` (the topology ×
+//! scheme × load grid, `BENCH_matrix.json`, with a regression gate
+//! against a committed baseline). This crate hosts their shared runner:
+//! [`measure`], [`RunMeta`], the hand-rolled JSON cell format
+//! ([`parse_cells`]) and the median-normalized [`regression_gate`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use gfc_core::units::Time;
+use gfc_sim::Network;
+use gfc_telemetry::names;
 use std::sync::Once;
+use std::time::Instant;
 
 /// Print a figure's report exactly once per process (the timed iterations
 /// stay silent).
@@ -49,4 +61,339 @@ macro_rules! figure_bench {
         }
         criterion::criterion_main!(benches);
     };
+}
+
+/// One scenario's (or matrix cell's) measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Scenario or cell name.
+    pub name: String,
+    /// Simulated horizon in milliseconds.
+    pub sim_horizon_ms: f64,
+    /// Events dispatched per run (bit-identical across repetitions).
+    pub events: u64,
+    /// Fastest wall time across repetitions, milliseconds.
+    pub wall_ms: f64,
+    /// `events / wall` of the fastest run.
+    pub events_per_sec: f64,
+    /// Number of timed repetitions.
+    pub runs: usize,
+}
+
+/// Time `build`+`run` cycles: the network construction is excluded, the
+/// event loop (including lazy SPF route resolution, which is part of the
+/// per-flow hot path) is timed. Returns the fastest of `runs` timings;
+/// every repetition replays the same deterministic event sequence (this
+/// is asserted), so min is the noise-free estimator.
+pub fn measure(
+    name: impl Into<String>,
+    horizon: Time,
+    runs: usize,
+    build: impl Fn() -> Network,
+) -> Measurement {
+    let name = name.into();
+    let mut best_wall = f64::INFINITY;
+    let mut events = 0u64;
+    for r in 0..runs {
+        let mut net = build();
+        let start = Instant::now();
+        net.run_until(horizon);
+        let wall = start.elapsed().as_secs_f64();
+        let ev = net.metrics_snapshot().counter(names::EVENTS).unwrap_or(0);
+        if r == 0 {
+            events = ev;
+        } else {
+            assert_eq!(ev, events, "{name}: event count varied across identical runs");
+        }
+        best_wall = best_wall.min(wall);
+    }
+    Measurement {
+        name,
+        sim_horizon_ms: horizon.as_millis_f64(),
+        events,
+        wall_ms: best_wall * 1e3,
+        events_per_sec: events as f64 / best_wall,
+        runs,
+    }
+}
+
+/// Provenance of a benchmark run, recorded in every emitted JSON so a
+/// trajectory point can be attributed to a commit, toolchain and machine.
+#[derive(Debug, Clone)]
+pub struct RunMeta {
+    /// `git rev-parse HEAD`, or `"unknown"` outside a checkout.
+    pub commit: String,
+    /// `rustc -V`.
+    pub rustc: String,
+    /// CPU model name from `/proc/cpuinfo` (or `"unknown"`).
+    pub cpu_model: String,
+    /// Logical core count.
+    pub cores: usize,
+}
+
+fn cmd_line(program: &str, args: &[&str]) -> Option<String> {
+    let out = std::process::Command::new(program).args(args).output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let s = String::from_utf8(out.stdout).ok()?;
+    let line = s.lines().next()?.trim();
+    (!line.is_empty()).then(|| line.to_string())
+}
+
+/// Collect [`RunMeta`] from the environment, degrading each field to
+/// `"unknown"` rather than failing (CI runners and dev machines differ).
+pub fn run_meta() -> RunMeta {
+    let cpu_model = std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|m| m.trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown".into());
+    RunMeta {
+        commit: cmd_line("git", &["rev-parse", "HEAD"]).unwrap_or_else(|| "unknown".into()),
+        rustc: cmd_line("rustc", &["-V"]).unwrap_or_else(|| "unknown".into()),
+        cpu_model,
+        cores: std::thread::available_parallelism().map_or(0, std::num::NonZero::get),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Render the `"meta"` object shared by `BENCH_core.json` and
+/// `BENCH_matrix.json` (no trailing comma or newline).
+pub fn meta_json(meta: &RunMeta, mode: &str, runs: usize) -> String {
+    format!(
+        "  \"meta\": {{\"commit\": \"{}\", \"rustc\": \"{}\", \"cpu_model\": \"{}\", \
+         \"cores\": {}, \"mode\": \"{}\", \"runs\": {}}}",
+        json_escape(&meta.commit),
+        json_escape(&meta.rustc),
+        json_escape(&meta.cpu_model),
+        meta.cores,
+        json_escape(mode),
+        runs,
+    )
+}
+
+/// Render one measurement as a single-line JSON object. `extra` is spliced
+/// verbatim after the name (e.g. `"topo": ..., "scheme": ..., "load": ...`
+/// for matrix cells); pass `""` for plain scenarios. One cell per line is
+/// a format guarantee — [`parse_cells`] scans line by line.
+pub fn cell_json(m: &Measurement, extra: &str) -> String {
+    format!(
+        "{{\"name\": \"{}\", {}\"sim_horizon_ms\": {:.3}, \"events\": {}, \
+         \"wall_ms\": {:.3}, \"events_per_sec\": {:.0}, \"runs\": {}}}",
+        json_escape(&m.name),
+        extra,
+        m.sim_horizon_ms,
+        m.events,
+        m.wall_ms,
+        m.events_per_sec,
+        m.runs,
+    )
+}
+
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end =
+        rest.find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c))).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extract `(name, events_per_sec)` pairs from a bench JSON emitted by
+/// [`cell_json`] (one object per line). Tolerant of surrounding structure;
+/// anything that isn't a cell line is skipped.
+pub fn parse_cells(json: &str) -> Vec<(String, f64)> {
+    json.lines()
+        .filter_map(|l| Some((field_str(l, "name")?, field_num(l, "events_per_sec")?)))
+        .collect()
+}
+
+/// Extract the `"mode"` recorded in a bench JSON's meta block, if any.
+pub fn parse_mode(json: &str) -> Option<String> {
+    json.lines().find_map(|l| field_str(l, "mode"))
+}
+
+/// The outcome of a [`regression_gate`] comparison.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// Human-readable per-cell delta table (print this on failure — and
+    /// on success, for the CI log).
+    pub table: String,
+    /// True if any cell regressed beyond tolerance or the cell sets
+    /// disagree.
+    pub failed: bool,
+    /// Names of the cells that tripped the normalized threshold, in
+    /// table order. Empty when the failure is a cell-set mismatch —
+    /// re-measuring cannot fix that.
+    pub regressed: Vec<String>,
+}
+
+/// Compare current cell throughputs against a committed baseline.
+///
+/// Machines differ, so raw events/s is not comparable across hosts: each
+/// cell's ratio `current / baseline` is first normalized by the *median*
+/// ratio across all cells (the machine-speed factor), and a cell fails if
+/// its normalized ratio drops below `1 − tolerance`. This catches a
+/// regression localized to some cells while tolerating a uniformly
+/// faster or slower runner; a *uniform* regression across every cell
+/// moves the median itself and is invisible here — that is what the
+/// committed absolute numbers in the baseline are for (inspect them when
+/// the trajectory matters).
+///
+/// Cell-set mismatches (added/removed cells) fail the gate: the baseline
+/// must be regenerated deliberately when the matrix changes.
+pub fn regression_gate(
+    baseline: &[(String, f64)],
+    current: &[(String, f64)],
+    tolerance: f64,
+) -> GateReport {
+    use std::collections::BTreeMap;
+    let base: BTreeMap<&str, f64> = baseline.iter().map(|(n, e)| (n.as_str(), *e)).collect();
+    let cur: BTreeMap<&str, f64> = current.iter().map(|(n, e)| (n.as_str(), *e)).collect();
+
+    let mut table = String::new();
+    let mut failed = false;
+    for name in base.keys() {
+        if !cur.contains_key(name) {
+            table += &format!("  {name}: in baseline but not in current run\n");
+            failed = true;
+        }
+    }
+    for name in cur.keys() {
+        if !base.contains_key(name) {
+            table += &format!("  {name}: in current run but not in baseline\n");
+            failed = true;
+        }
+    }
+
+    let mut ratios: Vec<f64> = cur
+        .iter()
+        .filter_map(|(n, c)| base.get(n).map(|b| c / b))
+        .filter(|r| r.is_finite())
+        .collect();
+    ratios.sort_by(f64::total_cmp);
+    let median = if ratios.is_empty() {
+        failed = true;
+        table += "  no comparable cells\n";
+        1.0
+    } else {
+        ratios[ratios.len() / 2]
+    };
+
+    table += &format!(
+        "  {:<28} {:>14} {:>14} {:>8} {:>8}\n",
+        "cell", "baseline ev/s", "current ev/s", "raw", "norm"
+    );
+    let mut regressed = Vec::new();
+    for (name, c) in &cur {
+        let Some(b) = base.get(name) else { continue };
+        let raw = c / b;
+        let norm = raw / median;
+        let trip = norm < 1.0 - tolerance;
+        failed |= trip;
+        if trip {
+            regressed.push((*name).to_string());
+        }
+        table += &format!(
+            "  {:<28} {:>14.0} {:>14.0} {:>7.1}% {:>7.1}%{}\n",
+            name,
+            b,
+            c,
+            (raw - 1.0) * 100.0,
+            (norm - 1.0) * 100.0,
+            if trip { "  <-- REGRESSION" } else { "" }
+        );
+    }
+    table += &format!(
+        "  median machine-speed ratio {:.3}; gate trips below {:.0}% normalized\n",
+        median,
+        (1.0 - tolerance) * 100.0
+    );
+    GateReport { table, failed, regressed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cells(v: &[(&str, f64)]) -> Vec<(String, f64)> {
+        v.iter().map(|(n, e)| (n.to_string(), *e)).collect()
+    }
+
+    #[test]
+    fn cell_json_roundtrips_through_parse_cells() {
+        let m = Measurement {
+            name: "ring3:greedy:pfc".into(),
+            sim_horizon_ms: 10.0,
+            events: 123_456,
+            wall_ms: 12.5,
+            events_per_sec: 9_876_480.0,
+            runs: 3,
+        };
+        let json = format!(
+            "{{\n  \"cells\": [\n    {}\n  ]\n}}\n",
+            cell_json(&m, "\"topo\": \"ring3\", \"scheme\": \"pfc\", \"load\": \"greedy\", ")
+        );
+        let parsed = parse_cells(&json);
+        assert_eq!(parsed, vec![("ring3:greedy:pfc".to_string(), 9_876_480.0)]);
+    }
+
+    #[test]
+    fn gate_passes_identical_and_uniformly_scaled_runs() {
+        let base = cells(&[("a", 1e6), ("b", 2e6), ("c", 4e6)]);
+        assert!(!regression_gate(&base, &base, 0.10).failed);
+        // A uniformly 3x faster machine: every ratio equals the median.
+        let fast = cells(&[("a", 3e6), ("b", 6e6), ("c", 12e6)]);
+        assert!(!regression_gate(&base, &fast, 0.10).failed);
+    }
+
+    #[test]
+    fn gate_trips_on_localized_regression() {
+        let base = cells(&[("a", 1e6), ("b", 2e6), ("c", 4e6)]);
+        // Cell c lost 40% while the others held: normalized ratio 0.6.
+        let bad = cells(&[("a", 1e6), ("b", 2e6), ("c", 2.4e6)]);
+        let report = regression_gate(&base, &bad, 0.10);
+        assert!(report.failed);
+        assert!(report.table.contains("REGRESSION"));
+        assert_eq!(report.regressed, vec!["c".to_string()]);
+        // Within tolerance: 5% off on one cell passes a 10% gate.
+        let ok = cells(&[("a", 1e6), ("b", 2e6), ("c", 3.8e6)]);
+        assert!(!regression_gate(&base, &ok, 0.10).failed);
+    }
+
+    #[test]
+    fn gate_fails_on_cell_set_mismatch() {
+        let base = cells(&[("a", 1e6), ("b", 2e6)]);
+        let missing = cells(&[("a", 1e6)]);
+        let report = regression_gate(&base, &missing, 0.10);
+        assert!(report.failed);
+        // A missing cell is not something a re-measure can fix.
+        assert!(report.regressed.is_empty());
+        let extra = cells(&[("a", 1e6), ("b", 2e6), ("d", 1e6)]);
+        assert!(regression_gate(&base, &extra, 0.10).failed);
+    }
+
+    #[test]
+    fn run_meta_degrades_gracefully() {
+        let meta = run_meta();
+        assert!(!meta.rustc.is_empty());
+        let json = meta_json(&meta, "smoke", 3);
+        assert!(json.contains("\"mode\": \"smoke\""));
+        assert_eq!(parse_mode(&json).as_deref(), Some("smoke"));
+    }
 }

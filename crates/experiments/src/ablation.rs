@@ -150,20 +150,25 @@ pub fn run_tau_sweep(seed: u64) -> Vec<TauSweepOutcome> {
         let mut cfg = sim_config_300k(Scheme::GfcBuffer, seed);
         cfg.fc = FcMode::GfcBuffer { bm, b1 };
         cfg.ctrl_proc_delay = Dur::from_micros(t_proc_us);
-        let mut tc = TraceConfig::none();
-        let watched = (inc.switch, inc.topo.port_of(inc.switch, inc.sender_links[0]), 0u8);
-        #[allow(deprecated)] // change-resolution occupancy at one point
-        tc.ingress_queue.push(watched);
-        let mut net =
-            gfc_sim::Network::new(inc.topo.clone(), gfc_topology::Routing::spf(), cfg, tc);
+        let mut net = gfc_sim::Network::new(
+            inc.topo.clone(),
+            gfc_topology::Routing::spf(),
+            cfg,
+            TraceConfig::none(),
+        );
         for &s in &inc.senders {
             net.start_flow(s, inc.receiver, None, 0).expect("route");
         }
         net.run_until(Time::from_millis(5));
+        // The only ports that queue in a 2-to-1 incast are the congested
+        // switch ingresses, so the registry's network-wide per-port
+        // high-water mark *is* this sweep's peak queue (observed at every
+        // enqueue — change resolution, not sampled).
+        let snap = net.metrics_snapshot();
         out.push(TauSweepOutcome {
             t_proc_us,
             b1,
-            peak_queue: net.traces().ingress_queue[&watched].max().unwrap_or(0.0),
+            peak_queue: snap.gauge(names::INGRESS_HWM).map_or(0.0, |(_, hwm)| hwm as f64),
             drops: net.stats().drops,
         });
     }

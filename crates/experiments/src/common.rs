@@ -197,6 +197,18 @@ pub fn csv_track_series(csv: &str, suffix: &str) -> Vec<(String, TimeSeries)> {
     out
 }
 
+/// Extract exactly one named track from a timeline-sampler CSV export —
+/// the single-port companion of [`csv_track_series`] for figures that
+/// watch one observation point. Panics (with the name) when the track is
+/// absent, so a renamed port label fails loudly rather than plotting an
+/// empty series.
+pub fn csv_track(csv: &str, name: &str) -> TimeSeries {
+    let mut found = csv_track_series(csv, name);
+    found.retain(|(n, _)| n == name);
+    assert_eq!(found.len(), 1, "expected exactly one timeline track named {name:?}");
+    found.remove(0).1
+}
+
 /// Run `work` over every case on a scoped worker pool and return the
 /// results **in case order**.
 ///

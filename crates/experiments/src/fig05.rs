@@ -9,7 +9,7 @@
 //! converges to the steady value `Bs = 75 KB` where the mapped rate
 //! equals the 5 Gb/s drain rate, and the rate settles at 5 Gb/s.
 
-use crate::common::row;
+use crate::common::{csv_track, row};
 use gfc_analysis::TimeSeries;
 use gfc_core::units::{kb, Dur, Time};
 use gfc_sim::{FcMode, Network, PreflightPolicy, SimConfig, TraceConfig};
@@ -89,25 +89,29 @@ fn run_one(params: &Fig05Params, fc: FcMode, extra_proc: Dur) -> SchemeTrace {
     // Model the figure's abstract τ: for PFC the feedback shares the wire,
     // so raise the processing delay until the Eq. (6) total matches τ.
     cfg.ctrl_proc_delay = extra_proc;
-    let mut tc = TraceConfig::none();
-    let watched = (inc.switch, inc.topo.port_of(inc.switch, inc.sender_links[0]), 0u8);
-    // The figure needs change-resolution occupancy at one point — finer
-    // than the timeline samplers' fixed cadence, so the legacy opt-in
-    // stays.
-    #[allow(deprecated)]
-    {
-        tc.ingress_queue.push(watched);
-        tc.ingress_rate.push(watched);
-        tc.ingress_rate_bin = Dur::from_micros(10);
-    }
-    let mut net = Network::new(inc.topo.clone(), Routing::spf(), cfg, tc);
+    // Observe through the timeline samplers: a 10 µs cadence resolves both
+    // the PFC pause cycle (tens of µs at these thresholds) and the GFC
+    // convergence, matching the legacy trace's rate-bin width.
+    cfg.telemetry.timeline.sample_period_ps = Dur::from_micros(10).0;
+    let capacity = cfg.capacity.0 as f64;
+    let watched_port = inc.topo.port_of(inc.switch, inc.sender_links[0]);
+    let queue_track = format!("{}:p{watched_port} ingress", inc.topo.node(inc.switch).name);
+    let util_track = format!("{}:p0 util", inc.topo.node(inc.senders[0]).name);
+    let mut net = Network::new(inc.topo.clone(), Routing::spf(), cfg, TraceConfig::none());
     for &s in &inc.senders {
         net.start_flow(s, inc.receiver, None, 0).expect("route");
     }
     net.run_until(params.horizon);
 
-    let queue = net.traces().ingress_queue[&watched].clone();
-    let rate = net.traces().ingress_rate[&watched].series_bps(params.horizon.0);
+    let csv = net.timeline_csv().expect("timeline samplers are on");
+    let queue = csv_track(&csv, &queue_track);
+    // The watched port's input rate is whatever its sender puts on the
+    // access link: the sender NIC's utilization track scaled by C.
+    let util = csv_track(&csv, &util_track);
+    let mut rate = TimeSeries::new();
+    for &(t, v) in util.points() {
+        rate.push(t, v * capacity);
+    }
     let tail_from = params.horizon.0 * 3 / 4;
     let steady_queue = queue.time_weighted_mean(tail_from, params.horizon.0).unwrap_or(0.0);
     let steady_rate = rate.time_weighted_mean(tail_from, params.horizon.0).unwrap_or(0.0);

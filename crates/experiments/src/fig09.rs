@@ -10,7 +10,7 @@
 //! host rate, i.e. stage 2), then parks in stage 1 (paper: 840 KB) with
 //! the input rate steady at 5 Gb/s.
 
-use crate::common::{row, sim_config_testbed, static_verdict, Scheme};
+use crate::common::{csv_track, row, sim_config_testbed, static_verdict, Scheme};
 use gfc_analysis::TimeSeries;
 use gfc_core::units::{Dur, Time};
 use gfc_sim::{Network, TraceConfig};
@@ -71,20 +71,26 @@ pub struct RingTrace {
 /// Run one scheme on the testbed ring.
 pub fn run_scheme(params: &RingParams, scheme: Scheme) -> RingTrace {
     let ring = Ring::new(3);
-    let cfg = sim_config_testbed(scheme, params.seed);
-    let mut tc = TraceConfig::none();
-    let watched = (ring.switches[0], ring.topo.port_of(ring.switches[0], ring.host_links[0]), 0u8);
-    // Single watched point with change-resolution sampling — finer than
-    // the timeline samplers' fixed cadence, so the legacy opt-in stays.
-    #[allow(deprecated)]
-    {
-        tc.ingress_queue.push(watched);
-        tc.ingress_rate.push(watched);
-        tc.ingress_rate_bin = Dur::from_micros(50);
-    }
+    let mut cfg = sim_config_testbed(scheme, params.seed);
+    // Observe through the timeline samplers: 50 µs cadence (the legacy
+    // trace's rate-bin width) resolves the 90 µs-τ dynamics and keeps
+    // the full 60 ms horizon under the sampler budget undecimated.
+    cfg.telemetry.timeline.sample_period_ps = Dur::from_micros(50).0;
+    let capacity = cfg.capacity.0 as f64;
+    let watched_port = ring.topo.port_of(ring.switches[0], ring.host_links[0]);
+    let queue_track = format!("{}:p{watched_port} ingress", ring.topo.node(ring.switches[0]).name);
+    let h1 = {
+        let l = ring.topo.link(ring.host_links[0]);
+        if l.a == ring.switches[0] {
+            l.b
+        } else {
+            l.a
+        }
+    };
+    let util_track = format!("{}:p0 util", ring.topo.node(h1).name);
     let routing = Routing::fixed(ring.clockwise_routes());
     let verdict = static_verdict(&ring.topo, &routing, &cfg);
-    let mut net = Network::new(ring.topo.clone(), routing, cfg, tc);
+    let mut net = Network::new(ring.topo.clone(), routing, cfg, TraceConfig::none());
     for (i, (src, dst)) in ring.clockwise_flows().into_iter().enumerate() {
         net.run_until(Time(params.stagger.0 * i as u64));
         net.start_flow(src, dst, None, 0).expect("clockwise route");
@@ -96,8 +102,15 @@ pub fn run_scheme(params: &RingParams, scheme: Scheme) -> RingTrace {
     let snap = net.metrics_snapshot();
     let tail_goodput = snap.delta_goodput_bps(&mid_snap);
 
-    let queue = net.traces().ingress_queue[&watched].clone();
-    let rate = net.traces().ingress_rate[&watched].series_bps(params.horizon.0);
+    let csv = net.timeline_csv().expect("timeline samplers are on");
+    let queue = csv_track(&csv, &queue_track);
+    // The watched port's input rate is what H1 puts on its access link:
+    // the H1 NIC's utilization track scaled by C.
+    let util = csv_track(&csv, &util_track);
+    let mut rate = TimeSeries::new();
+    for &(t, v) in util.points() {
+        rate.push(t, v * capacity);
+    }
     let tail_from = params.horizon.0 * 3 / 4;
     RingTrace {
         steady_queue: queue.time_weighted_mean(tail_from, params.horizon.0).unwrap_or(0.0),

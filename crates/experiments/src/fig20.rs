@@ -9,9 +9,9 @@
 //! drains under `B1`, GFC releases the port back to line rate, and DCQCN
 //! alone governs the steady state — "GFC only works as a safeguard".
 
-use crate::common::{row, sim_config_300k, Scheme};
+use crate::common::{csv_track, row, sim_config_300k, Scheme};
 use gfc_analysis::TimeSeries;
-use gfc_core::units::{kb, Time};
+use gfc_core::units::{kb, Dur, Time};
 use gfc_dcqcn::{DcqcnParams, EcnMarker};
 use gfc_sim::{Network, TraceConfig};
 use gfc_topology::{Incast, Routing};
@@ -65,15 +65,15 @@ pub fn run(params: Fig20Params) -> Fig20Result {
     let mut cfg = sim_config_300k(Scheme::GfcBuffer, params.seed);
     cfg.ecn = Some(EcnMarker::threshold(params.ecn_threshold));
     cfg.dcqcn = Some(DcqcnParams::fig20(cfg.capacity.0));
+    // The port-level signals come from the timeline samplers: a 10 µs
+    // cadence resolves the GFC stage transient (the queue sits above B1
+    // for a long stretch of the incast ramp). The per-flow DCQCN rate has
+    // no sampler equivalent and stays on the flow-level trace.
+    cfg.telemetry.timeline.sample_period_ps = Dur::from_micros(10).0;
+    let watched_port = inc.topo.port_of(inc.switch, inc.sender_links[0]);
+    let queue_track = format!("{}:p{watched_port} ingress", inc.topo.node(inc.switch).name);
+    let rate_track = format!("{}:p0 rate", inc.topo.node(inc.senders[0]).name);
     let mut tc = TraceConfig::none();
-    let watched = (inc.switch, inc.topo.port_of(inc.switch, inc.sender_links[0]), 0u8);
-    // Change-resolution series at two watched points — finer than the
-    // timeline samplers' fixed cadence, so the legacy opt-in stays.
-    #[allow(deprecated)]
-    {
-        tc.ingress_queue.push(watched);
-        tc.egress_rate.push((inc.senders[0], 0, 0));
-    }
     tc.dcqcn_flows.push(0); // first started flow gets id 0
     let mut net = Network::new(inc.topo.clone(), Routing::spf(), cfg, tc);
     for &s in &inc.senders {
@@ -81,9 +81,10 @@ pub fn run(params: Fig20Params) -> Fig20Result {
     }
     net.run_until(params.horizon);
 
-    let queue = net.traces().ingress_queue[&watched].clone();
+    let csv = net.timeline_csv().expect("timeline samplers are on");
+    let queue = csv_track(&csv, &queue_track);
     let dcqcn_rate = net.traces().dcqcn_rate[&0].clone();
-    let gfc_rate = net.traces().egress_rate[&(inc.senders[0], 0, 0)].clone();
+    let gfc_rate = csv_track(&csv, &rate_track);
     let tail_from = params.horizon.0 * 3 / 4;
     Fig20Result {
         steady_dcqcn: dcqcn_rate.time_weighted_mean(tail_from, params.horizon.0).unwrap_or(0.0),

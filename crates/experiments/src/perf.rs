@@ -94,6 +94,13 @@ pub struct SchemePerf {
     pub finished: usize,
     /// Structural deadlocks observed across cases.
     pub deadlocks: usize,
+    /// Control messages received across cases (registry `sim.ctrl.msgs`).
+    pub ctrl_msgs: u64,
+    /// Control bytes received across cases (registry `sim.ctrl.bytes`) —
+    /// the Fig. 16/19-style overhead numerator, scheme-attributed.
+    pub ctrl_bytes: u64,
+    /// Data bytes delivered across cases (overhead denominator).
+    pub delivered_bytes: u64,
 }
 
 impl SchemePerf {
@@ -104,6 +111,9 @@ impl SchemePerf {
             unfinished: 0,
             finished: 0,
             deadlocks: 0,
+            ctrl_msgs: 0,
+            ctrl_bytes: 0,
+            delivered_bytes: 0,
         }
     }
 
@@ -115,6 +125,11 @@ impl SchemePerf {
     /// Summary of per-case mean slowdown (finished flows only).
     pub fn slowdown(&self) -> Option<Summary> {
         Summary::of(&self.slowdown_samples)
+    }
+
+    /// Control-plane byte overhead as a fraction of delivered data bytes.
+    pub fn ctrl_overhead(&self) -> f64 {
+        self.ctrl_bytes as f64 / self.delivered_bytes.max(1) as f64
     }
 }
 
@@ -129,13 +144,25 @@ pub struct PerfResult {
     pub prone: HashMap<String, SchemePerf>,
 }
 
+/// What one `(case, scheme)` simulation contributes to its panel.
+struct CaseOutcome {
+    goodput_per_server: f64,
+    mean_slowdown: Option<f64>,
+    finished: usize,
+    unfinished: usize,
+    deadlocked: bool,
+    ctrl_msgs: u64,
+    ctrl_bytes: u64,
+    delivered_bytes: u64,
+}
+
 fn run_case(
     ft: &FatTree,
     cycle_flows: Option<&[(gfc_topology::NodeId, gfc_topology::NodeId, Vec<gfc_topology::LinkId>)]>,
     scheme: Scheme,
     params: &PerfParams,
     seed: u64,
-) -> (f64, Option<f64>, usize, usize, bool) {
+) -> CaseOutcome {
     let mut cfg = sim_config_300k(scheme, seed);
     // Panel (a) compares raw performance: use the fair discipline for all
     // schemes so differences come from the flow control, not the fabric.
@@ -177,13 +204,16 @@ fn run_case(
         net.config().mtu,
     );
     let mean_sd = Summary::of(&slowdowns).map(|s| s.mean);
-    (
+    CaseOutcome {
         goodput_per_server,
-        mean_sd,
-        net.ledger().finished(),
-        net.ledger().unfinished(),
-        net.structurally_deadlocked(),
-    )
+        mean_slowdown: mean_sd,
+        finished: net.ledger().finished(),
+        unfinished: net.ledger().unfinished(),
+        deadlocked: net.structurally_deadlocked(),
+        ctrl_msgs: snap.counter(gfc_telemetry::names::CTRL_MSGS).unwrap_or(0),
+        ctrl_bytes: snap.counter(gfc_telemetry::names::CTRL_BYTES).unwrap_or(0),
+        delivered_bytes: snap.counter(gfc_telemetry::names::DELIVERED_BYTES).unwrap_or(0),
+    }
 }
 
 /// Run the Fig. 16/17 experiment.
@@ -232,15 +262,18 @@ pub fn run(params: PerfParams) -> PerfResult {
         });
         let mut out: HashMap<String, SchemePerf> =
             Scheme::ALL.iter().map(|s| (s.name().to_string(), SchemePerf::new())).collect();
-        for (&(_, scheme_idx), (tput, sd, fin, unfin, dead)) in units.iter().zip(results) {
+        for (&(_, scheme_idx), o) in units.iter().zip(results) {
             let e = out.get_mut(Scheme::ALL[scheme_idx].name()).expect("scheme row");
-            e.throughput_samples.push(tput);
-            if let Some(sd) = sd {
+            e.throughput_samples.push(o.goodput_per_server);
+            if let Some(sd) = o.mean_slowdown {
                 e.slowdown_samples.push(sd);
             }
-            e.finished += fin;
-            e.unfinished += unfin;
-            e.deadlocks += dead as usize;
+            e.finished += o.finished;
+            e.unfinished += o.unfinished;
+            e.deadlocks += o.deadlocked as usize;
+            e.ctrl_msgs += o.ctrl_msgs;
+            e.ctrl_bytes += o.ctrl_bytes;
+            e.delivered_bytes += o.delivered_bytes;
         }
         out
     };
@@ -265,7 +298,12 @@ impl PerfResult {
                 s += &row(
                     &format!("{panel}: {}", scheme.name()),
                     paper,
-                    &format!("{t:.2} ± {sd:.2} Gb/s, deadlocks {}", p.deadlocks),
+                    &format!(
+                        "{t:.2} ± {sd:.2} Gb/s, deadlocks {}, ctrl {:.3} % ({} msgs)",
+                        p.deadlocks,
+                        p.ctrl_overhead() * 100.0,
+                        p.ctrl_msgs
+                    ),
                 );
             }
         }
@@ -337,5 +375,19 @@ mod tests {
         );
         // Slowdowns exist for finished flows.
         assert!(r.cbd_free["PFC"].slowdown().is_some());
+        // Control-plane accounting populated from the registry: every
+        // scheme moved feedback, and the byte overhead stays a small
+        // fraction of delivered data.
+        for scheme in Scheme::ALL {
+            let p = &r.cbd_free[scheme.name()];
+            assert!(p.ctrl_msgs > 0, "{} recorded no control messages", scheme.name());
+            assert!(p.delivered_bytes > 0);
+            assert!(
+                p.ctrl_overhead() < 0.05,
+                "{} ctrl overhead {:.3} %",
+                scheme.name(),
+                p.ctrl_overhead() * 100.0
+            );
+        }
     }
 }

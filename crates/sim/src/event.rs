@@ -103,6 +103,54 @@ pub enum Event {
     TimelineSample,
 }
 
+impl Event {
+    /// Labels for [`Event::class`], indexed by the returned class — the
+    /// single source of truth the engine probe's dispatch profile keys
+    /// on.
+    pub const CLASS_LABELS: [&'static str; 10] = [
+        "arrive",
+        "ctrl_apply",
+        "tx_kick",
+        "tx_complete",
+        "periodic_feedback",
+        "host_tick",
+        "dcqcn_timer",
+        "cnp",
+        "monitor_tick",
+        "timeline_sample",
+    ];
+
+    /// Dense per-variant class index (see [`Event::CLASS_LABELS`]).
+    pub fn class(&self) -> usize {
+        match self {
+            Event::Arrive { .. } => 0,
+            Event::CtrlApply { .. } => 1,
+            Event::TxKick { .. } => 2,
+            Event::TxComplete { .. } => 3,
+            Event::PeriodicFeedback { .. } => 4,
+            Event::HostTick { .. } => 5,
+            Event::DcqcnTimer { .. } => 6,
+            Event::Cnp { .. } => 7,
+            Event::MonitorTick => 8,
+            Event::TimelineSample => 9,
+        }
+    }
+}
+
+/// Always-on scheduler counters: how pushes split between the inline
+/// slot encoding and the payload pool, and how often the pool had to
+/// grow instead of recycling a freed slot. Three unconditional `u64`
+/// increments per push — cheap enough to never gate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Pushes carried in the slot word (no pool round-trip).
+    pub pushes_inline: u64,
+    /// Pushes that took a payload-pool slot (recycled or fresh).
+    pub pushes_pooled: u64,
+    /// Pool slots allocated because the free list was empty.
+    pub pool_grown: u64,
+}
+
 /// Index of a pooled event payload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct EventId(u32);
@@ -169,6 +217,7 @@ pub struct EventQueue {
     pool: Vec<Option<Event>>,
     free: Vec<EventId>,
     seq: u64,
+    stats: QueueStats,
 }
 
 impl EventQueue {
@@ -190,20 +239,30 @@ impl EventQueue {
     /// the pool.
     fn alloc_slot(&mut self, ev: Event) -> u32 {
         match encode_inline(&ev) {
-            Some(code) => code,
-            None => match self.free.pop() {
-                Some(id) => {
-                    debug_assert!(self.pool[id.0 as usize].is_none(), "free slot still occupied");
-                    self.pool[id.0 as usize] = Some(ev);
-                    id.0
+            Some(code) => {
+                self.stats.pushes_inline += 1;
+                code
+            }
+            None => {
+                self.stats.pushes_pooled += 1;
+                match self.free.pop() {
+                    Some(id) => {
+                        debug_assert!(
+                            self.pool[id.0 as usize].is_none(),
+                            "free slot still occupied"
+                        );
+                        self.pool[id.0 as usize] = Some(ev);
+                        id.0
+                    }
+                    None => {
+                        let id = u32::try_from(self.pool.len()).expect("event pool overflow");
+                        assert!(id < INLINE, "event pool overflow");
+                        self.stats.pool_grown += 1;
+                        self.pool.push(Some(ev));
+                        id
+                    }
                 }
-                None => {
-                    let id = u32::try_from(self.pool.len()).expect("event pool overflow");
-                    assert!(id < INLINE, "event pool overflow");
-                    self.pool.push(Some(ev));
-                    id
-                }
-            },
+            }
         }
     }
 
@@ -336,6 +395,26 @@ impl EventQueue {
     /// stops growing — observable in tests and capacity planning.
     pub fn pool_slots(&self) -> usize {
         self.pool.len()
+    }
+
+    /// Payload slots currently free (on the recycle list).
+    pub fn free_slots(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Keys currently in the heap (excludes the FIFO lanes).
+    pub fn heap_len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Pending keys per FIFO lane, in lane order.
+    pub fn lane_lens(&self) -> [usize; Self::NUM_LANES] {
+        [self.lanes[0].len(), self.lanes[1].len(), self.lanes[2].len()]
+    }
+
+    /// The always-on push counters (see [`QueueStats`]).
+    pub fn stats(&self) -> QueueStats {
+        self.stats
     }
 }
 
@@ -491,6 +570,51 @@ mod tests {
         assert_eq!(q.pop_at_or_before(Time(30)).unwrap().0, Time(20));
         assert!(q.pop_at_or_before(Time(u64::MAX)).is_none());
         assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn class_indices_match_labels() {
+        // Every variant maps into the label table, and distinct variants
+        // get distinct classes.
+        let events = [
+            arrive(1),
+            Event::CtrlApply {
+                node: NodeId(0),
+                port: 0,
+                prio: 0,
+                payload: CtrlPayload::GfcStage(1),
+            },
+            Event::TxKick { node: NodeId(0), port: 0 },
+            Event::TxComplete { node: NodeId(0), port: 0 },
+            Event::PeriodicFeedback { node: NodeId(0), port: 0 },
+            Event::HostTick { host: NodeId(0) },
+            Event::DcqcnTimer { host: NodeId(0), flow: 0 },
+            Event::Cnp { host: NodeId(0), flow: 0 },
+            Event::MonitorTick,
+            Event::TimelineSample,
+        ];
+        let classes: Vec<usize> = events.iter().map(Event::class).collect();
+        assert_eq!(classes, (0..Event::CLASS_LABELS.len()).collect::<Vec<_>>());
+        assert_eq!(Event::CLASS_LABELS[events[0].class()], "arrive");
+    }
+
+    #[test]
+    fn push_counters_split_inline_vs_pooled() {
+        let mut q = EventQueue::new();
+        q.push(Time(1), Event::MonitorTick); // inline
+        q.push(Time(2), Event::Cnp { host: NodeId(0), flow: 0 }); // pool grows
+        q.pop().unwrap();
+        q.pop().unwrap();
+        q.push(Time(3), Event::Cnp { host: NodeId(0), flow: 1 }); // recycled
+        let s = q.stats();
+        assert_eq!(s.pushes_inline, 1);
+        assert_eq!(s.pushes_pooled, 2);
+        assert_eq!(s.pool_grown, 1, "second pooled push must recycle, not grow");
+        assert_eq!(q.heap_len(), 1);
+        assert_eq!(q.lane_lens(), [0, 0, 0]);
+        assert_eq!(q.free_slots(), 0);
+        q.pop().unwrap();
+        assert_eq!(q.free_slots(), 1);
     }
 
     #[test]

@@ -43,6 +43,22 @@ impl CtrlPayload {
         }
     }
 
+    /// Classify this payload for control-plane accounting: each class
+    /// maps 1:1 onto the scheme that emits it (pause/resume → PFC,
+    /// credit → CBFC / time-based GFC, stage → buffer-based GFC,
+    /// sample → conceptual GFC), so per-class counters *are* the
+    /// per-scheme overhead breakdown.
+    pub fn class(&self) -> gfc_telemetry::CtrlClass {
+        use gfc_telemetry::CtrlClass;
+        match self {
+            CtrlPayload::Pfc(PfcEvent::Pause { .. }) => CtrlClass::Pause,
+            CtrlPayload::Pfc(PfcEvent::Resume) => CtrlClass::Resume,
+            CtrlPayload::GfcStage(_) => CtrlClass::Stage,
+            CtrlPayload::FcclWire(_) => CtrlClass::Credit,
+            CtrlPayload::QueueSample(_) => CtrlClass::Sample,
+        }
+    }
+
     /// Encode to wire bytes and decode back — a self-check that the real
     /// codecs carry this payload faithfully. Returns the decoded payload.
     /// (Debug builds of the network run every generated message through
@@ -547,6 +563,19 @@ mod tests {
         assert_eq!(CtrlPayload::GfcStage(1).wire_bytes(), 64);
         assert_eq!(CtrlPayload::FcclWire(0).wire_bytes(), 8);
         assert_eq!(CtrlPayload::QueueSample(0).wire_bytes(), 0);
+    }
+
+    #[test]
+    fn classes_partition_the_payloads() {
+        use gfc_telemetry::CtrlClass;
+        assert_eq!(CtrlPayload::Pfc(PfcEvent::Pause { quanta: 1 }).class(), CtrlClass::Pause);
+        assert_eq!(CtrlPayload::Pfc(PfcEvent::Resume).class(), CtrlClass::Resume);
+        assert_eq!(CtrlPayload::GfcStage(2).class(), CtrlClass::Stage);
+        assert_eq!(CtrlPayload::FcclWire(7).class(), CtrlClass::Credit);
+        assert_eq!(CtrlPayload::QueueSample(9).class(), CtrlClass::Sample);
+        // The out-of-band sample class is the only zero-byte class — the
+        // invariant the per-class byte accounting leans on.
+        assert_eq!(CtrlPayload::QueueSample(9).wire_bytes(), 0);
     }
 
     #[test]

@@ -209,6 +209,7 @@ impl Network {
             host_of_node[h.0 as usize] = u32::try_from(i).expect("host count fits u32");
             hosts.push(HostState { index: i, ..Default::default() });
         }
+        #[allow(deprecated)] // the legacy binned meters remain as a cross-check
         let ctrl_meters = cfg.ctrl_bw_bin.map(|bin| {
             ports
                 .nodes()
@@ -399,6 +400,22 @@ impl Network {
         self.ctrl_meters.as_ref()
     }
 
+    /// Cumulative received control traffic per port: one
+    /// `(node, port, ctrl_bytes_rx, ctrl_msgs_rx)` row for every port of
+    /// every node, in table order. Always available (the counters are part
+    /// of the port state, not gated on any telemetry option). Dividing the
+    /// byte counts by the run horizon reproduces the Fig. 19 per-port
+    /// control-bandwidth fractions without the deprecated binned meters.
+    pub fn ctrl_rx_per_port(&self) -> Vec<(NodeId, usize, u64, u64)> {
+        let mut rows = Vec::new();
+        for (n, node_ports) in self.ports.nodes().enumerate() {
+            for (p, ps) in node_ports.iter().enumerate() {
+                rows.push((NodeId(n as u32), p, ps.ctrl_bytes_rx, ps.ctrl_msgs_rx));
+            }
+        }
+        rows
+    }
+
     /// Port-level counters for one `(node, port)`: `(ctrl msgs received,
     /// ctrl bytes received, drops)`.
     #[deprecated(
@@ -498,6 +515,26 @@ impl Network {
                 snap.push_counter(names::STALL_P95_PS, p.p95 as u64);
                 snap.push_counter(names::STALL_P99_PS, p.p99 as u64);
             }
+        }
+        // Engine-probe entries (dispatch histograms, queue/pool gauges).
+        // The snapshot borrows `self` immutably, so refresh a clone with
+        // the instantaneous occupancies rather than mutating the live
+        // probe — the gauges here are exact at snapshot time, the
+        // high-water marks reflect the monitor-tick samples.
+        if let Some(probe) = self.tel.probe.as_deref() {
+            let mut p = probe.clone();
+            let qs = self.queue.stats();
+            p.pushes_inline = qs.pushes_inline;
+            p.pushes_pooled = qs.pushes_pooled;
+            p.pool_grown = qs.pool_grown;
+            p.queue_sample(
+                self.queue.heap_len() as u64,
+                self.queue.lane_lens().map(|l| l as u64),
+                self.queue.pool_slots() as u64,
+                self.queue.free_slots() as u64,
+                self.ports.ctrl_backlog_frames(),
+            );
+            p.append_to(&mut snap);
         }
         snap
     }
@@ -626,16 +663,42 @@ impl Network {
     /// deadlock halt (when configured), or event exhaustion.
     pub fn run_until(&mut self, t_end: Time) {
         self.ensure_started();
+        if self.tel.probe.is_some() {
+            self.run_until_probed(t_end);
+        } else {
+            while !self.halted {
+                let Some((t, ev)) = self.queue.pop_at_or_before(t_end) else {
+                    break;
+                };
+                debug_assert!(t >= self.now, "event time went backwards");
+                self.now = t;
+                self.handle(ev);
+            }
+        }
+        if !self.halted && self.now < t_end {
+            self.now = t_end;
+        }
+    }
+
+    /// The probed twin of the [`Self::run_until`] loop: times every
+    /// dispatch with a monotonic clock and feeds the per-class histograms.
+    /// Kept out of line so the unprofiled loop carries exactly one
+    /// predictable branch for the whole feature.
+    #[cold]
+    fn run_until_probed(&mut self, t_end: Time) {
         while !self.halted {
             let Some((t, ev)) = self.queue.pop_at_or_before(t_end) else {
                 break;
             };
             debug_assert!(t >= self.now, "event time went backwards");
             self.now = t;
+            let class = ev.class();
+            let start = std::time::Instant::now();
             self.handle(ev);
-        }
-        if !self.halted && self.now < t_end {
-            self.now = t_end;
+            let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            if let Some(p) = self.tel.probe.as_deref_mut() {
+                p.record(class, wall_ns);
+            }
         }
     }
 
@@ -864,7 +927,6 @@ impl Network {
         }
         let q = self.ports[node.0 as usize][port].pq(prio).ing_bytes;
         self.tel.on_enqueue(self.now.0, node, port, pkt.prio, bytes, q);
-        self.trace_ingress(node, port, pkt.prio, q, bytes, true);
         let msg = self.ports[node.0 as usize][port].pq_mut(prio).ing_rx.on_arrival(q, bytes);
         if let Some(payload) = msg {
             self.send_ctrl(node, port, pkt.prio, payload);
@@ -1033,16 +1095,6 @@ impl Network {
             .expect("control payload matches the scheme fixed at construction");
         let rate_after = self.ports[node.0 as usize][port].pq(prio as usize).tx_fc.assigned_rate();
         self.tel.on_ctrl_rx(self.now.0, node, port, prio, &payload, (rate_before.0, rate_after.0));
-        // Trace the assigned egress rate if this point is observed.
-        let key = (node, port, prio);
-        if self.traces.egress_rate.contains_key(&key) {
-            let rate = self.ports[node.0 as usize][port].pq(prio as usize).tx_fc.assigned_rate();
-            self.traces
-                .egress_rate
-                .get_mut(&key)
-                .expect("traced key")
-                .push(self.now.0, rate.0 as f64);
-        }
         if opened {
             self.try_transmit(node, port);
         }
@@ -1096,6 +1148,22 @@ impl Network {
     }
 
     fn on_monitor_tick(&mut self) {
+        // Engine-probe occupancy sample: the monitor tick is the probe's
+        // cadence, so the hot dispatch path never pays for gauge updates.
+        if self.tel.probe.is_some() {
+            let heap = self.queue.heap_len() as u64;
+            let lanes = self.queue.lane_lens().map(|l| l as u64);
+            let pool_slots = self.queue.pool_slots() as u64;
+            let pool_free = self.queue.free_slots() as u64;
+            let ctrl_backlog = self.ports.ctrl_backlog_frames();
+            let qs = self.queue.stats();
+            if let Some(p) = self.tel.probe.as_deref_mut() {
+                p.queue_sample(heap, lanes, pool_slots, pool_free, ctrl_backlog);
+                p.pushes_inline = qs.pushes_inline;
+                p.pushes_pooled = qs.pushes_pooled;
+                p.pool_grown = qs.pool_grown;
+            }
+        }
         let backlog = self.backlogged();
         let progressed = self.stats.delivered_packets > self.last_monitor_delivered;
         self.last_monitor_delivered = self.stats.delivered_packets;
@@ -1304,7 +1372,6 @@ impl Network {
                 *cnt -= bytes;
                 *cnt
             };
-            self.trace_ingress(node, ing, prio, q_after, bytes, false);
             let msg = self.ports[n][ing].pq_mut(prio as usize).ing_rx.on_drain(q_after, bytes);
             if let Some(payload) = msg {
                 self.send_ctrl(node, ing, prio, payload);
@@ -1438,31 +1505,6 @@ impl Network {
     // ----------------------------------------------------------------
     // Tracing helpers
     // ----------------------------------------------------------------
-
-    fn trace_ingress(
-        &mut self,
-        node: NodeId,
-        port: usize,
-        prio: u8,
-        q_bytes: u64,
-        pkt_bytes: u64,
-        arrival: bool,
-    ) {
-        // Nothing observed (the overwhelmingly common case): skip the key
-        // construction and map probes — this runs per enqueue and drain.
-        if self.traces.ingress_queue.is_empty() && self.traces.ingress_rate.is_empty() {
-            return;
-        }
-        let key = (node, port, prio);
-        if let Some(s) = self.traces.ingress_queue.get_mut(&key) {
-            s.push(self.now.0, q_bytes as f64);
-        }
-        if arrival {
-            if let Some(m) = self.traces.ingress_rate.get_mut(&key) {
-                m.record(self.now.0, pkt_bytes);
-            }
-        }
-    }
 
     fn trace_dcqcn(&mut self, flow: u64, rate_bps: u64) {
         if let Some(s) = self.traces.dcqcn_rate.get_mut(&flow) {

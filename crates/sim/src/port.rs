@@ -200,6 +200,13 @@ impl PortState {
     pub fn ingress_backlog(&self) -> u64 {
         self.pqs().map(|pq| pq.ing_bytes).sum()
     }
+
+    /// Control frames awaiting or occupying this port's wire — queued
+    /// plus in flight. The engine probe samples this network-wide to
+    /// gauge reverse-channel pressure.
+    pub fn ctrl_backlog_frames(&self) -> u64 {
+        self.ctrl_q.len() as u64 + u64::from(self.current_ctrl.is_some())
+    }
 }
 
 /// All ports of all nodes in one contiguous slab, indexed
@@ -239,6 +246,12 @@ impl PortTable {
     /// Per-node port slices, in node order.
     pub fn nodes(&self) -> impl Iterator<Item = &[PortState]> {
         self.base.windows(2).map(|w| &self.states[w[0] as usize..w[1] as usize])
+    }
+
+    /// Control frames queued or in flight across every port — the
+    /// probe's reverse-channel pressure gauge. One linear slab walk.
+    pub fn ctrl_backlog_frames(&self) -> u64 {
+        self.states.iter().map(PortState::ctrl_backlog_frames).sum()
     }
 }
 

@@ -9,11 +9,11 @@
 //! with [`TelemetryConfig::off`] pays one predictable comparison per
 //! call site.
 
+use crate::event::Event;
 use crate::fc::CtrlPayload;
-use gfc_core::pfc::PfcEvent;
 use gfc_telemetry::{
-    names, CounterId, CtrlClass, EventRecord, FlightRecorder, FlowSpans, ForensicsReport, GaugeId,
-    HistId, MetricsRegistry, RecordKind, SamplerSet, TelemetryConfig,
+    names, CounterId, CtrlClass, EngineProbe, EventRecord, FlightRecorder, FlowSpans,
+    ForensicsReport, GaugeId, HistId, MetricsRegistry, RecordKind, SamplerSet, TelemetryConfig,
 };
 use gfc_topology::NodeId;
 
@@ -31,23 +31,15 @@ pub(crate) struct PortSample {
     pub(crate) tx_bytes_cum: u64,
 }
 
-/// Classify a control payload for counting/recording.
-pub(crate) fn ctrl_class(payload: &CtrlPayload) -> CtrlClass {
-    match payload {
-        CtrlPayload::Pfc(PfcEvent::Pause { .. }) => CtrlClass::Pause,
-        CtrlPayload::Pfc(PfcEvent::Resume) => CtrlClass::Resume,
-        CtrlPayload::GfcStage(_) => CtrlClass::Stage,
-        CtrlPayload::FcclWire(_) => CtrlClass::Credit,
-        CtrlPayload::QueueSample(_) => CtrlClass::Sample,
-    }
-}
-
 /// The simulator's live observability state: registry + handles, flight
-/// recorder, and the forensics report once captured.
+/// recorder, engine probe, and the forensics report once captured.
 #[derive(Debug)]
 pub(crate) struct SimTelemetry {
     pub(crate) reg: MetricsRegistry,
     pub(crate) rec: FlightRecorder,
+    /// Engine self-profiler (None unless `cfg.probe`); boxed so the
+    /// disabled configuration carries one pointer, not the histograms.
+    pub(crate) probe: Option<Box<EngineProbe>>,
     /// Whether to capture a [`ForensicsReport`] on the first deadlock
     /// verdict.
     pub(crate) forensics_on: bool,
@@ -70,7 +62,15 @@ pub(crate) struct SimTelemetry {
     stage_rx: CounterId,
     credit_rx: CounterId,
     sample_rx: CounterId,
+    /// Per-class received wire bytes, indexed like the `CtrlClass` match
+    /// below — the registry-first source of fig 16/19-style overhead.
+    pause_rx_bytes: CounterId,
+    resume_rx_bytes: CounterId,
+    stage_rx_bytes: CounterId,
+    credit_rx_bytes: CounterId,
+    sample_rx_bytes: CounterId,
     ctrl_tx: CounterId,
+    ctrl_tx_bytes: CounterId,
     rate_changes: CounterId,
     gate_blocked: CounterId,
     gate_paced: CounterId,
@@ -103,7 +103,13 @@ impl SimTelemetry {
             stage_rx: reg.counter(names::STAGE_RX),
             credit_rx: reg.counter(names::CREDIT_RX),
             sample_rx: reg.counter(names::SAMPLE_RX),
+            pause_rx_bytes: reg.counter(names::PAUSE_RX_BYTES),
+            resume_rx_bytes: reg.counter(names::RESUME_RX_BYTES),
+            stage_rx_bytes: reg.counter(names::STAGE_RX_BYTES),
+            credit_rx_bytes: reg.counter(names::CREDIT_RX_BYTES),
+            sample_rx_bytes: reg.counter(names::SAMPLE_RX_BYTES),
             ctrl_tx: reg.counter(names::CTRL_TX),
+            ctrl_tx_bytes: reg.counter(names::CTRL_TX_BYTES),
             rate_changes: reg.counter(names::RATE_CHANGES),
             gate_blocked: reg.counter(names::GATE_BLOCKED),
             gate_paced: reg.counter(names::GATE_PACED),
@@ -112,6 +118,7 @@ impl SimTelemetry {
             occupancy_hist: reg.histogram(names::OCCUPANCY_HIST, &occ_bounds),
             stage_hist: reg.histogram(names::STAGE_HIST, &[1, 2, 4, 8, 16, 32]),
             rec: FlightRecorder::new(cfg.flight_recorder),
+            probe: cfg.probe.then(|| Box::new(EngineProbe::new(&Event::CLASS_LABELS))),
             forensics_on: cfg.forensics,
             forensics: None,
             samplers: cfg
@@ -266,11 +273,12 @@ impl SimTelemetry {
         payload: &CtrlPayload,
     ) {
         self.reg.inc(self.ctrl_tx, 1);
+        self.reg.inc(self.ctrl_tx_bytes, payload.wire_bytes());
         if let CtrlPayload::GfcStage(stage) = payload {
             self.reg.observe(self.stage_hist, u64::from(*stage));
         }
         if self.rec.is_enabled() {
-            let class = ctrl_class(payload);
+            let class = payload.class();
             if let CtrlPayload::GfcStage(stage) = payload {
                 self.rec.record(record(
                     t_ps,
@@ -298,15 +306,16 @@ impl SimTelemetry {
         rates_bps: (u64, u64),
     ) {
         let (rate_before_bps, rate_after_bps) = rates_bps;
-        let class = ctrl_class(payload);
-        let counter = match class {
-            CtrlClass::Pause => self.pause_rx,
-            CtrlClass::Resume => self.resume_rx,
-            CtrlClass::Stage => self.stage_rx,
-            CtrlClass::Credit => self.credit_rx,
-            CtrlClass::Sample => self.sample_rx,
+        let class = payload.class();
+        let (counter, bytes_counter) = match class {
+            CtrlClass::Pause => (self.pause_rx, self.pause_rx_bytes),
+            CtrlClass::Resume => (self.resume_rx, self.resume_rx_bytes),
+            CtrlClass::Stage => (self.stage_rx, self.stage_rx_bytes),
+            CtrlClass::Credit => (self.credit_rx, self.credit_rx_bytes),
+            CtrlClass::Sample => (self.sample_rx, self.sample_rx_bytes),
         };
         self.reg.inc(counter, 1);
+        self.reg.inc(bytes_counter, payload.wire_bytes());
         if rate_after_bps != rate_before_bps {
             self.reg.inc(self.rate_changes, 1);
         }

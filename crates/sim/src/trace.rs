@@ -3,50 +3,22 @@
 //! Tracing is opt-in per observation point so that large sweeps pay
 //! nothing for instrumentation they don't use.
 //!
-//! The per-port observation points (`ingress_queue` / `ingress_rate` /
-//! `egress_rate`) are **deprecated**: the timeline samplers
+//! Per-port observation points live in the timeline samplers
 //! (`SimConfig::telemetry.timeline`, see
-//! [`Network::timeline_samplers`](crate::Network::timeline_samplers))
-//! cover every port with bounded memory and export straight to CSV and
-//! Chrome trace JSON. The fields remain as a shim so existing callers
-//! compile. The flow-level series (`dcqcn_flows`, `host_throughput_bin`)
-//! have no sampler equivalent and stay supported.
+//! [`Network::timeline_samplers`](crate::Network::timeline_samplers)),
+//! which cover every port with bounded memory and export straight to CSV
+//! and Chrome trace JSON. This module keeps only the flow-level series
+//! with no sampler equivalent: per-flow DCQCN rate traces and per-source
+//! delivered-throughput meters.
 
 use gfc_analysis::{ThroughputMeter, TimeSeries};
 use gfc_core::fxhash::FxHashMap;
 use gfc_core::units::Dur;
-use gfc_topology::{NodeId, Topology};
-
-/// Identifies one `(node, port, priority)` observation point.
-pub type PortKey = (NodeId, usize, u8);
+use gfc_topology::NodeId;
 
 /// What to record.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct TraceConfig {
-    /// Ingress-queue length series at these points (sampled on every
-    /// change).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use the timeline samplers (`SimConfig::telemetry.timeline`) — every port's \
-                ingress occupancy, with bounded memory"
-    )]
-    pub ingress_queue: Vec<PortKey>,
-    /// Ingress arrival-rate meters at these points, with this bin width.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use the timeline samplers' link-utilization track (upstream egress) instead"
-    )]
-    pub ingress_rate: Vec<PortKey>,
-    /// Bin width for `ingress_rate` (default 10 µs).
-    #[deprecated(since = "0.1.0", note = "only meaningful with the deprecated `ingress_rate`")]
-    pub ingress_rate_bin: Dur,
-    /// Assigned egress-limiter rate series at these points (sampled on
-    /// every flow-control update).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use the timeline samplers' assigned-rate track (`SimConfig::telemetry.timeline`)"
-    )]
-    pub egress_rate: Vec<PortKey>,
     /// DCQCN per-flow rate series for these flow ids.
     pub dcqcn_flows: Vec<u64>,
     /// Per-source-host delivered-throughput meters with this bin width
@@ -54,66 +26,19 @@ pub struct TraceConfig {
     pub host_throughput_bin: Option<Dur>,
 }
 
-impl Default for TraceConfig {
-    /// No observation points, with the documented 10 µs ingress-rate bin
-    /// (a derived `Default` would zero the bin width, making any later
-    /// opt-in meter degenerate).
-    #[allow(deprecated)] // the shim still initializes the legacy fields
-    fn default() -> Self {
-        TraceConfig {
-            ingress_queue: Vec::new(),
-            ingress_rate: Vec::new(),
-            ingress_rate_bin: Dur::from_micros(10),
-            egress_rate: Vec::new(),
-            dcqcn_flows: Vec::new(),
-            host_throughput_bin: None,
-        }
-    }
-}
-
 impl TraceConfig {
     /// No tracing.
     pub fn none() -> Self {
         TraceConfig::default()
     }
-
-    /// Observe every `(node, port)` of `topo` at priority 0: ingress
-    /// queue lengths, ingress arrival rates, and assigned egress rates.
-    /// Convenient for forensic single runs; too heavy for sweeps.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use the timeline samplers (`SimConfig::telemetry.timeline = \
-                TimelineConfig::full()`): same coverage, bounded memory, CSV/Perfetto export"
-    )]
-    #[allow(deprecated)]
-    pub fn all_ports(topo: &Topology) -> Self {
-        let mut keys: Vec<PortKey> = Vec::new();
-        for n in topo.node_ids() {
-            for p in 0..topo.ports(n).len() {
-                keys.push((n, p, 0));
-            }
-        }
-        TraceConfig {
-            ingress_queue: keys.clone(),
-            ingress_rate: keys.clone(),
-            egress_rate: keys,
-            ..TraceConfig::default()
-        }
-    }
 }
 
 /// Collected traces, keyed as configured. The maps are Fx-hashed: the
-/// opt-in observation points are sparse (a handful of ports/flows out of
+/// opt-in observation points are sparse (a handful of flows/hosts out of
 /// thousands), and the lookups sit on the per-event hot path when
 /// tracing is enabled.
 #[derive(Debug, Default)]
 pub struct Traces {
-    /// Ingress queue length (bytes) series.
-    pub ingress_queue: FxHashMap<PortKey, TimeSeries>,
-    /// Ingress arrival meters (input rate).
-    pub ingress_rate: FxHashMap<PortKey, ThroughputMeter>,
-    /// Assigned egress rate (bits/s) series.
-    pub egress_rate: FxHashMap<PortKey, TimeSeries>,
     /// DCQCN rate (bits/s) series per flow.
     pub dcqcn_rate: FxHashMap<u64, TimeSeries>,
     /// Delivered bytes metered per *source* host.
@@ -122,18 +47,8 @@ pub struct Traces {
 
 impl Traces {
     /// Initialize storage for a configuration.
-    #[allow(deprecated)] // the shim still honors the legacy opt-ins
     pub fn for_config(tc: &TraceConfig) -> Self {
         let mut t = Traces::default();
-        for &k in &tc.ingress_queue {
-            t.ingress_queue.insert(k, TimeSeries::new());
-        }
-        for &k in &tc.ingress_rate {
-            t.ingress_rate.insert(k, ThroughputMeter::new(tc.ingress_rate_bin.0));
-        }
-        for &k in &tc.egress_rate {
-            t.egress_rate.insert(k, TimeSeries::new());
-        }
         for &f in &tc.dcqcn_flows {
             t.dcqcn_rate.insert(f, TimeSeries::new());
         }
@@ -142,29 +57,25 @@ impl Traces {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the shim's behavior is exactly what's under test
 mod tests {
     use super::*;
-    use gfc_topology::Ring;
 
     #[test]
-    fn default_sets_the_rate_bin() {
+    fn default_observes_nothing() {
         let tc = TraceConfig::default();
-        assert_eq!(tc.ingress_rate_bin, Dur::from_micros(10));
-        assert!(tc.ingress_queue.is_empty() && tc.host_throughput_bin.is_none());
-        assert_eq!(TraceConfig::none().ingress_rate_bin, tc.ingress_rate_bin);
+        assert!(tc.dcqcn_flows.is_empty() && tc.host_throughput_bin.is_none());
+        let t = Traces::for_config(&tc);
+        assert!(t.dcqcn_rate.is_empty() && t.host_throughput.is_empty());
     }
 
     #[test]
-    fn all_ports_covers_every_port() {
-        let ring = Ring::new(3);
-        let tc = TraceConfig::all_ports(&ring.topo);
-        let expected: usize = ring.topo.node_ids().map(|n| ring.topo.ports(n).len()).sum();
-        assert!(expected > 0);
-        assert_eq!(tc.ingress_queue.len(), expected);
-        assert_eq!(tc.ingress_rate.len(), expected);
-        assert_eq!(tc.egress_rate.len(), expected);
+    fn for_config_allocates_requested_flow_series() {
+        let tc = TraceConfig {
+            dcqcn_flows: vec![0, 7],
+            host_throughput_bin: Some(Dur::from_micros(50)),
+        };
         let t = Traces::for_config(&tc);
-        assert_eq!(t.ingress_queue.len(), expected);
+        assert_eq!(t.dcqcn_rate.len(), 2);
+        assert!(t.dcqcn_rate.contains_key(&7));
     }
 }

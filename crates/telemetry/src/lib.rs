@@ -20,6 +20,7 @@
 
 pub mod export;
 pub mod forensics;
+pub mod probe;
 pub mod recorder;
 pub mod registry;
 pub mod timeline;
@@ -28,6 +29,7 @@ pub use export::ChromeTrace;
 pub use forensics::{
     ForensicsReport, ForensicsTrigger, PortOccupancy, WaitForGraph, WfSide, WfVertex,
 };
+pub use probe::EngineProbe;
 pub use recorder::{CtrlClass, EventRecord, FlightRecorder, RecordKind};
 pub use registry::{
     names, percentile, CounterId, GaugeId, HistId, MetricEntry, MetricValue, MetricsRegistry,
@@ -55,6 +57,10 @@ pub struct TelemetryConfig {
     /// Timeline layer: periodic per-port samplers and per-flow spans
     /// (see [`TimelineConfig`]).
     pub timeline: TimelineConfig,
+    /// Engine self-profiler (see [`EngineProbe`]): per-event-class
+    /// wall-time histograms and scheduler occupancy gauges. Costs one
+    /// `Instant::now()` pair per dispatched event when on.
+    pub probe: bool,
 }
 
 impl TelemetryConfig {
@@ -65,31 +71,35 @@ impl TelemetryConfig {
             flight_recorder: 0,
             forensics: false,
             timeline: TimelineConfig::off(),
+            probe: false,
         }
     }
 
-    /// Metrics + forensics on, a deep flight recorder, and the timeline
-    /// layer sampling — the configuration for debugging a single run.
+    /// Metrics + forensics on, a deep flight recorder, the timeline
+    /// layer sampling, and the engine probe — the configuration for
+    /// debugging a single run.
     pub fn full() -> TelemetryConfig {
         TelemetryConfig {
             metrics: true,
             flight_recorder: 4096,
             forensics: true,
             timeline: TimelineConfig::full(),
+            probe: true,
         }
     }
 }
 
 impl Default for TelemetryConfig {
-    /// Metrics and forensics on, flight recorder and timeline off: the
-    /// snapshot API works everywhere, while the per-event and per-period
-    /// recording costs are opt-in.
+    /// Metrics and forensics on, flight recorder, timeline, and probe
+    /// off: the snapshot API works everywhere, while the per-event and
+    /// per-period recording costs are opt-in.
     fn default() -> TelemetryConfig {
         TelemetryConfig {
             metrics: true,
             flight_recorder: 0,
             forensics: true,
             timeline: TimelineConfig::off(),
+            probe: false,
         }
     }
 }
@@ -104,12 +114,14 @@ mod tests {
         assert!(d.metrics && d.forensics);
         assert_eq!(d.flight_recorder, 0);
         assert!(!d.timeline.sampling() && !d.timeline.spans);
+        assert!(!d.probe);
         let off = TelemetryConfig::off();
-        assert!(!off.metrics && !off.forensics);
+        assert!(!off.metrics && !off.forensics && !off.probe);
         assert_eq!(off.flight_recorder, 0);
         assert!(!off.timeline.sampling());
         let full = TelemetryConfig::full();
         assert!(full.flight_recorder > 0);
         assert!(full.timeline.sampling() && full.timeline.spans);
+        assert!(full.probe);
     }
 }

@@ -507,6 +507,19 @@ pub mod names {
     pub const SAMPLE_RX: &str = "fc.sample.rx";
     /// Control frames transmitted.
     pub const CTRL_TX: &str = "fc.ctrl.tx";
+    /// Wire bytes of PFC Pause frames received.
+    pub const PAUSE_RX_BYTES: &str = "fc.pause.rx_bytes";
+    /// Wire bytes of PFC Resume frames received.
+    pub const RESUME_RX_BYTES: &str = "fc.resume.rx_bytes";
+    /// Wire bytes of GFC stage-feedback frames received.
+    pub const STAGE_RX_BYTES: &str = "fc.stage.rx_bytes";
+    /// Wire bytes of CBFC credit/FCCL updates received.
+    pub const CREDIT_RX_BYTES: &str = "fc.credit.rx_bytes";
+    /// Wire bytes of queue-sample frames received (0 by construction:
+    /// conceptual GFC's samples are out-of-band).
+    pub const SAMPLE_RX_BYTES: &str = "fc.sample.rx_bytes";
+    /// Wire bytes of control frames transmitted.
+    pub const CTRL_TX_BYTES: &str = "fc.ctrl.tx_bytes";
     /// Rate-limiter reassignments observed on control receipt.
     pub const RATE_CHANGES: &str = "fc.rate.changes";
     /// Transmission attempts denied outright (pause in force or zero
@@ -666,6 +679,76 @@ mod tests {
         let p = Percentiles::of(&v).unwrap();
         assert_eq!((p.p50, p.p95, p.p99), (50.0, 95.0, 99.0));
         assert_eq!(format!("{p}"), "p50=50.000 p95=95.000 p99=99.000");
+    }
+
+    #[test]
+    fn percentile_single_sample_and_boundaries() {
+        // A single sample answers every percentile, including the p0/p100
+        // boundaries and out-of-range requests (clamped).
+        assert_eq!(percentile(&[42.0], 0.0), Some(42.0));
+        assert_eq!(percentile(&[42.0], 50.0), Some(42.0));
+        assert_eq!(percentile(&[42.0], 100.0), Some(42.0));
+        assert_eq!(percentile(&[42.0], -5.0), Some(42.0));
+        assert_eq!(percentile(&[42.0], 250.0), Some(42.0));
+        // Two samples: p0 clamps to the first, p100 to the last; the
+        // nearest-rank median of an even set is the lower element.
+        assert_eq!(percentile(&[1.0, 9.0], 0.0), Some(1.0));
+        assert_eq!(percentile(&[1.0, 9.0], 50.0), Some(1.0));
+        assert_eq!(percentile(&[1.0, 9.0], 50.1), Some(9.0));
+        assert_eq!(percentile(&[1.0, 9.0], 100.0), Some(9.0));
+    }
+
+    #[test]
+    fn snapshot_percentile_empty_and_wrong_kind() {
+        let mut reg = MetricsRegistry::new();
+        let _h = reg.histogram("empty", &[10, 100]);
+        let c = reg.counter("not.a.hist");
+        reg.inc(c, 5);
+        let snap = reg.snapshot();
+        // A registered-but-empty histogram has no percentile.
+        assert_eq!(snap.percentile("empty", 50.0), None);
+        // Counters and missing names answer None, not a bogus value.
+        assert_eq!(snap.percentile("not.a.hist", 50.0), None);
+        assert_eq!(snap.percentile("absent", 50.0), None);
+    }
+
+    #[test]
+    fn snapshot_percentile_single_observation_and_clamping() {
+        let mut reg = MetricsRegistry::new();
+        let h = reg.histogram("one", &[10, 100]);
+        reg.observe(h, 50);
+        let snap = reg.snapshot();
+        // All percentiles resolve inside the single occupied bucket
+        // (10, 100]; p0 sits at its lower edge, p100 at its upper.
+        assert_eq!(snap.percentile("one", 0.0), Some(10.0));
+        assert_eq!(snap.percentile("one", 100.0), Some(100.0));
+        // Out-of-range p is clamped, not an error.
+        assert_eq!(snap.percentile("one", -10.0), Some(10.0));
+        assert_eq!(snap.percentile("one", 900.0), Some(100.0));
+    }
+
+    #[test]
+    fn snapshot_percentile_overflow_only_histogram() {
+        let mut reg = MetricsRegistry::new();
+        let h = reg.histogram("over", &[10, 100]);
+        // Every observation beyond the last bound: the overflow bucket is
+        // all we have, and each percentile is lower-bounded by the last
+        // finite bound rather than invented.
+        for v in [500, 1000, 2000] {
+            reg.observe(h, v);
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.percentile("over", 0.0), Some(100.0));
+        assert_eq!(snap.percentile("over", 50.0), Some(100.0));
+        assert_eq!(snap.percentile("over", 100.0), Some(100.0));
+        // The overflow count still shows up in the bucket export.
+        let Some(MetricValue::Histogram { counts, count, .. }) =
+            snap.entries.iter().find(|e| e.name == "over").map(|e| e.value.clone())
+        else {
+            panic!("histogram entry missing");
+        };
+        assert_eq!(counts, vec![0, 0, 3]);
+        assert_eq!(count, 3);
     }
 
     #[test]
