@@ -22,10 +22,13 @@
 //! * `GFC_BENCH_OUT=path` — output path (default
 //!   `<repo root>/BENCH_matrix.json`);
 //! * `GFC_BENCH_BASELINE=path` — enable the regression gate against
-//!   this baseline JSON.
+//!   this baseline JSON;
+//! * `GFC_BENCH_HISTORY=path` — where to append the one-line-per-run
+//!   trajectory log (default `<repo root>/BENCH_history.jsonl`).
 
 use gfc_bench::{
-    cell_json, measure, meta_json, parse_cells, parse_mode, regression_gate, run_meta, Measurement,
+    append_history, cell_json, measure, meta_json, parse_cells, parse_mode, regression_gate,
+    run_meta, Measurement,
 };
 use gfc_core::units::{Dur, Time};
 use gfc_experiments::common::{sim_config_300k, sim_config_testbed, Scheme};
@@ -210,6 +213,18 @@ fn main() {
     std::fs::write(&out, &json).expect("write BENCH_matrix.json");
     println!("wrote {out}");
 
+    // One trajectory line per run, recorded after any gate retries so the
+    // log holds the accepted numbers (see `append_history`).
+    let record_history = |cells: &[Cell]| {
+        let eps: Vec<(String, f64)> =
+            cells.iter().map(|c| (c.m.name.clone(), c.m.events_per_sec)).collect();
+        let hist = gfc_bench::history_path();
+        match append_history(&hist, "bench_matrix", &meta, mode, &eps) {
+            Ok(()) => println!("appended trajectory point to {hist}"),
+            Err(e) => println!("history append skipped ({hist}: {e})"),
+        }
+    };
+
     if let Ok(baseline_path) = std::env::var("GFC_BENCH_BASELINE") {
         let baseline = std::fs::read_to_string(&baseline_path)
             .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
@@ -274,6 +289,7 @@ fn main() {
             std::fs::write(&out, render_json(&cells, &meta, mode, runs))
                 .expect("rewrite BENCH_matrix.json");
         }
+        record_history(&cells);
         println!("regression gate vs {baseline_path}:");
         print!("{}", report.table);
         if report.failed {
@@ -281,5 +297,7 @@ fn main() {
             std::process::exit(1);
         }
         println!("regression gate passed");
+    } else {
+        record_history(&cells);
     }
 }

@@ -28,9 +28,11 @@
 //!   the fastest run is reported — every repetition replays the same
 //!   deterministic event sequence, so min is the noise-free estimator);
 //! * `GFC_BENCH_OUT=path` — where to write the JSON (default
-//!   `<repo root>/BENCH_core.json`).
+//!   `<repo root>/BENCH_core.json`);
+//! * `GFC_BENCH_HISTORY=path` — where to append the one-line-per-run
+//!   trajectory log (default `<repo root>/BENCH_history.jsonl`).
 
-use gfc_bench::{cell_json, measure, meta_json, run_meta, Measurement};
+use gfc_bench::{append_history, cell_json, measure, meta_json, run_meta, Measurement};
 use gfc_core::units::{Dur, Time};
 use gfc_experiments::common::{sim_config_300k, sim_config_testbed, Scheme};
 use gfc_sim::flowgen::ClosedLoopWorkload;
@@ -144,4 +146,13 @@ fn main() {
         .unwrap_or_else(|_| format!("{}/../../BENCH_core.json", env!("CARGO_MANIFEST_DIR")));
     std::fs::write(&out, json).expect("write BENCH_core.json");
     println!("wrote {out}");
+
+    // Every run also appends one line to the perf-trajectory log, so the
+    // numbers accumulate across commits instead of overwriting a point.
+    let hist = gfc_bench::history_path();
+    let eps: Vec<(String, f64)> = ms.iter().map(|m| (m.name.clone(), m.events_per_sec)).collect();
+    match append_history(&hist, "core_throughput", &meta, mode, &eps) {
+        Ok(()) => println!("appended trajectory point to {hist}"),
+        Err(e) => println!("history append skipped ({hist}: {e})"),
+    }
 }

@@ -12,7 +12,9 @@
 //! scheme × load grid, `BENCH_matrix.json`, with a regression gate
 //! against a committed baseline). This crate hosts their shared runner:
 //! [`measure`], [`RunMeta`], the hand-rolled JSON cell format
-//! ([`parse_cells`]) and the median-normalized [`regression_gate`].
+//! ([`parse_cells`]), the median-normalized [`regression_gate`], and the
+//! append-only perf-trajectory log ([`append_history`] →
+//! `BENCH_history.jsonl`, one JSON line per gated run).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -163,6 +165,56 @@ pub fn run_meta() -> RunMeta {
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Render one perf-trajectory point as a single JSON line: bench name,
+/// wall-clock unix timestamp, the [`RunMeta`] provenance, mode, and the
+/// per-cell events/s. One line per run is the format guarantee of
+/// `BENCH_history.jsonl` — appended, never rewritten, so the gated
+/// numbers accumulate into a real trajectory instead of the single
+/// point `BENCH_*.json` hold.
+pub fn history_line(bench: &str, meta: &RunMeta, mode: &str, cells: &[(String, f64)]) -> String {
+    let ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let cells_json: Vec<String> = cells
+        .iter()
+        .map(|(n, e)| format!("{{\"name\": \"{}\", \"events_per_sec\": {e:.0}}}", json_escape(n)))
+        .collect();
+    format!(
+        "{{\"bench\": \"{}\", \"unix_ts\": {ts}, \"commit\": \"{}\", \"rustc\": \"{}\", \
+         \"cpu_model\": \"{}\", \"cores\": {}, \"mode\": \"{}\", \"cells\": [{}]}}",
+        json_escape(bench),
+        json_escape(&meta.commit),
+        json_escape(&meta.rustc),
+        json_escape(&meta.cpu_model),
+        meta.cores,
+        json_escape(mode),
+        cells_json.join(", ")
+    )
+}
+
+/// Where the perf-trajectory log lives: `GFC_BENCH_HISTORY` when set,
+/// else `BENCH_history.jsonl` at the repo root.
+pub fn history_path() -> String {
+    std::env::var("GFC_BENCH_HISTORY")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_history.jsonl", env!("CARGO_MANIFEST_DIR")))
+}
+
+/// Append one run to the perf-trajectory log at `path` (created on first
+/// use), as a single [`history_line`]. Runners call this after every
+/// gated measurement; failures are reported to the caller rather than
+/// panicking — a read-only checkout must not fail the bench itself.
+pub fn append_history(
+    path: &str,
+    bench: &str,
+    meta: &RunMeta,
+    mode: &str,
+    cells: &[(String, f64)],
+) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    writeln!(f, "{}", history_line(bench, meta, mode, cells))
 }
 
 /// Render the `"meta"` object shared by `BENCH_core.json` and
@@ -386,6 +438,35 @@ mod tests {
         assert!(report.regressed.is_empty());
         let extra = cells(&[("a", 1e6), ("b", 2e6), ("d", 1e6)]);
         assert!(regression_gate(&base, &extra, 0.10).failed);
+    }
+
+    #[test]
+    fn history_lines_accumulate_and_parse() {
+        let meta = RunMeta {
+            commit: "abc123".into(),
+            rustc: "rustc 1.0 \"quoted\"".into(),
+            cpu_model: "Test CPU".into(),
+            cores: 8,
+        };
+        let cells = cells(&[("ring3:greedy:pfc", 1.5e6), ("ft_k4:uniform:pfc", 2e6)]);
+        let line = history_line("bench_matrix", &meta, "smoke", &cells);
+        assert!(!line.contains('\n'), "a history point must be a single line");
+        assert!(line.contains("\"commit\": \"abc123\""));
+        assert!(line.contains("\\\"quoted\\\""), "quotes must be escaped: {line}");
+        assert!(line.contains("\"events_per_sec\": 1500000"));
+
+        let path = std::env::temp_dir().join(format!("gfc_hist_{}.jsonl", std::process::id()));
+        let path = path.to_str().unwrap();
+        let _ = std::fs::remove_file(path);
+        append_history(path, "bench_matrix", &meta, "smoke", &cells).unwrap();
+        append_history(path, "core_throughput", &meta, "full", &cells[..1]).unwrap();
+        let log = std::fs::read_to_string(path).unwrap();
+        let _ = std::fs::remove_file(path);
+        assert_eq!(log.lines().count(), 2, "one line per run: {log}");
+        assert!(log.lines().nth(1).unwrap().contains("\"bench\": \"core_throughput\""));
+        // Each line parses with the same scanner the gate uses (it takes
+        // the first cell of the line — enough for a trajectory probe).
+        assert_eq!(parse_cells(log.lines().next().unwrap()).len(), 1);
     }
 
     #[test]

@@ -79,9 +79,7 @@ pub struct Fig19Result {
 
 /// Run one Fig. 19 case and return its per-port occupied-bandwidth
 /// fractions, from the always-on cumulative per-port control counters
-/// ([`Network::ctrl_rx_per_port`]) — the same wire bytes the deprecated
-/// binned meters integrate, so the fractions match bit for bit (asserted
-/// by the `matches_legacy_meters_bit_for_bit` test).
+/// ([`Network::ctrl_rx_per_port`]).
 fn run_case(params: &Fig19Params, case: usize) -> Network {
     let case_seed = params.seed + case as u64;
     let mut ft = FatTree::new(params.k);
@@ -155,49 +153,5 @@ mod tests {
         assert!(r.mean < 0.005, "mean overhead {:.4} % too high", r.mean * 100.0);
         assert!(r.max < 0.02, "max overhead {:.4} % too high", r.max * 100.0);
         assert!(r.p99 <= r.max && r.mean <= r.p99.max(r.mean));
-    }
-
-    /// The registry-first per-port fractions must equal what the legacy
-    /// binned meters report — exactly, bit for bit: both integrate the
-    /// same `CtrlPayload::wire_bytes()` stream, and `port_fractions`
-    /// replicates the meter's float-operation order.
-    #[test]
-    fn matches_legacy_meters_bit_for_bit() {
-        let params = Fig19Params { cases: 1, horizon: Time::from_millis(5), ..Default::default() };
-        // One run with the deprecated meters alongside the counters.
-        let case_seed = params.seed;
-        let mut ft = FatTree::new(params.k);
-        let mut rng = StdRng::seed_from_u64(case_seed);
-        ft.inject_failures(&mut rng, params.failure_prob);
-        let mut cfg = sim_config_300k(Scheme::GfcBuffer, case_seed);
-        #[allow(deprecated)]
-        {
-            cfg.ctrl_bw_bin = Some(params.window);
-        }
-        let capacity = cfg.capacity;
-        let racks: Vec<u32> = (0..ft.hosts.len()).map(|h| ft.rack_of_host(h) as u32).collect();
-        let mut net = Network::new(ft.topo.clone(), Routing::spf(), cfg, TraceConfig::none());
-        net.install_workload(Box::new(ClosedLoopWorkload {
-            sizes: FlowSizeDist::Empirical(EmpiricalCdf::enterprise()),
-            dests: DestPolicy::inter_rack(racks),
-            num_hosts: ft.hosts.len(),
-            prio: 0,
-            stop_after: None,
-        }));
-        net.run_until(params.horizon);
-        #[allow(deprecated)]
-        let legacy: Vec<f64> = net
-            .ctrl_meters()
-            .expect("ctrl meters enabled")
-            .iter()
-            .flatten()
-            .map(|m| m.mean_bps(params.horizon.0) / capacity.0 as f64)
-            .collect();
-        let new = port_fractions(&net, params.horizon);
-        assert_eq!(new.len(), legacy.len());
-        assert!(new.iter().sum::<f64>() > 0.0, "no control traffic recorded");
-        for (i, (a, b)) in new.iter().zip(&legacy).enumerate() {
-            assert!(a == b, "port {i}: registry {a:e} != legacy meter {b:e}");
-        }
     }
 }

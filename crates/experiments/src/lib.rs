@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod blame;
 pub mod common;
 pub mod fig05;
 pub mod fig09;

@@ -79,15 +79,6 @@ pub struct SimConfig {
     pub monitor_interval: Dur,
     /// Stop the run as soon as a deadlock verdict is reached.
     pub stop_on_deadlock: bool,
-    /// Record per-port received-control-message bandwidth in bins of this
-    /// width (Fig. 19); `None` disables the counters.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Network::ctrl_rx_per_port()` (cumulative per-port control bytes, always \
-                on) or the registry's per-class `fc.*.rx_bytes` counters; the binned meters \
-                remain only to cross-check the migration"
-    )]
-    pub ctrl_bw_bin: Option<Dur>,
     /// What [`Network::new`](crate::Network::new) does with the static
     /// preflight analysis (`gfc-verify`): refuse Error-level diagnostics
     /// ([`PreflightPolicy::Enforce`], the default), run the analysis but
@@ -107,7 +98,6 @@ pub struct SimConfig {
 impl SimConfig {
     /// Baseline config on a link class: 10G CEE defaults, PFC thresholds
     /// derived per §5.4, 300 KB buffers. Callers override fields freely.
-    #[allow(deprecated)] // initializes the deprecated `ctrl_bw_bin` shim
     pub fn default_10g() -> Self {
         let link = LinkClass::cee(Rate::from_gbps(10));
         let buffer = 300 * 1024;
@@ -131,7 +121,6 @@ impl SimConfig {
             progress_window: Dur::from_millis(2),
             monitor_interval: Dur::from_micros(100),
             stop_on_deadlock: false,
-            ctrl_bw_bin: None,
             preflight: PreflightPolicy::Enforce,
             telemetry: TelemetryConfig::default(),
         }

@@ -28,6 +28,7 @@
 use crate::fc::CtrlPayload;
 use crate::packet::Packet;
 use gfc_core::units::Time;
+use gfc_telemetry::CauseToken;
 use gfc_topology::NodeId;
 use std::collections::VecDeque;
 
@@ -54,6 +55,9 @@ pub enum Event {
         prio: u8,
         /// Decoded payload.
         payload: CtrlPayload,
+        /// Causal lineage tag (always [`CauseToken::NONE`] when the
+        /// causal layer is off); observation-only.
+        cause: CauseToken,
     },
     /// Try to start a transmission on `(node, port)`.
     TxKick {
@@ -583,6 +587,7 @@ mod tests {
                 port: 0,
                 prio: 0,
                 payload: CtrlPayload::GfcStage(1),
+                cause: CauseToken::NONE,
             },
             Event::TxKick { node: NodeId(0), port: 0 },
             Event::TxComplete { node: NodeId(0), port: 0 },

@@ -29,11 +29,13 @@ use crate::telemetry::{PortSample, SimTelemetry};
 use crate::trace::{TraceConfig, Traces};
 use gfc_analysis::{FlowLedger, ProgressMonitor, ThroughputMeter};
 use gfc_core::fxhash::FxHashMap;
+use gfc_core::pfc::PfcEvent;
 use gfc_core::units::{Dur, Rate, Time};
 use gfc_dcqcn::{CnpGenerator, ReactionPoint};
 use gfc_telemetry::{
-    names, ChromeTrace, FlightRecorder, FlowSpans, ForensicsReport, ForensicsTrigger, Percentiles,
-    PortOccupancy, SamplerSet, Snapshot, WaitForGraph, WfSide,
+    names, CausalReport, CauseToken, ChromeTrace, CtrlSense, FlightRecorder, FlowSpans,
+    ForensicsReport, ForensicsTrigger, Percentiles, PortOccupancy, SamplerSet, Snapshot,
+    WaitForGraph, WfSide,
 };
 use gfc_topology::{LinkId, NodeId, NodeKind, Routing, Topology};
 use rand::rngs::StdRng;
@@ -144,8 +146,6 @@ pub struct Network {
     monitor: ProgressMonitor,
     traces: Traces,
     trace_cfg: TraceConfig,
-    /// Per-(node, port) received-control-bandwidth meters (Fig. 19).
-    ctrl_meters: Option<Vec<Vec<ThroughputMeter>>>,
     /// Flow metadata, dense by flow id (ids are assigned 0, 1, 2, …).
     flows: Vec<FlowMeta>,
     next_flow_id: u64,
@@ -209,13 +209,6 @@ impl Network {
             host_of_node[h.0 as usize] = u32::try_from(i).expect("host count fits u32");
             hosts.push(HostState { index: i, ..Default::default() });
         }
-        #[allow(deprecated)] // the legacy binned meters remain as a cross-check
-        let ctrl_meters = cfg.ctrl_bw_bin.map(|bin| {
-            ports
-                .nodes()
-                .map(|np| np.iter().map(|_| ThroughputMeter::new(bin.0)).collect())
-                .collect()
-        });
         let monitor = ProgressMonitor::new(cfg.progress_window.0);
         let mut tel = SimTelemetry::new(&cfg.telemetry, cfg.buffer_bytes, cfg.capacity.0);
         // Register the timeline sampler tracks in the same (node, port)
@@ -263,7 +256,6 @@ impl Network {
             monitor,
             traces,
             trace_cfg,
-            ctrl_meters,
             flows: Vec::new(),
             next_flow_id: 0,
             next_pkt_id: 0,
@@ -389,17 +381,6 @@ impl Network {
         &self.cfg
     }
 
-    /// Per-port received-control-bandwidth meters (when enabled), indexed
-    /// `[node][port]`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `metrics_snapshot()` for aggregate control-plane load; the per-port \
-                binned series this returns has no registry equivalent yet"
-    )]
-    pub fn ctrl_meters(&self) -> Option<&Vec<Vec<ThroughputMeter>>> {
-        self.ctrl_meters.as_ref()
-    }
-
     /// Cumulative received control traffic per port: one
     /// `(node, port, ctrl_bytes_rx, ctrl_msgs_rx)` row for every port of
     /// every node, in table order. Always available (the counters are part
@@ -414,40 +395,6 @@ impl Network {
             }
         }
         rows
-    }
-
-    /// Port-level counters for one `(node, port)`: `(ctrl msgs received,
-    /// ctrl bytes received, drops)`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `metrics_snapshot()` (`sim.ctrl.msgs` / `sim.ctrl.bytes` / `sim.drops`)"
-    )]
-    pub fn port_counters(&self, node: NodeId, port: usize) -> (u64, u64, u64) {
-        let p = &self.ports[node.0 as usize][port];
-        (p.ctrl_msgs_rx, p.ctrl_bytes_rx, p.drops)
-    }
-
-    /// Ingress occupancy of `(node, port, prio)` right now, bytes.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `metrics_snapshot()` (`sim.ingress.bytes`, `queue.ingress.*`) or a \
-                `TraceConfig` ingress-queue series for per-port detail"
-    )]
-    pub fn ingress_bytes(&self, node: NodeId, port: usize, prio: u8) -> u64 {
-        self.ports[node.0 as usize][port].pq(prio as usize).ing_bytes
-    }
-
-    /// Total feedback messages *generated* by all ingress ports.
-    #[deprecated(since = "0.1.0", note = "use `metrics_snapshot()` (`fc.feedback.generated`)")]
-    pub fn feedback_messages_generated(&self) -> u64 {
-        self.sum_feedback_generated()
-    }
-
-    /// Total hold-and-wait episodes (pause periods / credit starvations)
-    /// entered by all egress queues.
-    #[deprecated(since = "0.1.0", note = "use `metrics_snapshot()` (`fc.hold_and_wait.episodes`)")]
-    pub fn hold_and_wait_episodes(&self) -> u64 {
-        self.sum_hold_and_wait()
     }
 
     fn sum_feedback_generated(&self) -> u64 {
@@ -516,6 +463,12 @@ impl Network {
                 snap.push_counter(names::STALL_P99_PS, p.p99 as u64);
             }
         }
+        // Causal blame entries (tracker on): tree/episode counts, hard
+        // propagation depth, and the per-class flow verdicts. Pushed only
+        // when the tracker is live, so off-snapshots are bit-identical.
+        if let Some(report) = self.causal_report() {
+            report.push_summary(&mut snap);
+        }
         // Engine-probe entries (dispatch histograms, queue/pool gauges).
         // The snapshot borrows `self` immutably, so refresh a clone with
         // the instantaneous occupancies rather than mutating the live
@@ -583,7 +536,29 @@ impl Network {
             tr.add_spans(spans, self.now.0);
         }
         tr.add_recorder_events(self.tel.rec.iter());
+        if let Some(report) = self.causal_report() {
+            tr.add_causal(&report);
+        }
         tr
+    }
+
+    /// The causal blame report — pause-propagation trees plus per-flow
+    /// stall attribution — or `None` unless `cfg.telemetry.causal` is on.
+    /// Flows whose paths cross the forensics wait-for cycle's ingress
+    /// ports (when a cycle was captured) classify as deadlock
+    /// participants — ingress ports only, because a flow riding the
+    /// *reverse* direction of a full-duplex cycle link is a bystander,
+    /// not a participant. Episodes and stalls still open are closed at
+    /// the current instant.
+    pub fn causal_report(&self) -> Option<CausalReport> {
+        let tracker = self.tel.causal.as_deref()?;
+        let cycle = self
+            .tel
+            .forensics
+            .as_ref()
+            .map(ForensicsReport::cycle_ingress_ports)
+            .unwrap_or_default();
+        Some(tracker.report(self.now.0, &cycle))
     }
 
     /// The deadlock post-mortem, captured automatically when the first
@@ -636,6 +611,20 @@ impl Network {
             self.ledger.on_start(id, total, self.now.0, path.len() as u32);
         }
         self.tel.on_flow_start(id, src, dst, prio, bytes, path.len() as u32, self.now.0);
+        if self.tel.causal_on() {
+            // Register the ingress (node, port) the flow's packets occupy
+            // at each hop — the ports whose backpressure episodes can be
+            // blamed for this flow's stalls.
+            let mut cur = src;
+            let mut path_ports = Vec::with_capacity(path.len());
+            for &l in path.iter() {
+                let out = self.out_port(cur, l);
+                let ps = &self.ports[cur.0 as usize][out];
+                path_ports.push((ps.peer.0, ps.peer_port as u16));
+                cur = ps.peer;
+            }
+            self.tel.causal_flow_start(id, prio, path_ports, self.now.0);
+        }
         debug_assert_eq!(id as usize, self.flows.len(), "flow ids must stay dense");
         self.flows.push(FlowMeta {
             src,
@@ -780,8 +769,8 @@ impl Network {
         self.tel.on_event();
         match ev {
             Event::Arrive { node, port, pkt } => self.on_arrive(node, port, pkt),
-            Event::CtrlApply { node, port, prio, payload } => {
-                self.on_ctrl_apply(node, port, prio, payload);
+            Event::CtrlApply { node, port, prio, payload, cause } => {
+                self.on_ctrl_apply(node, port, prio, payload, cause);
             }
             Event::TxKick { node, port } => {
                 let ps = &mut self.ports[node.0 as usize][port];
@@ -929,7 +918,12 @@ impl Network {
         self.tel.on_enqueue(self.now.0, node, port, pkt.prio, bytes, q);
         let msg = self.ports[node.0 as usize][port].pq_mut(prio).ing_rx.on_arrival(q, bytes);
         if let Some(payload) = msg {
-            self.send_ctrl(node, port, pkt.prio, payload);
+            let fwd = if self.tel.causal_on() {
+                self.causal_fwd_hint(node, port, prio, &pkt)
+            } else {
+                None
+            };
+            self.send_ctrl(node, port, pkt.prio, payload, fwd);
         }
         // Route, then queue in the ingress FIFO (input-buffered switch):
         // the packet moves to its egress only when a staging slot frees.
@@ -1075,7 +1069,14 @@ impl Network {
         }
     }
 
-    fn on_ctrl_apply(&mut self, node: NodeId, port: usize, prio: u8, payload: CtrlPayload) {
+    fn on_ctrl_apply(
+        &mut self,
+        node: NodeId,
+        port: usize,
+        prio: u8,
+        payload: CtrlPayload,
+        cause: CauseToken,
+    ) {
         let wire = payload.wire_bytes();
         {
             let ps = &mut self.ports[node.0 as usize][port];
@@ -1084,9 +1085,6 @@ impl Network {
         }
         self.stats.ctrl_msgs += 1;
         self.stats.ctrl_bytes += wire;
-        if let Some(meters) = &mut self.ctrl_meters {
-            meters[node.0 as usize][port].record(self.now.0, wire);
-        }
         let rate_before = self.ports[node.0 as usize][port].pq(prio as usize).tx_fc.assigned_rate();
         let opened = self.ports[node.0 as usize][port]
             .pq_mut(prio as usize)
@@ -1094,7 +1092,15 @@ impl Network {
             .on_ctrl(payload, self.now)
             .expect("control payload matches the scheme fixed at construction");
         let rate_after = self.ports[node.0 as usize][port].pq(prio as usize).tx_fc.assigned_rate();
-        self.tel.on_ctrl_rx(self.now.0, node, port, prio, &payload, (rate_before.0, rate_after.0));
+        self.tel.on_ctrl_rx(
+            self.now.0,
+            node,
+            port,
+            prio,
+            &payload,
+            (rate_before.0, rate_after.0),
+            cause,
+        );
         if opened {
             self.try_transmit(node, port);
         }
@@ -1109,7 +1115,18 @@ impl Network {
         for prio in 0..self.cfg.num_priorities {
             let msg = self.ports[node.0 as usize][port].pq_mut(prio).ing_rx.periodic();
             if let Some(payload) = msg {
-                self.send_ctrl(node, port, prio as u8, payload);
+                // Lineage hint: where this ingress's queued traffic heads —
+                // the FIFO head's routed egress (None when idle or a host).
+                let fwd = if self.tel.causal_on() {
+                    self.ports[node.0 as usize][port]
+                        .pq(prio)
+                        .ing_q
+                        .front()
+                        .map(|h| h.out_port as u16)
+                } else {
+                    None
+                };
+                self.send_ctrl(node, port, prio as u8, payload, fwd);
             }
         }
         self.queue.push(self.now + period, Event::PeriodicFeedback { node, port });
@@ -1198,11 +1215,113 @@ impl Network {
     // Transmission machinery
     // ----------------------------------------------------------------
 
+    /// Classify a feedback message for the causal layer: does it assert
+    /// backpressure (hard stop vs. soft throttle) or clear it? Decided
+    /// from the scheme in force plus the generating ingress occupancy —
+    /// the wire payloads themselves don't carry that intent.
+    fn causal_sense(&self, payload: &CtrlPayload, ing_bytes: u64) -> CtrlSense {
+        match payload {
+            CtrlPayload::Pfc(PfcEvent::Pause { .. }) => CtrlSense::AssertHard,
+            CtrlPayload::Pfc(PfcEvent::Resume) => CtrlSense::Clear,
+            // Buffer-based GFC: stage s throttles to C/2^s — any nonzero
+            // stage asserts (softly), stage 0 restores line rate.
+            CtrlPayload::GfcStage(s) => {
+                if *s > 0 {
+                    CtrlSense::AssertSoft
+                } else {
+                    CtrlSense::Clear
+                }
+            }
+            CtrlPayload::FcclWire(_) => match self.cfg.fc {
+                // CBFC: the upstream stops once the advertised window no
+                // longer admits a full frame — a hard assert.
+                FcMode::Cbfc { .. } => {
+                    if ing_bytes + self.cfg.mtu > self.cfg.buffer_bytes {
+                        CtrlSense::AssertHard
+                    } else {
+                        CtrlSense::Clear
+                    }
+                }
+                // Time-based GFC: occupancy beyond B0 starts the gentle
+                // slowdown (rate floor keeps it soft).
+                FcMode::GfcTime { b0, .. } => {
+                    if ing_bytes > b0 {
+                        CtrlSense::AssertSoft
+                    } else {
+                        CtrlSense::Clear
+                    }
+                }
+                _ => CtrlSense::Clear,
+            },
+            CtrlPayload::QueueSample(q) => match self.cfg.fc {
+                FcMode::Conceptual { b0, .. } => {
+                    if *q >= b0 {
+                        CtrlSense::AssertSoft
+                    } else {
+                        CtrlSense::Clear
+                    }
+                }
+                _ => CtrlSense::Clear,
+            },
+        }
+    }
+
+    /// The lineage hint for a feedback message born at a backlogged
+    /// ingress: the local egress that ingress is *waiting on*, mirroring
+    /// the wait-for relation ([`Self::waitfor_graph`]) so parent linkage
+    /// follows the same edges forensics would draw. In preference order:
+    /// the ingress FIFO's head-of-line target (input-buffered case — the
+    /// head is what the FIFO is stuck behind, not the packet that
+    /// happened to arrive last), the arriving packet's routed egress if
+    /// that egress is hard-blocked, any other hard-blocked egress holding
+    /// staged packets charged to this ingress (output-queued case, where
+    /// the backlog lives in egress staging), and finally the arriving
+    /// packet's route. A pure read; only evaluated with the tracker on.
+    fn causal_fwd_hint(&self, node: NodeId, port: usize, prio: usize, pkt: &Packet) -> Option<u16> {
+        let n = node.0 as usize;
+        if let Some(head) = self.ports[n][port].pq(prio).ing_q.front() {
+            return Some(head.out_port as u16);
+        }
+        let routed = pkt.next_link().map(|l| self.out_port(node, l));
+        let blocked = |p: usize| {
+            let pq = self.ports[n][p].pq(prio);
+            pq.eg.q.front().is_some_and(|h| pq.tx_fc.hard_blocked(h.pkt.bytes, self.now))
+        };
+        if let Some(out) = routed {
+            if blocked(out) {
+                return Some(out as u16);
+            }
+        }
+        for p in 0..self.ports[n].len() {
+            if Some(p) == routed || !blocked(p) {
+                continue;
+            }
+            if self.ports[n][p].pq(prio).eg.q.iter().any(|sp| sp.ingress_port == Some(port)) {
+                return Some(p as u16);
+            }
+        }
+        routed.map(|o| o as u16)
+    }
+
     /// Queue a feedback message generated by ingress `(node, port, prio)`
-    /// for transmission to the upstream peer.
-    fn send_ctrl(&mut self, node: NodeId, port: usize, prio: u8, payload: CtrlPayload) {
+    /// for transmission to the upstream peer. `fwd_egress` is the local
+    /// egress this ingress's traffic forwards through (the causal layer's
+    /// lineage hint; callers pass `None` when the tracker is off or the
+    /// forwarding direction is unknown).
+    fn send_ctrl(
+        &mut self,
+        node: NodeId,
+        port: usize,
+        prio: u8,
+        payload: CtrlPayload,
+        fwd_egress: Option<u16>,
+    ) {
         debug_assert_eq!(payload.codec_roundtrip(prio), payload, "codec would corrupt payload");
-        self.tel.on_ctrl_tx(self.now.0, node, port, prio, &payload);
+        let sense = self.tel.causal_on().then(|| {
+            let ing = self.ports[node.0 as usize][port].pq(prio as usize).ing_bytes;
+            (self.causal_sense(&payload, ing), fwd_egress)
+        });
+        let cause = self.tel.on_ctrl_tx(self.now.0, node, port, prio, &payload, sense);
         if payload.wire_bytes() == 0 {
             // Conceptual out-of-band channel: fixed latency τ.
             let tau = match self.cfg.fc {
@@ -1216,11 +1335,11 @@ impl Network {
             self.queue.push_fifo(
                 EventQueue::LANE_CTRL_OOB,
                 self.now + tau,
-                Event::CtrlApply { node: peer, port: peer_port, prio, payload },
+                Event::CtrlApply { node: peer, port: peer_port, prio, payload, cause },
             );
             return;
         }
-        self.ports[node.0 as usize][port].ctrl_q.push_back(QueuedCtrl { payload, prio });
+        self.ports[node.0 as usize][port].ctrl_q.push_back(QueuedCtrl { payload, prio, cause });
         self.try_transmit(node, port);
     }
 
@@ -1337,6 +1456,7 @@ impl Network {
                     port: peer_port,
                     prio: ctrl.prio,
                     payload: ctrl.payload,
+                    cause: ctrl.cause,
                 },
             );
             self.try_transmit(node, port);
@@ -1374,7 +1494,9 @@ impl Network {
             };
             let msg = self.ports[n][ing].pq_mut(prio as usize).ing_rx.on_drain(q_after, bytes);
             if let Some(payload) = msg {
-                self.send_ctrl(node, ing, prio, payload);
+                // Lineage hint: the drain happened through this egress.
+                let fwd = if self.tel.causal_on() { Some(port as u16) } else { None };
+                self.send_ctrl(node, ing, prio, payload, fwd);
             }
             // A staging slot freed: pull waiting ingress FIFO heads.
             self.pump(node);

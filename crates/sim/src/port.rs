@@ -15,6 +15,7 @@
 use crate::config::SimConfig;
 use crate::fc::{CtrlPayload, FcReceiver, FcSender};
 use crate::packet::Packet;
+use gfc_telemetry::CauseToken;
 use gfc_topology::{LinkId, NodeId};
 use std::collections::VecDeque;
 use std::ops::{Index, IndexMut};
@@ -71,6 +72,9 @@ pub struct QueuedCtrl {
     pub payload: CtrlPayload,
     /// Priority / VL it addresses.
     pub prio: u8,
+    /// Causal lineage tag (see `gfc_telemetry::causal`); always
+    /// [`CauseToken::NONE`] when the causal layer is off.
+    pub cause: CauseToken,
 }
 
 /// Everything one `(port, priority)` pair owns: the per-event hot set.

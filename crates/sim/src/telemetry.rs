@@ -12,8 +12,9 @@
 use crate::event::Event;
 use crate::fc::CtrlPayload;
 use gfc_telemetry::{
-    names, CounterId, CtrlClass, EngineProbe, EventRecord, FlightRecorder, FlowSpans,
-    ForensicsReport, GaugeId, HistId, MetricsRegistry, RecordKind, SamplerSet, TelemetryConfig,
+    names, CausalTracker, CauseToken, CounterId, CtrlClass, CtrlSense, EngineProbe, EventRecord,
+    FlightRecorder, FlowSpans, ForensicsReport, GaugeId, HistId, MetricsRegistry, RecordKind,
+    SamplerSet, TelemetryConfig,
 };
 use gfc_topology::NodeId;
 
@@ -49,6 +50,9 @@ pub(crate) struct SimTelemetry {
     pub(crate) samplers: Option<SamplerSet>,
     /// Per-flow spans (None unless `cfg.timeline.spans`).
     pub(crate) spans: Option<FlowSpans>,
+    /// Causal pause-propagation tracker (None unless `cfg.causal`); boxed
+    /// so the (default-off) configuration carries one pointer.
+    pub(crate) causal: Option<Box<CausalTracker>>,
     /// Link capacity, for the utilization track.
     capacity_bps: u64,
     /// Previous cumulative tx bytes per registered sampler port.
@@ -126,6 +130,9 @@ impl SimTelemetry {
                 .sampling()
                 .then(|| SamplerSet::new(cfg.timeline.sample_period_ps, cfg.timeline.max_samples)),
             spans: cfg.timeline.spans.then(|| FlowSpans::new(cfg.timeline.stall_gap_or_default())),
+            causal: cfg
+                .causal
+                .then(|| Box::new(CausalTracker::new(cfg.timeline.stall_gap_or_default()))),
             capacity_bps,
             prev_tx: Vec::new(),
             prev_sample_ps: None,
@@ -196,6 +203,9 @@ impl SimTelemetry {
         if let Some(spans) = &mut self.spans {
             spans.on_delivery(id, bytes, t_ps);
         }
+        if let Some(c) = &mut self.causal {
+            c.on_flow_progress(id, t_ps);
+        }
     }
 
     /// Span hook: a flow's last byte was delivered.
@@ -203,6 +213,30 @@ impl SimTelemetry {
     pub(crate) fn on_flow_finish(&mut self, id: u64, t_ps: u64) {
         if let Some(spans) = &mut self.spans {
             spans.on_finish(id, t_ps);
+        }
+        if let Some(c) = &mut self.causal {
+            c.on_flow_finish(id, t_ps);
+        }
+    }
+
+    /// Whether the causal pause-propagation tracker is live (callers skip
+    /// computing lineage context when it is not).
+    #[inline]
+    pub(crate) fn causal_on(&self) -> bool {
+        self.causal.is_some()
+    }
+
+    /// Causal hook: register a flow with the ingress `(node, port)` pairs
+    /// along its path. Only called when [`Self::causal_on`].
+    pub(crate) fn causal_flow_start(
+        &mut self,
+        id: u64,
+        prio: u8,
+        path_ports: Vec<(u32, u16)>,
+        t_ps: u64,
+    ) {
+        if let Some(c) = &mut self.causal {
+            c.on_flow_start(id, prio, path_ports, t_ps);
         }
     }
 
@@ -262,8 +296,12 @@ impl SimTelemetry {
     }
 
     /// A control frame was queued for transmission at `(node, port)`. GFC
-    /// stage feedback marks a stage crossing at this ingress.
+    /// stage feedback marks a stage crossing at this ingress. `sense` is
+    /// the message's causal classification (assert vs. clear) with the
+    /// forwarding-egress hint, supplied only when the causal tracker is
+    /// live; the returned token is the lineage tag the frame carries.
     #[inline]
+    #[allow(clippy::too_many_arguments)] // mirrors the causal hook
     pub(crate) fn on_ctrl_tx(
         &mut self,
         t_ps: u64,
@@ -271,7 +309,8 @@ impl SimTelemetry {
         port: usize,
         prio: u8,
         payload: &CtrlPayload,
-    ) {
+        sense: Option<(CtrlSense, Option<u16>)>,
+    ) -> CauseToken {
         self.reg.inc(self.ctrl_tx, 1);
         self.reg.inc(self.ctrl_tx_bytes, payload.wire_bytes());
         if let CtrlPayload::GfcStage(stage) = payload {
@@ -290,12 +329,19 @@ impl SimTelemetry {
             }
             self.rec.record(record(t_ps, node, port, prio, RecordKind::CtrlTx { ctrl: class }));
         }
+        match (&mut self.causal, sense) {
+            (Some(c), Some((sense, fwd_egress))) => {
+                c.on_ctrl_tx(t_ps, node.0, port as u16, prio, sense, fwd_egress)
+            }
+            _ => CauseToken::NONE,
+        }
     }
 
     /// A control frame was applied at `(node, port)`; `rates_bps` is the
     /// `(before, after)` pair bracketing the limiter reassignment it
-    /// caused, if any.
+    /// caused, if any, and `cause` the lineage tag it carried.
     #[inline]
+    #[allow(clippy::too_many_arguments)] // mirrors the causal hook
     pub(crate) fn on_ctrl_rx(
         &mut self,
         t_ps: u64,
@@ -304,7 +350,11 @@ impl SimTelemetry {
         prio: u8,
         payload: &CtrlPayload,
         rates_bps: (u64, u64),
+        cause: CauseToken,
     ) {
+        if let Some(c) = &mut self.causal {
+            c.on_ctrl_apply(node.0, port as u16, prio, cause);
+        }
         let (rate_before_bps, rate_after_bps) = rates_bps;
         let class = payload.class();
         let (counter, bytes_counter) = match class {

@@ -37,6 +37,10 @@ fn fingerprint(net: &Network) -> RunFingerprint {
 /// The Fig. 1 ring under PFC (wedges, then idles) — exercises the
 /// control-frame lane, pause state, and the deadlock monitor.
 fn run_ring(seed: u64) -> RunFingerprint {
+    run_ring_with(seed, false)
+}
+
+fn run_ring_with(seed: u64, causal: bool) -> RunFingerprint {
     let ring = Ring::new(3);
     let mut cfg = SimConfig::default_10g();
     cfg.fc = FcMode::Pfc { xoff: kb(280), xon: kb(277) };
@@ -44,6 +48,7 @@ fn run_ring(seed: u64) -> RunFingerprint {
     cfg.seed = seed;
     cfg.progress_window = Dur::from_millis(2);
     cfg.preflight = PreflightPolicy::Acknowledge;
+    cfg.telemetry.causal = causal;
     let routing = Routing::fixed(ring.clockwise_routes());
     let mut net = Network::new(ring.topo.clone(), routing, cfg, TraceConfig::none());
     for (src, dst) in ring.clockwise_flows() {
@@ -103,6 +108,28 @@ fn fattree_replay_is_bit_identical() {
     assert!(a.events > 10_000, "fat-tree run too small to be meaningful ({} events)", a.events);
     assert_eq!(a.metrics, b.metrics, "same-seed fat-tree runs disagree on metrics");
     assert_eq!(a.ledger, b.ledger, "same-seed fat-tree runs disagree on flow records");
+}
+
+#[test]
+fn causal_tracking_is_observation_only() {
+    // The causal layer rides lineage tokens on queued and relayed control
+    // frames, but it must never perturb the run itself: after dropping
+    // its own `causal.*` snapshot entries, a tracker-on run is
+    // bit-identical to a tracker-off run of the same seed.
+    let off = run_ring_with(9, false);
+    let mut on = run_ring_with(9, true);
+    assert!(
+        on.metrics.iter().any(|e| e.name.starts_with("causal.")),
+        "tracker-on run produced no causal entries"
+    );
+    assert!(
+        !off.metrics.iter().any(|e| e.name.starts_with("causal.")),
+        "tracker-off run leaked causal entries"
+    );
+    on.metrics.retain(|e| !e.name.starts_with("causal."));
+    assert_eq!(off.metrics, on.metrics, "causal tracking perturbed the metrics");
+    assert_eq!(off.ledger, on.ledger, "causal tracking perturbed the flow records");
+    assert_eq!(off.events, on.events, "causal tracking changed the event count");
 }
 
 #[test]

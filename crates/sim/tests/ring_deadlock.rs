@@ -151,11 +151,6 @@ fn baselines_enter_hold_and_wait() {
     pfc.run_until(Time::from_millis(10));
     let pfc_episodes = pfc.metrics_snapshot().counter(names::HOLD_AND_WAIT).unwrap_or(0);
     assert!(pfc_episodes > 0, "PFC must pause upstream ports");
-    // The deprecated accessor is a thin shim over the same sum — keep the
-    // two in lockstep until the shim is removed.
-    #[allow(deprecated)]
-    let shim = pfc.hold_and_wait_episodes();
-    assert_eq!(shim, pfc_episodes, "deprecated shim must agree with the snapshot");
 
     let mut cbfc = ring_network(cbfc_mode(), PumpPolicy::OutputQueued, 3);
     cbfc.run_until(Time::from_millis(10));

@@ -20,6 +20,7 @@
 //! [`Snapshot::to_json`](crate::Snapshot::to_json): the vendored `serde`
 //! is an API stub.
 
+use crate::causal::CausalReport;
 use crate::recorder::{EventRecord, RecordKind};
 use crate::registry::json_str;
 use crate::timeline::{FlowSpan, FlowSpans, SamplerSet, SpanOutcome};
@@ -36,6 +37,7 @@ pub struct ChromeTrace {
     span_begins: usize,
     span_ends: usize,
     instant_events: usize,
+    flow_arrows: usize,
 }
 
 impl ChromeTrace {
@@ -153,6 +155,82 @@ impl ChromeTrace {
             self.instant_events += 1;
         }
         emitted
+    }
+
+    /// One Perfetto flow arrow (`"ph":"s"` / `"ph":"f"` pair) from
+    /// `(src_pid, src_tid)` at `src_ps` to `(dst_pid, dst_tid)` at
+    /// `dst_ps`; `id` must be unique per arrow within `cat`.
+    pub fn flow_arrow(
+        &mut self,
+        cat: &str,
+        name: &str,
+        id: u64,
+        src: (u32, u32, u64),
+        dst: (u32, u32, u64),
+    ) {
+        let (src_pid, src_tid, src_ps) = src;
+        let (dst_pid, dst_tid, dst_ps) = dst;
+        let head =
+            format!("\"cat\":{},\"name\":{},\"id\":\"0x{id:x}\"", json_str(cat), json_str(name));
+        self.events.push(format!(
+            "{{\"ph\":\"s\",{head},\"pid\":{src_pid},\"tid\":{src_tid},\"ts\":{}}}",
+            ts_us(src_ps),
+        ));
+        self.events.push(format!(
+            "{{\"ph\":\"f\",\"bp\":\"e\",{head},\"pid\":{dst_pid},\"tid\":{dst_tid},\"ts\":{}}}",
+            ts_us(dst_ps.max(src_ps)),
+        ));
+        self.flow_arrows += 1;
+    }
+
+    /// Render a causal report: one async span per backpressure episode
+    /// (`cat:"causal"`, thread = port) and one flow arrow per
+    /// parent→child propagation edge, linking cause to effect.
+    pub fn add_causal(&mut self, report: &CausalReport) {
+        for e in &report.episodes {
+            let name = json_str(&format!(
+                "{} {} d={}",
+                if e.hard { "pause" } else { "throttle" },
+                e.label(),
+                e.depth
+            ));
+            let common = format!(
+                "\"cat\":\"causal\",\"id\":\"0xc{:x}\",\"pid\":{},\"tid\":{}",
+                e.id, e.node, e.port
+            );
+            self.events.push(format!(
+                "{{\"ph\":\"b\",\"name\":{name},{common},\"ts\":{},\
+                 \"args\":{{\"prio\":{},\"hard\":{},\"root\":{},\"depth\":{}}}}}",
+                ts_us(e.start_ps),
+                e.prio,
+                e.hard,
+                e.root,
+                e.depth,
+            ));
+            self.span_begins += 1;
+            self.events.push(format!(
+                "{{\"ph\":\"e\",\"name\":{name},{common},\"ts\":{},\"args\":{{}}}}",
+                ts_us(e.end_ps.unwrap_or(report.horizon_ps)),
+            ));
+            self.span_ends += 1;
+        }
+        for e in &report.episodes {
+            if let Some(p) = e.parent {
+                let parent = &report.episodes[p as usize];
+                self.flow_arrow(
+                    "causal",
+                    "backpressure",
+                    u64::from(e.id),
+                    (parent.node, u32::from(parent.port), e.start_ps),
+                    (e.node, u32::from(e.port), e.start_ps),
+                );
+            }
+        }
+    }
+
+    /// Number of flow arrows emitted so far.
+    pub fn flow_arrows(&self) -> usize {
+        self.flow_arrows
     }
 
     /// Number of counter events emitted so far.
@@ -296,6 +374,27 @@ mod tests {
         assert!(json.contains("\"name\":\"stage-cross\""));
         assert!(json.contains("\"stage\":2"));
         assert!(!json.contains("enqueue"));
+    }
+
+    #[test]
+    fn causal_report_renders_spans_and_arrows() {
+        use crate::causal::{CausalTracker, CtrlSense};
+        let mut t = CausalTracker::new(100);
+        let root = t.on_ctrl_tx(1_000_000, 2, 0, 0, CtrlSense::AssertHard, None);
+        t.on_ctrl_apply(1, 3, 0, root);
+        t.on_ctrl_tx(2_000_000, 1, 0, 0, CtrlSense::AssertHard, Some(3));
+        let r = t.report(5_000_000, &[]);
+        let mut tr = ChromeTrace::new();
+        tr.add_causal(&r);
+        assert_eq!(tr.span_begins(), 2);
+        assert_eq!(tr.span_ends(), 2);
+        assert_eq!(tr.flow_arrows(), 1);
+        let json = tr.to_json();
+        assert!(json.contains("\"cat\":\"causal\""), "json: {json}");
+        assert!(json.contains("\"ph\":\"s\""), "json: {json}");
+        assert!(json.contains("\"ph\":\"f\",\"bp\":\"e\""), "json: {json}");
+        assert!(json.contains("pause n2:p0/0 d=0"), "json: {json}");
+        assert!(json.contains("\"hard\":true"), "json: {json}");
     }
 
     #[test]

@@ -204,6 +204,43 @@ pub struct ForensicsReport {
 }
 
 impl ForensicsReport {
+    /// The `(node, port)` membership of the captured wait-for cycle
+    /// (both egress and ingress vertices), sorted and deduplicated.
+    pub fn cycle_ports(&self) -> Vec<(u32, u16)> {
+        let mut out: Vec<(u32, u16)> = self
+            .cycle
+            .iter()
+            .map(|&v| {
+                let vx = &self.graph.vertices()[v];
+                (vx.node, vx.port)
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The `(node, port)` membership of the cycle's *ingress* vertices
+    /// only — the set the causal layer matches flow paths against to
+    /// classify stalled flows as deadlock participants. Flow paths are
+    /// sequences of ingress ports, and a full-duplex port can sit on the
+    /// cycle with its egress side alone (its paused transmit queue) while
+    /// the reverse-direction traffic through its ingress side is merely a
+    /// bystander, so the egress vertices must not count.
+    pub fn cycle_ingress_ports(&self) -> Vec<(u32, u16)> {
+        let mut out: Vec<(u32, u16)> = self
+            .cycle
+            .iter()
+            .filter_map(|&v| {
+                let vx = &self.graph.vertices()[v];
+                (vx.side == WfSide::Ingress).then_some((vx.node, vx.port))
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
     /// Render the human-readable post-mortem.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -269,7 +306,8 @@ impl ForensicsReport {
                 WfSide::Ingress => "ellipse",
             };
             let extra = if on_cycle { ", color=red, penwidth=2" } else { "" };
-            let _ = writeln!(out, "  v{i} [label=\"{}\", shape={shape}{extra}];", v.label);
+            let _ =
+                writeln!(out, "  v{i} [label=\"{}\", shape={shape}{extra}];", dot_escape(&v.label));
         }
         // Cycle edge set for highlighting.
         let mut cycle_edges: Vec<(usize, usize)> = Vec::new();
@@ -291,6 +329,21 @@ impl ForensicsReport {
         out.push_str("}\n");
         out
     }
+}
+
+/// Escape a string for a double-quoted DOT label: quotes and backslashes
+/// are backslash-escaped, newlines become the DOT `\n` escape.
+fn dot_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -393,6 +446,69 @@ mod tests {
         assert!(text.contains("S0:out1 [egress] waits-on S1:in0 [ingress]"));
         assert!(text.contains("ingress=280000B"));
         assert!(text.contains("ctrl-rx pause"));
+    }
+
+    #[test]
+    fn cycle_ports_are_sorted_and_deduped() {
+        let r = sample_report();
+        // Egress port 1 and ingress port 0 of each of the three switches.
+        assert_eq!(r.cycle_ports(), vec![(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1)]);
+    }
+
+    /// A self-loop (an egress waiting on its own node's ingress side via
+    /// one vertex) must render and DOT-export as a 1-vertex cycle.
+    #[test]
+    fn one_vertex_cycle_renders_and_dots() {
+        let mut g = WaitForGraph::new();
+        let a = g.vertex(WfSide::Egress, 4, 2, "S4:out2");
+        g.edge(a, a);
+        let cycle = g.find_cycle().expect("self-loop is a cycle");
+        assert_eq!(cycle, vec![a]);
+        let r = ForensicsReport {
+            t_ps: 1_000_000,
+            trigger: ForensicsTrigger::WaitForCycle,
+            last_progress_ps: 0,
+            occupancies: Vec::new(),
+            trailing_events: Vec::new(),
+            recorder_enabled: false,
+            graph: g,
+            cycle,
+        };
+        let text = r.render();
+        assert!(text.contains("wait-for cycle (1 vertices)"), "text: {text}");
+        assert!(text.contains("S4:out2 [egress] waits-on S4:out2 [egress]"), "text: {text}");
+        let dot = r.to_dot();
+        assert!(dot.contains("v0 [label=\"S4:out2\", shape=box, color=red, penwidth=2];"));
+        assert!(dot.contains("v0 -> v0 [color=red, penwidth=2];"), "dot: {dot}");
+        assert_eq!(r.cycle_ports(), vec![(4, 2)]);
+    }
+
+    #[test]
+    fn dot_escapes_hostile_labels() {
+        let mut g = WaitForGraph::new();
+        let a = g.vertex(WfSide::Egress, 0, 0, "S0 \"evil\\label\"\nnext");
+        let b = g.vertex(WfSide::Ingress, 1, 0, "plain");
+        g.edge(a, b);
+        let r = ForensicsReport {
+            t_ps: 0,
+            trigger: ForensicsTrigger::ProgressMonitor,
+            last_progress_ps: 0,
+            occupancies: Vec::new(),
+            trailing_events: Vec::new(),
+            recorder_enabled: false,
+            graph: g,
+            cycle: Vec::new(),
+        };
+        let dot = r.to_dot();
+        assert!(
+            dot.contains("label=\"S0 \\\"evil\\\\label\\\"\\nnext\""),
+            "unescaped label in dot: {dot}"
+        );
+        // The document still has balanced quotes on every label line.
+        for line in dot.lines().filter(|l| l.contains("label=")) {
+            let unescaped = line.replace("\\\\", "").replace("\\\"", "").matches('"').count();
+            assert_eq!(unescaped, 2, "line: {line}");
+        }
     }
 
     #[test]

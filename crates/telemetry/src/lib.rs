@@ -18,6 +18,7 @@
 //!   per-port occupancies, and the trailing recorder events, rendered as
 //!   text or Graphviz DOT.
 
+pub mod causal;
 pub mod export;
 pub mod forensics;
 pub mod probe;
@@ -25,6 +26,9 @@ pub mod recorder;
 pub mod registry;
 pub mod timeline;
 
+pub use causal::{
+    CausalReport, CausalTracker, CauseToken, CtrlSense, Episode, FlowBlame, FlowClass, TreeSummary,
+};
 pub use export::ChromeTrace;
 pub use forensics::{
     ForensicsReport, ForensicsTrigger, PortOccupancy, WaitForGraph, WfSide, WfVertex,
@@ -61,6 +65,11 @@ pub struct TelemetryConfig {
     /// wall-time histograms and scheduler occupancy gauges. Costs one
     /// `Instant::now()` pair per dispatched event when on.
     pub probe: bool,
+    /// Causal stall attribution (see [`CausalTracker`]): control-message
+    /// lineage, pause-propagation trees, and per-flow blame. When off,
+    /// every message carries [`CauseToken::NONE`] and nothing is
+    /// tracked — replay fingerprints are bit-identical on↔off.
+    pub causal: bool,
 }
 
 impl TelemetryConfig {
@@ -72,12 +81,13 @@ impl TelemetryConfig {
             forensics: false,
             timeline: TimelineConfig::off(),
             probe: false,
+            causal: false,
         }
     }
 
     /// Metrics + forensics on, a deep flight recorder, the timeline
-    /// layer sampling, and the engine probe — the configuration for
-    /// debugging a single run.
+    /// layer sampling, the engine probe, and causal attribution — the
+    /// configuration for debugging a single run.
     pub fn full() -> TelemetryConfig {
         TelemetryConfig {
             metrics: true,
@@ -85,6 +95,7 @@ impl TelemetryConfig {
             forensics: true,
             timeline: TimelineConfig::full(),
             probe: true,
+            causal: true,
         }
     }
 }
@@ -100,6 +111,7 @@ impl Default for TelemetryConfig {
             forensics: true,
             timeline: TimelineConfig::off(),
             probe: false,
+            causal: false,
         }
     }
 }
@@ -114,14 +126,14 @@ mod tests {
         assert!(d.metrics && d.forensics);
         assert_eq!(d.flight_recorder, 0);
         assert!(!d.timeline.sampling() && !d.timeline.spans);
-        assert!(!d.probe);
+        assert!(!d.probe && !d.causal);
         let off = TelemetryConfig::off();
-        assert!(!off.metrics && !off.forensics && !off.probe);
+        assert!(!off.metrics && !off.forensics && !off.probe && !off.causal);
         assert_eq!(off.flight_recorder, 0);
         assert!(!off.timeline.sampling());
         let full = TelemetryConfig::full();
         assert!(full.flight_recorder > 0);
         assert!(full.timeline.sampling() && full.timeline.spans);
-        assert!(full.probe);
+        assert!(full.probe && full.causal);
     }
 }

@@ -560,6 +560,30 @@ pub mod names {
     pub const STALL_P95_PS: &str = "flow.stall.p95_ps";
     /// 99th-percentile stall time, ps (derived).
     pub const STALL_P99_PS: &str = "flow.stall.p99_ps";
+
+    /// Backpressure episodes recorded (derived, causal layer on).
+    pub const CAUSAL_EPISODES: &str = "causal.episodes";
+    /// Hard (pause / credit-exhaustion) episodes (derived, causal on).
+    pub const CAUSAL_EPISODES_HARD: &str = "causal.episodes.hard";
+    /// Pause-propagation trees (derived, causal on).
+    pub const CAUSAL_TREES: &str = "causal.trees";
+    /// Deepest hard episode across all trees — the scheme-separating
+    /// propagation depth (derived, causal on).
+    pub const CAUSAL_DEPTH_MAX: &str = "causal.depth.max";
+    /// Deepest episode of any kind (derived, causal on).
+    pub const CAUSAL_DEPTH_MAX_ALL: &str = "causal.depth.max_all";
+    /// Stalled flows blamed on a tree rooted on their own path
+    /// (derived, causal on).
+    pub const CAUSAL_FLOWS_ROOT: &str = "causal.flows.congestion_root";
+    /// Stalled flows blamed on a tree rooted elsewhere — propagation
+    /// victims (derived, causal on).
+    pub const CAUSAL_FLOWS_VICTIM: &str = "causal.flows.victim";
+    /// Stalled flows whose path crosses the forensics wait-for cycle
+    /// (derived, causal on).
+    pub const CAUSAL_FLOWS_DEADLOCK: &str = "causal.flows.deadlock";
+    /// Total stall time blamed on any propagation tree, ps (derived,
+    /// causal on).
+    pub const CAUSAL_BLAMED_STALL_PS: &str = "causal.stall.blamed_ps";
 }
 
 #[cfg(test)]

@@ -51,6 +51,16 @@ mod tests {
     }
 
     #[test]
+    fn chain_at_exactly_the_limit_is_not_truncated() {
+        // The boundary: `len == max` must print every hop, `len == max + 1`
+        // must truncate — truncation triggers strictly beyond the limit.
+        let hops: Vec<String> = (0..4).map(|i| format!("h{i}")).collect();
+        assert_eq!(render_chain(&hops, " ⇒ ", 4), "h0 ⇒ h1 ⇒ h2 ⇒ h3");
+        let hops: Vec<String> = (0..5).map(|i| format!("h{i}")).collect();
+        assert_eq!(render_chain(&hops, " ⇒ ", 4), "h0 ⇒ h1 ⇒ h2 ⇒ h3 ⇒ … (5 hops total)");
+    }
+
+    #[test]
     fn dirlink_labels_name_endpoints() {
         let mut t = Topology::new();
         let a = t.add_switch("S1");
