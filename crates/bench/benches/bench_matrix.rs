@@ -48,6 +48,8 @@ fn slug(scheme: Scheme) -> &'static str {
         Scheme::Cbfc => "cbfc",
         Scheme::GfcBuffer => "gfc_buffer",
         Scheme::GfcTime => "gfc_time",
+        Scheme::Bfc => "bfc",
+        Scheme::Dcfit => "dcfit",
     }
 }
 
@@ -167,7 +169,7 @@ fn main() {
     if let Ok(name) = std::env::var("GFC_BENCH_ONLY") {
         let parts: Vec<&str> = name.split(':').collect();
         assert_eq!(parts.len(), 3, "GFC_BENCH_ONLY wants topo:load:scheme, got {name}");
-        let scheme = Scheme::ALL
+        let scheme = Scheme::SHOOTOUT
             .iter()
             .copied()
             .find(|s| slug(*s) == parts[2])
@@ -193,6 +195,10 @@ fn main() {
     for &scheme in &Scheme::ALL {
         cells.push(ring_cell(scheme, ring_h, runs));
     }
+    // The per-flow backend's trajectory cell: BFC's per-flow books and
+    // pause chatter cost more per event than the aggregate schemes, and
+    // this cell keeps that cost on the BENCH_history.jsonl record.
+    cells.push(ring_cell(Scheme::Bfc, ring_h, runs));
     for &scheme in &Scheme::ALL {
         cells.push(ft4_cell(&ft, scheme, "uniform", &uniform, ft_h, runs));
     }

@@ -1,0 +1,398 @@
+//! Unified flow-control configuration: one enum-of-structs carrying the
+//! scheme *and* its parameters, and the factory that turns it into a
+//! backend pair ([`crate::backend::FcRx`] / [`crate::backend::FcTx`]).
+//!
+//! This supersedes the scattered per-scheme knobs (the old
+//! [`FcMode`](crate::fc_mode::FcMode) plus a side-channel
+//! `gfc_stage_ratio` field on every config struct): each variant owns
+//! every parameter its scheme needs, so adding a scheme touches this file
+//! and nothing else. `From<FcMode>` keeps existing call sites compiling.
+
+use crate::backend::{FcRx, FcTx};
+use crate::bfc::{BfcReceiver, BfcRx, BfcSender, BfcTx};
+use crate::cbfc::BLOCK_BYTES;
+use crate::conceptual::ConceptualSender;
+use crate::dcfit::{DcfitReceiver, DcfitRx, DcfitSender, DcfitTx};
+use crate::fc_mode::FcMode;
+use crate::gfc_buffer::{GfcBufferReceiver, GfcBufferSender};
+use crate::gfc_time::{GfcTimeReceiver, GfcTimeSender};
+use crate::mapping::{LinearMapping, StageTable};
+use crate::pfc::{PauseMode, PfcConfig, PfcReceiver, PfcSender};
+use crate::units::{Dur, Rate};
+use serde::{Deserialize, Serialize};
+
+pub use crate::bfc::BfcConfig;
+
+/// Identity of the port a backend instance is attached to — DCFIT stamps
+/// it into minted tags; other schemes ignore it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PortIdent {
+    /// Node index in the fabric.
+    pub node: u32,
+    /// Port index on the node.
+    pub port: u16,
+}
+
+/// PFC parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PfcParams {
+    /// Ingress occupancy that asserts PAUSE.
+    pub xoff: u64,
+    /// Ingress occupancy that clears it.
+    pub xon: u64,
+}
+
+/// CBFC parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CbfcParams {
+    /// Credit advertisement period.
+    pub period: Dur,
+}
+
+/// Buffer-based GFC parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GfcBufferParams {
+    /// Buffer ceiling `B_m` of the stage table.
+    pub bm: u64,
+    /// First stage boundary `B_1`.
+    pub b1: u64,
+    /// Stage-width geometric ratio as (numerator, denominator); the
+    /// paper's halving is (1, 2).
+    pub stage_ratio: (u64, u64),
+}
+
+/// Time-based GFC parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GfcTimeParams {
+    /// Linear-mapping start `B_0`.
+    pub b0: u64,
+    /// Buffer ceiling `B_m`.
+    pub bm: u64,
+    /// Credit advertisement period.
+    pub period: Dur,
+}
+
+/// Conceptual GFC parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConceptualParams {
+    /// Linear-mapping start `B_0`.
+    pub b0: u64,
+    /// Buffer ceiling `B_m`.
+    pub bm: u64,
+    /// Feedback latency of the idealized out-of-band channel.
+    pub tau: Dur,
+}
+
+/// DCFIT parameters: PFC thresholds (the pause machinery is PFC's; the
+/// tags ride on top).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DcfitParams {
+    /// Ingress occupancy that asserts PAUSE.
+    pub xoff: u64,
+    /// Ingress occupancy that clears it.
+    pub xon: u64,
+}
+
+/// Flow-control scheme + parameters, the single source of truth a
+/// network or spec carries.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FcConfig {
+    /// Lossy: no flow control, drops on overflow.
+    None,
+    /// Priority Flow Control (hop-by-hop pause).
+    Pfc(PfcParams),
+    /// Credit-based flow control.
+    Cbfc(CbfcParams),
+    /// Buffer-based Gentle Flow Control (§5.1).
+    GfcBuffer(GfcBufferParams),
+    /// Time-based Gentle Flow Control (§5.2).
+    GfcTime(GfcTimeParams),
+    /// Conceptual GFC (§4, idealized feedback).
+    Conceptual(ConceptualParams),
+    /// Backpressure Flow Control (per-flow pause).
+    Bfc(BfcConfig),
+    /// DCFIT: PFC plus initial-trigger deadlock detection.
+    Dcfit(DcfitParams),
+}
+
+impl From<FcMode> for FcConfig {
+    fn from(mode: FcMode) -> FcConfig {
+        match mode {
+            FcMode::None => FcConfig::None,
+            FcMode::Pfc { xoff, xon } => FcConfig::Pfc(PfcParams { xoff, xon }),
+            FcMode::Cbfc { period } => FcConfig::Cbfc(CbfcParams { period }),
+            FcMode::GfcBuffer { bm, b1 } => {
+                // The legacy side-channel `gfc_stage_ratio` defaulted to
+                // the paper's halving everywhere; configs that tuned it
+                // now set it here directly.
+                FcConfig::GfcBuffer(GfcBufferParams { bm, b1, stage_ratio: (1, 2) })
+            }
+            FcMode::GfcTime { b0, bm, period } => {
+                FcConfig::GfcTime(GfcTimeParams { b0, bm, period })
+            }
+            FcMode::Conceptual { b0, bm, tau } => {
+                FcConfig::Conceptual(ConceptualParams { b0, bm, tau })
+            }
+        }
+    }
+}
+
+impl FcConfig {
+    /// Human-readable scheme name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FcConfig::None => "lossy",
+            FcConfig::Pfc(_) => "PFC",
+            FcConfig::Cbfc(_) => "CBFC",
+            FcConfig::GfcBuffer(_) => "buffer-based GFC",
+            FcConfig::GfcTime(_) => "time-based GFC",
+            FcConfig::Conceptual(_) => "conceptual GFC",
+            FcConfig::Bfc(_) => "BFC",
+            FcConfig::Dcfit(_) => "DCFIT",
+        }
+    }
+
+    /// Whether the scheme stops a sender outright on a whole traffic
+    /// class (the hold-and-wait ingredient of circular buffer deadlock).
+    /// BFC's gate is per-flow and its backpressure chains terminate at
+    /// hosts, so it does not count.
+    pub fn has_hard_gate(&self) -> bool {
+        matches!(self, FcConfig::Pfc(_) | FcConfig::Cbfc(_) | FcConfig::Dcfit(_))
+    }
+
+    /// Whether this is one of the paper's GFC variants.
+    pub fn is_gfc(&self) -> bool {
+        matches!(self, FcConfig::GfcBuffer(_) | FcConfig::GfcTime(_) | FcConfig::Conceptual(_))
+    }
+
+    /// The periodic-feedback interval, for time-triggered schemes.
+    pub fn period(&self) -> Option<Dur> {
+        match self {
+            FcConfig::Cbfc(p) => Some(p.period),
+            FcConfig::GfcTime(p) => Some(p.period),
+            _ => None,
+        }
+    }
+
+    /// Latency of the out-of-band feedback channel (zero for every wire
+    /// scheme; the conceptual design's τ).
+    pub fn oob_latency(&self) -> Dur {
+        match self {
+            FcConfig::Conceptual(p) => p.tau,
+            _ => Dur::ZERO,
+        }
+    }
+
+    /// Build the receiver backend for one watched ingress
+    /// `(port, priority)`.
+    pub fn make_rx(
+        &self,
+        capacity: Rate,
+        buffer_bytes: u64,
+        mtu: u64,
+        ident: PortIdent,
+    ) -> Box<dyn FcRx> {
+        use crate::backend as be;
+        match *self {
+            FcConfig::None => Box::new(be::NoneRx),
+            FcConfig::Pfc(PfcParams { xoff, xon }) => {
+                Box::new(be::PfcRx(PfcReceiver::new(PfcConfig::new(xoff, xon))))
+            }
+            FcConfig::Cbfc(_) => Box::new(be::CbfcRx::new(buffer_bytes, mtu)),
+            FcConfig::GfcBuffer(GfcBufferParams { bm, b1, stage_ratio: (n, d) }) => {
+                Box::new(be::GfcBufferRx(GfcBufferReceiver::new(StageTable::with_ratio(
+                    bm, b1, capacity, n, d,
+                ))))
+            }
+            FcConfig::GfcTime(GfcTimeParams { b0, period, .. }) => {
+                Box::new(be::GfcTimeRx::new(GfcTimeReceiver::new(buffer_bytes, period), b0))
+            }
+            FcConfig::Conceptual(ConceptualParams { b0, .. }) => {
+                Box::new(be::ConceptualRx::new(b0))
+            }
+            FcConfig::Bfc(cfg) => Box::new(BfcRx(BfcReceiver::new(cfg))),
+            FcConfig::Dcfit(DcfitParams { xoff, xon }) => Box::new(DcfitRx(DcfitReceiver::new(
+                PfcConfig::new(xoff, xon),
+                ident.node,
+                ident.port,
+            ))),
+        }
+    }
+
+    /// Build the sender backend for one controlled egress
+    /// `(port, priority)`. (The egress rate limiter stays with the
+    /// simulator; backends only program it via
+    /// [`crate::backend::CtrlOutcome::set_rate`].)
+    pub fn make_tx(&self, capacity: Rate, buffer_bytes: u64, ident: PortIdent) -> Box<dyn FcTx> {
+        use crate::backend as be;
+        match *self {
+            FcConfig::None => Box::new(be::NoneTx),
+            FcConfig::Pfc(_) => {
+                Box::new(be::PfcTx(PfcSender::new(PauseMode::UntilResume, capacity)))
+            }
+            FcConfig::Cbfc(_) => Box::new(be::CbfcTx::new(buffer_bytes)),
+            FcConfig::GfcBuffer(GfcBufferParams { bm, b1, stage_ratio: (n, d) }) => {
+                Box::new(be::GfcBufferTx(GfcBufferSender::new(StageTable::with_ratio(
+                    bm, b1, capacity, n, d,
+                ))))
+            }
+            FcConfig::GfcTime(GfcTimeParams { b0, bm, .. }) => {
+                let blocks = buffer_bytes / BLOCK_BYTES;
+                let mapping = LinearMapping::new(b0, bm, capacity);
+                Box::new(be::GfcTimeTx::new(GfcTimeSender::new(blocks, mapping), blocks))
+            }
+            FcConfig::Conceptual(ConceptualParams { b0, bm, .. }) => Box::new(be::ConceptualTx(
+                ConceptualSender::new(LinearMapping::new(b0, bm, capacity)),
+            )),
+            FcConfig::Bfc(_) => Box::new(BfcTx(BfcSender::new())),
+            FcConfig::Dcfit(_) => Box::new(DcfitTx(DcfitSender::new(
+                PfcSender::new(PauseMode::UntilResume, capacity),
+                ident.node,
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{CtrlPayload, QueueCtx, TxHead};
+    use crate::units::Time;
+
+    const IDENT: PortIdent = PortIdent { node: 3, port: 1 };
+
+    fn all_configs() -> Vec<FcConfig> {
+        vec![
+            FcConfig::None,
+            FcConfig::Pfc(PfcParams { xoff: 280_000, xon: 277_000 }),
+            FcConfig::Cbfc(CbfcParams { period: Dur::from_micros(52) }),
+            FcConfig::GfcBuffer(GfcBufferParams { bm: 300_000, b1: 281_000, stage_ratio: (1, 2) }),
+            FcConfig::GfcTime(GfcTimeParams {
+                b0: 100_000,
+                bm: 300_000,
+                period: Dur::from_micros(52),
+            }),
+            FcConfig::Conceptual(ConceptualParams {
+                b0: 50_000,
+                bm: 100_000,
+                tau: Dur::from_micros(25),
+            }),
+            FcConfig::Bfc(BfcConfig::derive(300_000, 1500)),
+            FcConfig::Dcfit(DcfitParams { xoff: 280_000, xon: 277_000 }),
+        ]
+    }
+
+    #[test]
+    fn from_fc_mode_preserves_parameters() {
+        let cases: Vec<(FcMode, FcConfig)> = vec![
+            (FcMode::None, FcConfig::None),
+            (FcMode::Pfc { xoff: 10, xon: 5 }, FcConfig::Pfc(PfcParams { xoff: 10, xon: 5 })),
+            (FcMode::Cbfc { period: Dur(7) }, FcConfig::Cbfc(CbfcParams { period: Dur(7) })),
+            (
+                FcMode::GfcBuffer { bm: 9, b1: 4 },
+                FcConfig::GfcBuffer(GfcBufferParams { bm: 9, b1: 4, stage_ratio: (1, 2) }),
+            ),
+            (
+                FcMode::GfcTime { b0: 1, bm: 2, period: Dur(3) },
+                FcConfig::GfcTime(GfcTimeParams { b0: 1, bm: 2, period: Dur(3) }),
+            ),
+            (
+                FcMode::Conceptual { b0: 1, bm: 2, tau: Dur(3) },
+                FcConfig::Conceptual(ConceptualParams { b0: 1, bm: 2, tau: Dur(3) }),
+            ),
+        ];
+        for (mode, expect) in cases {
+            assert_eq!(FcConfig::from(mode), expect);
+        }
+    }
+
+    #[test]
+    fn classification_matches_legacy_plus_new_schemes() {
+        for fc in all_configs() {
+            let legacy_like =
+                matches!(fc, FcConfig::Pfc(_) | FcConfig::Cbfc(_) | FcConfig::Dcfit(_));
+            assert_eq!(fc.has_hard_gate(), legacy_like, "{}", fc.name());
+        }
+        assert!(!FcConfig::Bfc(BfcConfig::derive(300_000, 1500)).has_hard_gate());
+    }
+
+    #[test]
+    fn factories_build_matching_pairs() {
+        // Every scheme's own payloads apply cleanly; every receiver
+        // reports the same scheme name as its sender.
+        let cap = Rate::from_gbps(10);
+        for fc in all_configs() {
+            let mut rx = fc.make_rx(cap, 300_000, 1500, IDENT);
+            let mut tx = fc.make_tx(cap, 300_000, IDENT);
+            assert_eq!(rx.scheme(), tx.scheme(), "{}", fc.name());
+            let mut out = Vec::new();
+            let ctx = QueueCtx { q_bytes: 290_000, pkt_bytes: 1500, flow: 1, inherited_tag: None };
+            rx.on_arrival(&ctx, &mut out);
+            if let Some(p) = rx.periodic() {
+                out.push(p);
+            }
+            for payload in out {
+                tx.on_ctrl(payload, Time::ZERO).unwrap_or_else(|e| panic!("{}: {e}", fc.name()));
+            }
+            // Gate queries answer for both polarities without panicking.
+            let head = TxHead { bytes: 1500, flow: 1 };
+            let _ = tx.hard_open(&head, Time::ZERO);
+            let _ = tx.hard_blocked(&head, Time::ZERO);
+        }
+    }
+
+    #[test]
+    fn every_cross_scheme_payload_is_a_typed_error() {
+        // The full (sender scheme × payload scheme) matrix: every
+        // off-diagonal cell errors, naming both sides.
+        let cap = Rate::from_gbps(10);
+        let configs = all_configs();
+        // One representative payload per scheme, generated by the
+        // matching receiver where possible.
+        let payloads: Vec<(&'static str, CtrlPayload)> = vec![
+            ("PFC", CtrlPayload::Pfc(crate::pfc::PfcEvent::Resume)),
+            ("buffer-based GFC", CtrlPayload::GfcStage(1)),
+            ("CBFC / time-based GFC", CtrlPayload::FcclWire(9)),
+            ("conceptual GFC", CtrlPayload::QueueSample(4)),
+            ("BFC", CtrlPayload::Bfc { flow: 8, pause: true }),
+            (
+                "DCFIT",
+                CtrlPayload::DcfitPfc {
+                    ev: crate::pfc::PfcEvent::Resume,
+                    tag: crate::backend::DcfitTag { node: 0, port: 0, seq: 0 },
+                },
+            ),
+        ];
+        for fc in &configs {
+            let mut tx = fc.make_tx(cap, 300_000, IDENT);
+            for (pname, payload) in &payloads {
+                let compatible = match fc {
+                    FcConfig::None => false,
+                    FcConfig::Pfc(_) => *pname == "PFC",
+                    FcConfig::Cbfc(_) | FcConfig::GfcTime(_) => *pname == "CBFC / time-based GFC",
+                    FcConfig::GfcBuffer(_) => *pname == "buffer-based GFC",
+                    FcConfig::Conceptual(_) => *pname == "conceptual GFC",
+                    FcConfig::Bfc(_) => *pname == "BFC",
+                    FcConfig::Dcfit(_) => *pname == "DCFIT",
+                };
+                let res = tx.on_ctrl(*payload, Time::ZERO);
+                if compatible {
+                    assert!(res.is_ok(), "{} should accept {pname}", fc.name());
+                } else {
+                    let err = res.unwrap_err();
+                    assert_eq!(err.payload_scheme, *pname);
+                    assert_eq!(err.sender_scheme, tx.scheme());
+                    let msg = err.to_string();
+                    assert!(
+                        msg.contains(err.payload_scheme)
+                            && msg.contains(&format!(
+                                "does not match a {} sender",
+                                err.sender_scheme
+                            )),
+                        "{msg}"
+                    );
+                }
+            }
+        }
+    }
+}

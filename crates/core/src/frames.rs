@@ -28,12 +28,23 @@ pub const MAC_CONTROL_ETHERTYPE: u16 = 0x8808;
 pub const PFC_OPCODE: u16 = 0x0101;
 /// GFC stage-feedback opcode (this fabric's convention; see module docs).
 pub const GFC_OPCODE: u16 = 0x0102;
+/// BFC per-flow pause/resume opcode (this fabric's convention — real BFC
+/// signals over a custom header; we keep the MAC-control framing).
+pub const BFC_OPCODE: u16 = 0x0103;
+/// DCFIT tagged-pause opcode (PFC + an initial-trigger tag TLV).
+pub const DCFIT_OPCODE: u16 = 0x0104;
 /// On-the-wire size of a PFC/GFC control frame including FCS: the Ethernet
 /// minimum. Used for τ and bandwidth-overhead accounting (§4.2 uses
 /// m = 64 B).
 pub const CONTROL_FRAME_WIRE_BYTES: u64 = 64;
 /// On-the-wire size of an InfiniBand FCP (operand + CRC + framing).
 pub const FCP_WIRE_BYTES: u64 = 8;
+/// On-the-wire size of a BFC per-flow pause frame: the flow id and pause
+/// bit fit comfortably inside the Ethernet minimum.
+pub const BFC_FRAME_WIRE_BYTES: u64 = 64;
+/// On-the-wire size of a DCFIT tagged pause: the 64-byte PFC frame plus
+/// an 8-byte initial-trigger tag TLV.
+pub const DCFIT_FRAME_WIRE_BYTES: u64 = 72;
 
 /// Errors from frame decoding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -237,6 +248,150 @@ impl FcpFrame {
     }
 }
 
+/// A BFC per-flow pause/resume frame (opcode 0x0103): MAC-control
+/// framing, then priority, pause bit, and the 64-bit flow id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BfcFrame {
+    /// Source MAC of the emitting port.
+    pub src_mac: [u8; 6],
+    /// Priority class the flow rides on.
+    pub priority: u8,
+    /// The flow being paused or resumed.
+    pub flow: u64,
+    /// `true` = pause, `false` = resume.
+    pub pause: bool,
+}
+
+impl BfcFrame {
+    /// Build; panics on out-of-range priority.
+    pub fn new(src_mac: [u8; 6], priority: u8, flow: u64, pause: bool) -> Self {
+        assert!(priority < 8);
+        BfcFrame { src_mac, priority, flow, pause }
+    }
+
+    /// Serialize to the 64-byte wire format.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(BFC_FRAME_WIRE_BYTES as usize);
+        b.put_slice(&PFC_DST_MAC);
+        b.put_slice(&self.src_mac);
+        b.put_u16(MAC_CONTROL_ETHERTYPE);
+        b.put_u16(BFC_OPCODE);
+        b.put_u8(self.priority);
+        b.put_u8(self.pause as u8);
+        b.put_u64(self.flow);
+        while b.len() < BFC_FRAME_WIRE_BYTES as usize {
+            b.put_u8(0);
+        }
+        b.freeze()
+    }
+
+    /// Parse from wire bytes.
+    pub fn decode(mut buf: impl Buf) -> Result<Self, FrameError> {
+        if buf.remaining() < 26 {
+            return Err(FrameError::Truncated);
+        }
+        let mut dst = [0u8; 6];
+        buf.copy_to_slice(&mut dst);
+        if dst != PFC_DST_MAC {
+            return Err(FrameError::UnknownKind);
+        }
+        let mut src_mac = [0u8; 6];
+        buf.copy_to_slice(&mut src_mac);
+        if buf.get_u16() != MAC_CONTROL_ETHERTYPE || buf.get_u16() != BFC_OPCODE {
+            return Err(FrameError::UnknownKind);
+        }
+        let priority = buf.get_u8();
+        if priority >= 8 {
+            return Err(FrameError::FieldRange);
+        }
+        let pause = match buf.get_u8() {
+            0 => false,
+            1 => true,
+            _ => return Err(FrameError::FieldRange),
+        };
+        let flow = buf.get_u64();
+        Ok(BfcFrame { src_mac, priority, flow, pause })
+    }
+}
+
+/// A DCFIT tagged pause frame (opcode 0x0104): a single-priority PFC
+/// pause plus the initial-trigger tag `(node, port, seq)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DcfitFrame {
+    /// Source MAC of the emitting port.
+    pub src_mac: [u8; 6],
+    /// Priority class.
+    pub priority: u8,
+    /// Pause quanta; 0 = resume (PFC convention).
+    pub quanta: u16,
+    /// Tag: originating node.
+    pub tag_node: u32,
+    /// Tag: originating ingress port.
+    pub tag_port: u16,
+    /// Tag: chain sequence number.
+    pub tag_seq: u16,
+}
+
+impl DcfitFrame {
+    /// Build; panics on out-of-range priority.
+    pub fn new(
+        src_mac: [u8; 6],
+        priority: u8,
+        quanta: u16,
+        tag_node: u32,
+        tag_port: u16,
+        tag_seq: u16,
+    ) -> Self {
+        assert!(priority < 8);
+        DcfitFrame { src_mac, priority, quanta, tag_node, tag_port, tag_seq }
+    }
+
+    /// Serialize to the 72-byte wire format (64-byte control frame + tag
+    /// TLV).
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(DCFIT_FRAME_WIRE_BYTES as usize);
+        b.put_slice(&PFC_DST_MAC);
+        b.put_slice(&self.src_mac);
+        b.put_u16(MAC_CONTROL_ETHERTYPE);
+        b.put_u16(DCFIT_OPCODE);
+        b.put_u8(self.priority);
+        b.put_u16(self.quanta);
+        b.put_u32(self.tag_node);
+        b.put_u16(self.tag_port);
+        b.put_u16(self.tag_seq);
+        while b.len() < DCFIT_FRAME_WIRE_BYTES as usize {
+            b.put_u8(0);
+        }
+        b.freeze()
+    }
+
+    /// Parse from wire bytes.
+    pub fn decode(mut buf: impl Buf) -> Result<Self, FrameError> {
+        if buf.remaining() < 27 {
+            return Err(FrameError::Truncated);
+        }
+        let mut dst = [0u8; 6];
+        buf.copy_to_slice(&mut dst);
+        if dst != PFC_DST_MAC {
+            return Err(FrameError::UnknownKind);
+        }
+        let mut src_mac = [0u8; 6];
+        buf.copy_to_slice(&mut src_mac);
+        if buf.get_u16() != MAC_CONTROL_ETHERTYPE || buf.get_u16() != DCFIT_OPCODE {
+            return Err(FrameError::UnknownKind);
+        }
+        let priority = buf.get_u8();
+        if priority >= 8 {
+            return Err(FrameError::FieldRange);
+        }
+        let quanta = buf.get_u16();
+        let tag_node = buf.get_u32();
+        let tag_port = buf.get_u16();
+        let tag_seq = buf.get_u16();
+        Ok(DcfitFrame { src_mac, priority, quanta, tag_node, tag_port, tag_seq })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,6 +457,41 @@ mod tests {
     fn crc16_known_vector() {
         // CRC-16/CCITT-FALSE("123456789") = 0x29B1.
         assert_eq!(crc16_ccitt(b"123456789"), 0x29B1);
+    }
+
+    #[test]
+    fn bfc_roundtrip() {
+        let f = BfcFrame::new(SRC, 5, u64::MAX - 3, true);
+        let wire = f.encode();
+        assert_eq!(wire.len() as u64, BFC_FRAME_WIRE_BYTES);
+        assert_eq!(BfcFrame::decode(wire).unwrap(), f);
+        let r = BfcFrame::new(SRC, 0, 0, false);
+        assert_eq!(BfcFrame::decode(r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn bfc_rejects_foreign_opcode() {
+        // A classic PFC frame is not a BFC frame.
+        let wire = PfcFrame::pause(SRC, 0, 1).encode();
+        assert_eq!(BfcFrame::decode(wire), Err(FrameError::UnknownKind));
+    }
+
+    #[test]
+    fn dcfit_roundtrip() {
+        let f = DcfitFrame::new(SRC, 3, 0xFFFF, 70_000, 12, 9);
+        let wire = f.encode();
+        assert_eq!(wire.len() as u64, DCFIT_FRAME_WIRE_BYTES);
+        assert_eq!(DcfitFrame::decode(wire).unwrap(), f);
+        // Resume (quanta 0) keeps the tag of the pause it clears.
+        let r = DcfitFrame::new(SRC, 3, 0, 70_000, 12, 9);
+        assert_eq!(DcfitFrame::decode(r.encode()).unwrap().quanta, 0);
+    }
+
+    #[test]
+    fn dcfit_rejects_bad_priority() {
+        let mut bad = BytesMut::from(&DcfitFrame::new(SRC, 3, 1, 2, 3, 4).encode()[..]);
+        bad[16] = 8; // priority byte
+        assert_eq!(DcfitFrame::decode(bad.freeze()), Err(FrameError::FieldRange));
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //! | module | what it implements |
 //! |---|---|
 //! | [`units`] | picosecond time, bit-rate, byte arithmetic |
-//! | [`fc_mode`] | the fabric-wide scheme selector ([`FcMode`]) shared by the simulator and the preflight analyzer |
+//! | [`backend`] | the [`backend::FcRx`]/[`backend::FcTx`] trait pair every scheme implements, the control-payload vocabulary, and the adapters for the five paper schemes |
+//! | [`fc_config`] | the fabric-wide scheme + parameter selector ([`FcConfig`]) and the backend factory |
+//! | [`fc_mode`] | the legacy parameter-less scheme selector ([`FcMode`]); converts into [`FcConfig`] |
 //! | [`mapping`] | the conceptual linear mapping (Fig. 4b) and the practical multi-stage step function (Fig. 6, Eq. 4/5) |
 //! | [`theorems`] | Theorem 4.1 / 5.1 parameter bounds and the Eq. (6) τ model |
 //! | [`pfc`] | IEEE 802.1Qbb Priority Flow Control (baseline) |
@@ -18,8 +20,10 @@
 //! | [`conceptual`] | conceptual GFC (§4.1) |
 //! | [`gfc_buffer`] | buffer-based GFC (§5.1) |
 //! | [`gfc_time`] | time-based GFC (§5.2) |
+//! | [`bfc`] | Backpressure Flow Control (per-flow pause; arXiv 1909.09923) |
+//! | [`dcfit`] | DCFIT — PFC + in-data-plane deadlock detection (arXiv 2009.13446) |
 //! | [`rate_limiter`] | the three-register egress Rate Limiter (§5.3) |
-//! | [`frames`] | wire codecs: PFC/GFC MAC control frame, InfiniBand FCP |
+//! | [`frames`] | wire codecs: PFC/GFC MAC control frame, InfiniBand FCP, BFC + DCFIT frames |
 //! | [`fxhash`] | the Fx multiply-fold hasher + `FxHashMap`/`FxHashSet` for hot sparse-key tables |
 //! | [`params`] | §5.4 parameter derivations for 10/40/100G CEE and IB |
 //!
@@ -51,8 +55,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
+pub mod bfc;
 pub mod cbfc;
 pub mod conceptual;
+pub mod dcfit;
+pub mod fc_config;
 pub mod fc_mode;
 pub mod frames;
 pub mod fxhash;
@@ -65,6 +73,8 @@ pub mod rate_limiter;
 pub mod theorems;
 pub mod units;
 
+pub use backend::{CtrlClass, CtrlOutcome, CtrlPayload, DcfitTag, FcRx, FcTx, SchemeMismatch};
+pub use fc_config::{FcConfig, PortIdent};
 pub use fc_mode::FcMode;
 pub use mapping::{LinearMapping, StageTable};
 pub use rate_limiter::RateLimiter;

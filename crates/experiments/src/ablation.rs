@@ -70,7 +70,10 @@ pub fn run(params: AblationParams) -> AblationResult {
     for &ratio in &params.ratios {
         let ring = Ring::new(3);
         let mut cfg = sim_config_300k(Scheme::GfcBuffer, params.seed);
-        cfg.gfc_stage_ratio = ratio;
+        match &mut cfg.fc {
+            gfc_sim::config::FcConfig::GfcBuffer(p) => p.stage_ratio = ratio,
+            other => unreachable!("300k GfcBuffer config is {other:?}"),
+        }
         let routing = Routing::fixed(ring.clockwise_routes());
         let mut net = Network::new(ring.topo.clone(), routing, cfg, TraceConfig::none());
         for (src, dst) in ring.clockwise_flows() {
@@ -148,7 +151,7 @@ pub fn run_tau_sweep(seed: u64) -> Vec<TauSweepOutcome> {
             .expect("300 KB admits the bound for these taus");
         let inc = Incast::new(2);
         let mut cfg = sim_config_300k(Scheme::GfcBuffer, seed);
-        cfg.fc = FcMode::GfcBuffer { bm, b1 };
+        cfg.fc = FcMode::GfcBuffer { bm, b1 }.into();
         cfg.ctrl_proc_delay = Dur::from_micros(t_proc_us);
         let mut net = gfc_sim::Network::new(
             inc.topo.clone(),

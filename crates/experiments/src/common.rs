@@ -1,16 +1,20 @@
 //! Shared scaffolding for the per-figure experiment modules.
 
 use gfc_analysis::TimeSeries;
+use gfc_core::bfc::BfcConfig;
 use gfc_core::theorems;
 use gfc_core::units::{kb, Dur, Rate};
-use gfc_sim::config::PumpPolicy;
-use gfc_sim::{FcMode, PreflightPolicy, SimConfig};
+use gfc_sim::config::{
+    CbfcParams, DcfitParams, FcConfig, GfcBufferParams, GfcTimeParams, PfcParams, PumpPolicy,
+};
+use gfc_sim::{PreflightPolicy, SimConfig};
 use gfc_topology::fattree::{find_fig11_failures, FatTree, Fig11Scenario};
 use gfc_topology::{Routing, Topology};
 use serde::{Deserialize, Serialize};
 use std::sync::OnceLock;
 
-/// The four flow-control schemes under comparison.
+/// The flow-control schemes under comparison: the paper's four plus the
+/// two out-of-enum backends (BFC, DCFIT) the shootout pits against them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Scheme {
     /// IEEE 802.1Qbb Priority Flow Control (baseline).
@@ -21,11 +25,21 @@ pub enum Scheme {
     GfcBuffer,
     /// Time-based GFC (§5.2).
     GfcTime,
+    /// Backpressure Flow Control: per-flow pause/resume (arXiv 1909.09923).
+    Bfc,
+    /// PFC plus DCFIT initial-trigger deadlock detection (arXiv 2009.13446).
+    Dcfit,
 }
 
 impl Scheme {
-    /// All four schemes in the paper's column order.
+    /// The paper's four schemes in its column order (the per-figure
+    /// experiments reproduce published tables, which have exactly these
+    /// columns).
     pub const ALL: [Scheme; 4] = [Scheme::Pfc, Scheme::GfcBuffer, Scheme::Cbfc, Scheme::GfcTime];
+
+    /// Every scheme, for the cross-backend shootout.
+    pub const SHOOTOUT: [Scheme; 6] =
+        [Scheme::Pfc, Scheme::Dcfit, Scheme::Cbfc, Scheme::Bfc, Scheme::GfcBuffer, Scheme::GfcTime];
 
     /// Human-readable name used in reports.
     pub fn name(&self) -> &'static str {
@@ -34,6 +48,8 @@ impl Scheme {
             Scheme::Cbfc => "CBFC",
             Scheme::GfcBuffer => "Buffer-based GFC",
             Scheme::GfcTime => "Time-based GFC",
+            Scheme::Bfc => "BFC",
+            Scheme::Dcfit => "DCFIT",
         }
     }
 
@@ -45,37 +61,57 @@ impl Scheme {
     /// The paper's §6.2.2 parameterization on 300 KB buffers at 10 Gb/s:
     /// PFC XOFF/XON = 280/277 KB, buffer-GFC B1 = 281 KB, time-GFC
     /// B0 = 159 KB, CBFC/time-GFC period = 65535 B worth (52.4 µs).
-    pub fn fc_mode_300k(&self) -> FcMode {
+    /// DCFIT runs PFC's thresholds (it *is* PFC plus detection); BFC
+    /// derives its per-flow/aggregate thresholds from the buffer and MTU.
+    pub fn fc_config_300k(&self) -> FcConfig {
         let c = Rate::from_gbps(10);
         let period = theorems::cbfc_recommended_period(c);
         match self {
-            Scheme::Pfc => FcMode::Pfc { xoff: kb(280), xon: kb(277) },
-            Scheme::Cbfc => FcMode::Cbfc { period },
-            Scheme::GfcBuffer => FcMode::GfcBuffer { bm: kb(300), b1: kb(281) },
-            Scheme::GfcTime => FcMode::GfcTime { b0: kb(159), bm: kb(300), period },
+            Scheme::Pfc => FcConfig::Pfc(PfcParams { xoff: kb(280), xon: kb(277) }),
+            Scheme::Cbfc => FcConfig::Cbfc(CbfcParams { period }),
+            Scheme::GfcBuffer => FcConfig::GfcBuffer(GfcBufferParams {
+                bm: kb(300),
+                b1: kb(281),
+                stage_ratio: (1, 2),
+            }),
+            Scheme::GfcTime => {
+                FcConfig::GfcTime(GfcTimeParams { b0: kb(159), bm: kb(300), period })
+            }
+            Scheme::Bfc => FcConfig::Bfc(BfcConfig::derive(kb(300) + 4 * 1500, 1500)),
+            Scheme::Dcfit => FcConfig::Dcfit(DcfitParams { xoff: kb(280), xon: kb(277) }),
         }
     }
 
     /// The paper's §6.1.1 testbed parameterization on 1 MB buffers:
     /// PFC XOFF/XON = 800/797 KB, buffer-GFC B1 = 750 KB, time-GFC
     /// B0 = 492 KB.
-    pub fn fc_mode_testbed(&self) -> FcMode {
+    pub fn fc_config_testbed(&self) -> FcConfig {
         let c = Rate::from_gbps(10);
         let period = theorems::cbfc_recommended_period(c);
         match self {
-            Scheme::Pfc => FcMode::Pfc { xoff: kb(800), xon: kb(797) },
-            Scheme::Cbfc => FcMode::Cbfc { period },
-            Scheme::GfcBuffer => FcMode::GfcBuffer { bm: kb(1024), b1: kb(750) },
-            Scheme::GfcTime => FcMode::GfcTime { b0: kb(492), bm: kb(1024), period },
+            Scheme::Pfc => FcConfig::Pfc(PfcParams { xoff: kb(800), xon: kb(797) }),
+            Scheme::Cbfc => FcConfig::Cbfc(CbfcParams { period }),
+            Scheme::GfcBuffer => FcConfig::GfcBuffer(GfcBufferParams {
+                bm: kb(1024),
+                b1: kb(750),
+                stage_ratio: (1, 2),
+            }),
+            Scheme::GfcTime => {
+                FcConfig::GfcTime(GfcTimeParams { b0: kb(492), bm: kb(1024), period })
+            }
+            Scheme::Bfc => FcConfig::Bfc(BfcConfig::derive(kb(1024) + 4 * 1500, 1500)),
+            Scheme::Dcfit => FcConfig::Dcfit(DcfitParams { xoff: kb(800), xon: kb(797) }),
         }
     }
 
     /// The switch discipline under which this scheme's *deadlock panel*
-    /// runs (see DESIGN.md §8): proportional sharing for the baselines
-    /// (the literature's deadlock model), fair sharing for GFC (the
-    /// testbed's forwarding loop, where its trajectories reproduce).
+    /// runs (see DESIGN.md §8): proportional sharing for the hard-gated
+    /// baselines (the literature's deadlock model), fair sharing for the
+    /// gateless/per-flow schemes (GFC's testbed forwarding loop, where
+    /// its trajectories reproduce; BFC's per-flow gates need per-flow
+    /// fairness to show their selectivity).
     pub fn headline_pump(&self) -> PumpPolicy {
-        if self.is_gfc() {
+        if self.is_gfc() || matches!(self, Scheme::Bfc) {
             PumpPolicy::RoundRobin
         } else {
             PumpPolicy::OutputQueued
@@ -89,7 +125,7 @@ impl Scheme {
 pub fn sim_config_300k(scheme: Scheme, seed: u64) -> SimConfig {
     let mut cfg = SimConfig::default_10g();
     cfg.buffer_bytes = kb(300) + 4 * 1500;
-    cfg.fc = scheme.fc_mode_300k();
+    cfg.fc = scheme.fc_config_300k();
     cfg.pump = scheme.headline_pump();
     cfg.seed = seed;
     cfg.progress_window = Dur::from_millis(2);
@@ -106,7 +142,7 @@ pub fn sim_config_300k(scheme: Scheme, seed: u64) -> SimConfig {
 pub fn sim_config_testbed(scheme: Scheme, seed: u64) -> SimConfig {
     let mut cfg = SimConfig::default_10g();
     cfg.buffer_bytes = kb(1024) + 4 * 1500;
-    cfg.fc = scheme.fc_mode_testbed();
+    cfg.fc = scheme.fc_config_testbed();
     cfg.pump = scheme.headline_pump();
     cfg.ctrl_proc_delay = Dur::from_micros(86); // τ ≈ 90 µs end to end
     cfg.seed = seed;
@@ -263,6 +299,66 @@ where
     slots.into_iter().map(|r| r.expect("case skipped by the worker pool")).collect()
 }
 
+/// The result grid of a `scenarios × schemes` sweep, scenario-major: cell
+/// `(si, ki)` holds the result of scheme `schemes[ki]` on scenario `si`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MatrixReport<R> {
+    /// The scheme columns, in run order.
+    pub schemes: Vec<Scheme>,
+    /// Row-major (scenario-major) results: `cells[si * schemes.len() + ki]`.
+    pub cells: Vec<R>,
+}
+
+impl<R> MatrixReport<R> {
+    /// Number of scenario rows.
+    pub fn num_scenarios(&self) -> usize {
+        if self.schemes.is_empty() {
+            0
+        } else {
+            self.cells.len() / self.schemes.len()
+        }
+    }
+
+    /// The result of `scheme` on scenario row `si`. Panics when the
+    /// scheme was not part of the sweep.
+    pub fn cell(&self, si: usize, scheme: Scheme) -> &R {
+        let ki = self
+            .schemes
+            .iter()
+            .position(|&s| s == scheme)
+            .unwrap_or_else(|| panic!("{} was not part of this sweep", scheme.name()));
+        &self.cells[si * self.schemes.len() + ki]
+    }
+
+    /// One scenario row, in scheme order.
+    pub fn row(&self, si: usize) -> &[R] {
+        let w = self.schemes.len();
+        &self.cells[si * w..(si + 1) * w]
+    }
+}
+
+/// Run every `(scenario, scheme)` pair of the cross-product through `run`
+/// on a worker pool and collect the grid. Built on [`parallel_cases`], so
+/// the result order — and any floating-point aggregation the caller does
+/// over it — is identical to a sequential sweep regardless of thread
+/// count. `run` receives the scenario index, the scenario, and the
+/// scheme; per-case seeds must derive from those alone.
+pub fn run_matrix<S, R>(
+    threads: usize,
+    scenarios: &[S],
+    schemes: &[Scheme],
+    run: impl Fn(usize, &S, Scheme) -> R + Sync,
+) -> MatrixReport<R>
+where
+    S: Sync,
+    R: Send,
+{
+    let pairs: Vec<(usize, Scheme)> =
+        (0..scenarios.len()).flat_map(|si| schemes.iter().map(move |&k| (si, k))).collect();
+    let cells = parallel_cases(threads, &pairs, |_, &(si, scheme)| run(si, &scenarios[si], scheme));
+    MatrixReport { schemes: schemes.to_vec(), cells }
+}
+
 /// Split one CSV row with the same quoting convention the sampler's
 /// `to_csv` uses (fields containing commas or quotes are double-quoted).
 fn split_csv_row(line: &str) -> Vec<String> {
@@ -291,14 +387,14 @@ mod tests {
 
     #[test]
     fn all_schemes_have_valid_300k_configs() {
-        for s in Scheme::ALL {
+        for s in Scheme::SHOOTOUT {
             sim_config_300k(s, 1);
         }
     }
 
     #[test]
     fn all_schemes_have_valid_testbed_configs() {
-        for s in Scheme::ALL {
+        for s in Scheme::SHOOTOUT {
             sim_config_testbed(s, 1);
         }
     }
@@ -306,7 +402,27 @@ mod tests {
     #[test]
     fn headline_disciplines() {
         assert_eq!(Scheme::Pfc.headline_pump(), PumpPolicy::OutputQueued);
+        assert_eq!(Scheme::Dcfit.headline_pump(), PumpPolicy::OutputQueued);
         assert_eq!(Scheme::GfcBuffer.headline_pump(), PumpPolicy::RoundRobin);
+        assert_eq!(Scheme::Bfc.headline_pump(), PumpPolicy::RoundRobin);
+    }
+
+    #[test]
+    fn run_matrix_is_scenario_major_and_thread_independent() {
+        let scenarios = ["a", "b", "c"];
+        let schemes = [Scheme::Pfc, Scheme::Bfc];
+        let expect: Vec<String> = scenarios
+            .iter()
+            .flat_map(|s| schemes.iter().map(move |k| format!("{s}/{}", k.name())))
+            .collect();
+        for threads in [1, 4] {
+            let m =
+                run_matrix(threads, &scenarios, &schemes, |_, s, k| format!("{s}/{}", k.name()));
+            assert_eq!(m.cells, expect, "threads={threads}");
+            assert_eq!(m.num_scenarios(), 3);
+            assert_eq!(m.cell(1, Scheme::Bfc), "b/BFC");
+            assert_eq!(m.row(2), &expect[4..6]);
+        }
     }
 
     #[test]

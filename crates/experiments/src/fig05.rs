@@ -81,7 +81,7 @@ fn run_one(params: &Fig05Params, fc: FcMode, extra_proc: Dur) -> SchemeTrace {
     let inc = Incast::new(2);
     let mut cfg = SimConfig::default_10g();
     cfg.buffer_bytes = params.bm;
-    cfg.fc = fc;
+    cfg.fc = fc.into();
     cfg.seed = params.seed;
     // The figure's PFC column deliberately provisions zero headroom above
     // XOFF (the paper's abstract model) — preflight flags it, we run anyway.

@@ -11,7 +11,7 @@
 //! module checks are: GFC counts are zero, PFC/CBFC counts are positive
 //! on CBD-prone topologies, and the CBD-prone fraction falls as k grows.
 
-use crate::common::{parallel_cases, row, sim_config_300k, Scale, Scheme};
+use crate::common::{parallel_cases, row, run_matrix, sim_config_300k, Scale, Scheme};
 use gfc_core::units::Time;
 use gfc_sim::flowgen::ClosedLoopWorkload;
 use gfc_sim::{Network, TraceConfig};
@@ -131,24 +131,34 @@ fn simulate_once(
     net.structurally_deadlocked()
 }
 
-/// One topology's census contribution (`None`: not CBD-prone).
-struct TopoOutcome {
-    /// Static deadlock-susceptibility flag per scheme (in `Scheme::ALL`
-    /// order).
-    static_flags: [bool; Scheme::ALL.len()],
-    /// Whether any repeat deadlocked, per scheme.
-    deadlocked: [bool; Scheme::ALL.len()],
+/// One CBD-prone topology, prepared for the scheme matrix: the failed
+/// fat-tree plus the realized adversarial flow combination (`None` when
+/// the cycle is unrealizable — still CBD-prone, never simulated).
+struct CensusScenario {
+    topo_seed: u64,
+    ft: FatTree,
+    cycle_flows:
+        Option<Vec<(gfc_topology::NodeId, gfc_topology::NodeId, Vec<gfc_topology::LinkId>)>>,
+}
+
+/// One `(topology, scheme)` cell of the census matrix.
+struct CensusCell {
+    /// `gfc-verify` flags this pair deadlock-susceptible.
+    static_flag: bool,
+    /// Some repeat reached a structural deadlock.
+    deadlocked: bool,
 }
 
 /// Run the census.
 pub fn run(params: Table1Params) -> Table1Result {
     let mut per_k = Vec::new();
     for &k in &params.ks {
-        // One unit per topology on the shared sweep pool; outcomes merge
-        // in topology order. Seeds derive from (k, t) alone, so the
-        // census is independent of thread count and scheduling.
+        // Phase 1 — discover the CBD-prone topologies (the paper's
+        // prefilter), one unit per topology on the shared sweep pool.
+        // Seeds derive from (k, t) alone, so the census is independent of
+        // thread count and scheduling.
         let topos: Vec<usize> = (0..params.topologies_per_k).collect();
-        let outcomes = parallel_cases(params.threads, &topos, |_, &t| {
+        let scenarios: Vec<CensusScenario> = parallel_cases(params.threads, &topos, |_, &t| {
             use rand::{rngs::StdRng, SeedableRng};
             let topo_seed = params.seed ^ ((k as u64) << 32) ^ t as u64;
             let mut ft = FatTree::new(k);
@@ -156,46 +166,48 @@ pub fn run(params: Table1Params) -> Table1Result {
             ft.inject_failures(&mut rng, params.failure_prob);
             let g = gfc_topology::cbd::all_pairs_depgraph(&ft.topo);
             let cycle = g.find_cycle()?;
-            let mut outcome = TopoOutcome {
-                static_flags: [false; Scheme::ALL.len()],
-                deadlocked: [false; Scheme::ALL.len()],
-            };
             // Realize the adversarial flow combination once per topology
             // (the paper waits for churn to find it); an unrealizable
             // cycle still counts as CBD-prone.
-            let Some(cycle_flows) = gfc_topology::cbd::realize_cycle(&ft.topo, &cycle) else {
-                return Some(outcome);
-            };
-            for (si, &scheme) in Scheme::ALL.iter().enumerate() {
-                // Static prediction for this (topology, scheme) pair,
-                // recorded next to the runtime census.
-                let cfg = sim_config_300k(scheme, topo_seed);
-                let verdict = gfc_sim::preflight(&ft.topo, &Routing::spf(), &cfg).verdict();
-                outcome.static_flags[si] = verdict.deadlock_susceptible;
+            let cycle_flows = gfc_topology::cbd::realize_cycle(&ft.topo, &cycle);
+            Some(CensusScenario { topo_seed, ft, cycle_flows })
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        // Phase 2 — the (topology × scheme) matrix over the survivors.
+        let matrix = run_matrix(params.threads, &scenarios, &Scheme::ALL, |_, sc, scheme| {
+            // Static prediction for this (topology, scheme) pair,
+            // recorded next to the runtime census.
+            let cfg = sim_config_300k(scheme, sc.topo_seed);
+            let verdict = gfc_sim::preflight(&sc.ft.topo, &Routing::spf(), &cfg).verdict();
+            let mut cell =
+                CensusCell { static_flag: verdict.deadlock_susceptible, deadlocked: false };
+            if let Some(cycle_flows) = &sc.cycle_flows {
                 for r in 0..params.repeats {
-                    let run_seed = topo_seed.wrapping_mul(31).wrapping_add(r as u64);
-                    if simulate_once(&ft, &cycle_flows, scheme, params.horizon, run_seed) {
-                        outcome.deadlocked[si] = true;
+                    let run_seed = sc.topo_seed.wrapping_mul(31).wrapping_add(r as u64);
+                    if simulate_once(&sc.ft, cycle_flows, scheme, params.horizon, run_seed) {
+                        cell.deadlocked = true;
                         break; // one deadlock makes this a case
                     }
                 }
             }
-            Some(outcome)
+            cell
         });
         let mut census = KCensus {
             k,
             sampled: params.topologies_per_k,
-            cbd_prone: 0,
+            cbd_prone: scenarios.len(),
             deadlock_cases: Scheme::ALL.iter().map(|s| (s.name().to_string(), 0)).collect(),
             static_cases: Scheme::ALL.iter().map(|s| (s.name().to_string(), 0)).collect(),
         };
-        for outcome in outcomes.into_iter().flatten() {
-            census.cbd_prone += 1;
-            for (si, scheme) in Scheme::ALL.iter().enumerate() {
-                if outcome.static_flags[si] {
+        for si in 0..matrix.num_scenarios() {
+            for &scheme in &Scheme::ALL {
+                let cell = matrix.cell(si, scheme);
+                if cell.static_flag {
                     *census.static_cases.get_mut(scheme.name()).expect("scheme row") += 1;
                 }
-                if outcome.deadlocked[si] {
+                if cell.deadlocked {
                     *census.deadlock_cases.get_mut(scheme.name()).expect("scheme row") += 1;
                 }
             }

@@ -6,6 +6,10 @@ use gfc_dcqcn::{DcqcnParams, EcnMarker};
 use gfc_verify::FabricSpec;
 use serde::{Deserialize, Serialize};
 
+pub use gfc_core::fc_config::{
+    BfcConfig, CbfcParams, ConceptualParams, DcfitParams, FcConfig, GfcBufferParams, GfcTimeParams,
+    PfcParams,
+};
 pub use gfc_core::fc_mode::FcMode;
 pub use gfc_telemetry::{TelemetryConfig, TimelineConfig};
 pub use gfc_verify::PreflightPolicy;
@@ -45,12 +49,12 @@ pub struct SimConfig {
     pub mtu: u64,
     /// Ingress buffer per (port, priority), bytes.
     pub buffer_bytes: u64,
-    /// The flow-control scheme under test.
-    pub fc: FcMode,
-    /// Per-stage rate ratio of buffer-based GFC's step mapping
-    /// (`R_k = R_{k−1}·num/den`). The paper selects 1/2 (Eq. 4); Eq. (3)
-    /// admits anything ≤ 3/4 — exposed for the ablation study.
-    pub gfc_stage_ratio: (u64, u64),
+    /// The flow-control scheme under test, with its parameters. Legacy
+    /// [`FcMode`] values convert via `.into()` (buffer-based GFC picks up
+    /// the paper's 1/2 stage ratio; tune it through
+    /// [`GfcBufferParams::stage_ratio`] instead of the retired
+    /// `gfc_stage_ratio` side-channel field).
+    pub fc: FcConfig,
     /// Output-sharing discipline of the switches.
     pub pump: PumpPolicy,
     /// Packets moved per round-robin pump grant (input-queued policies).
@@ -107,8 +111,7 @@ impl SimConfig {
             prop_delay: Dur::from_micros(1),
             mtu: 1500,
             buffer_bytes: buffer,
-            fc: FcMode::Pfc { xoff: pfc.xoff, xon: pfc.xon },
-            gfc_stage_ratio: (1, 2),
+            fc: FcConfig::Pfc(PfcParams { xoff: pfc.xoff, xon: pfc.xon }),
             pump: PumpPolicy::RoundRobin,
             pump_batch: 1,
             stage_slots: 2,
@@ -126,6 +129,16 @@ impl SimConfig {
         }
     }
 
+    /// The stage-width ratio of buffer-based GFC's step mapping, read out
+    /// of [`FcConfig::GfcBuffer`]; the paper's 1/2 for every other scheme.
+    #[deprecated(note = "read GfcBufferParams::stage_ratio from SimConfig::fc instead")]
+    pub fn gfc_stage_ratio(&self) -> (u64, u64) {
+        match self.fc {
+            FcConfig::GfcBuffer(p) => p.stage_ratio,
+            _ => (1, 2),
+        }
+    }
+
     /// The physical/flow-control parameters `gfc-verify` analyzes, lifted
     /// out of the full simulator configuration.
     pub fn fabric_spec(&self) -> FabricSpec {
@@ -136,43 +149,48 @@ impl SimConfig {
             t_wire: self.prop_delay,
             t_proc: self.ctrl_proc_delay,
             fc: self.fc,
-            gfc_stage_ratio: self.gfc_stage_ratio,
             min_rate_unit: self.min_rate_unit,
         }
     }
 
     /// Validate invariants; panics on inconsistent settings. Called by the
-    /// network builder.
+    /// network builder. (Startup-time only — the per-event hot paths
+    /// dispatch through the backend traits, never on the scheme.)
     pub fn validate(&self) {
         assert!(self.capacity > Rate::ZERO, "capacity must be positive");
         assert!(self.mtu > 0 && self.mtu <= self.buffer_bytes, "MTU must fit the buffer");
         assert!((1..=8).contains(&self.num_priorities), "1..=8 priorities supported (802.1Qbb)");
         match self.fc {
-            FcMode::Pfc { xoff, xon } => {
+            FcConfig::Pfc(PfcParams { xoff, xon }) | FcConfig::Dcfit(DcfitParams { xoff, xon }) => {
                 assert!(xon < xoff, "XON must be below XOFF");
                 assert!(xoff <= self.buffer_bytes, "XOFF beyond buffer");
             }
-            FcMode::GfcBuffer { bm, b1 } => {
+            FcConfig::GfcBuffer(GfcBufferParams { bm, b1, stage_ratio: (n, d) }) => {
                 assert!(b1 < bm, "B1 must be below Bm");
                 assert!(bm <= self.buffer_bytes, "Bm beyond buffer");
+                assert!(n > 0 && n < d, "stage ratio must be in (0, 1)");
             }
-            FcMode::GfcTime { b0, bm, period } => {
+            FcConfig::GfcTime(GfcTimeParams { b0, bm, period }) => {
                 assert!(b0 < bm, "B0 must be below Bm");
                 assert!(bm <= self.buffer_bytes, "Bm beyond buffer");
                 assert!(period.0 > 0, "period must be positive");
             }
-            FcMode::Conceptual { b0, bm, .. } => {
+            FcConfig::Conceptual(ConceptualParams { b0, bm, .. }) => {
                 assert!(b0 < bm, "B0 must be below Bm");
                 assert!(bm <= self.buffer_bytes, "Bm beyond buffer");
             }
-            FcMode::Cbfc { period } => assert!(period.0 > 0, "period must be positive"),
-            FcMode::None => {}
+            FcConfig::Cbfc(CbfcParams { period }) => {
+                assert!(period.0 > 0, "period must be positive");
+            }
+            FcConfig::Bfc(bfc) => {
+                assert!(bfc.is_valid(), "BFC thresholds inconsistent");
+                assert!(bfc.agg_xoff <= self.buffer_bytes, "aggregate XOFF beyond buffer");
+            }
+            FcConfig::None => {}
         }
         assert!(self.monitor_interval.0 > 0);
         assert!(self.progress_window >= self.monitor_interval);
         assert!(self.pump_batch >= 1, "pump batch must be at least 1");
-        let (n, d) = self.gfc_stage_ratio;
-        assert!(n > 0 && n < d, "stage ratio must be in (0, 1)");
         assert!(self.stage_slots >= 2, "need at least 2 staging slots to keep the wire busy");
     }
 }
@@ -190,7 +208,28 @@ mod tests {
     #[should_panic(expected = "XON must be below XOFF")]
     fn rejects_bad_pfc() {
         let mut c = SimConfig::default_10g();
-        c.fc = FcMode::Pfc { xoff: 10, xon: 10 };
+        c.fc = FcMode::Pfc { xoff: 10, xon: 10 }.into();
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "XON must be below XOFF")]
+    fn rejects_bad_dcfit() {
+        let mut c = SimConfig::default_10g();
+        c.fc = FcConfig::Dcfit(DcfitParams { xoff: 10, xon: 10 });
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "BFC thresholds inconsistent")]
+    fn rejects_bad_bfc() {
+        let mut c = SimConfig::default_10g();
+        c.fc = FcConfig::Bfc(BfcConfig {
+            flow_xoff: 100,
+            flow_xon: 200,
+            agg_xoff: 1000,
+            agg_xon: 900,
+        });
         c.validate();
     }
 
@@ -206,7 +245,22 @@ mod tests {
     #[should_panic(expected = "Bm beyond buffer")]
     fn rejects_gfc_bm_beyond_buffer() {
         let mut c = SimConfig::default_10g();
-        c.fc = FcMode::GfcBuffer { bm: c.buffer_bytes + 1, b1: 10 };
+        c.fc = FcMode::GfcBuffer { bm: c.buffer_bytes + 1, b1: 10 }.into();
         c.validate();
+    }
+
+    #[test]
+    fn legacy_mode_converts() {
+        let mut c = SimConfig::default_10g();
+        c.fc = FcMode::GfcBuffer { bm: 300 * 1024, b1: 281 * 1024 }.into();
+        c.validate();
+        assert_eq!(
+            c.fc,
+            FcConfig::GfcBuffer(GfcBufferParams {
+                bm: 300 * 1024,
+                b1: 281 * 1024,
+                stage_ratio: (1, 2),
+            })
+        );
     }
 }

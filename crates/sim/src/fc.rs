@@ -1,218 +1,80 @@
 //! Per-port flow-control state: the bridge between the simulator's queues
-//! and the pure state machines in `gfc-core`.
+//! and the backend trait pair in `gfc_core::backend`.
 //!
 //! Each ingress `(port, priority)` owns an [`FcReceiver`]; each egress
-//! `(port, priority)` owns an [`FcSender`] plus a rate limiter. Control
-//! messages between them are [`CtrlPayload`]s; the PFC/GFC/FCP payloads are
-//! round-tripped through the real wire codecs in `gfc_core::frames` so the
-//! simulation exercises exactly what a firmware implementation would emit.
+//! `(port, priority)` owns an [`FcSender`] plus a rate limiter. Both are
+//! thin wrappers around boxed [`gfc_core::backend::FcRx`] /
+//! [`gfc_core::backend::FcTx`] trait objects built by
+//! [`FcConfig::make_rx`]/[`FcConfig::make_tx`](gfc_core::FcConfig), so
+//! the simulator dispatches through the backend interface and never
+//! matches on the scheme. The sender additionally owns the §5.3 rate
+//! limiter and applies [`CtrlOutcome::set_rate`] to it, keeping pacing a
+//! simulator concern.
+//!
+//! Control messages between the halves are [`CtrlPayload`]s; the wire
+//! payloads are round-tripped through the real codecs in
+//! `gfc_core::frames` so the simulation exercises exactly what a
+//! firmware implementation would emit.
 
-use crate::config::{FcMode, SimConfig};
-use gfc_core::cbfc::{wrap16_advance, CbfcReceiver, CbfcSender};
-use gfc_core::conceptual::{ConceptualReceiver, ConceptualSender};
-use gfc_core::frames::{FcpFrame, FcpOp, PfcFrame, CONTROL_FRAME_WIRE_BYTES, FCP_WIRE_BYTES};
-use gfc_core::gfc_buffer::{GfcBufferReceiver, GfcBufferSender};
-use gfc_core::gfc_time::{GfcTimeReceiver, GfcTimeSender};
-use gfc_core::mapping::{LinearMapping, StageTable};
-use gfc_core::pfc::{PauseMode, PfcConfig, PfcEvent, PfcReceiver, PfcSender};
+use crate::config::SimConfig;
+use gfc_core::backend::{FcRx, FcTx};
 use gfc_core::rate_limiter::RateLimiter;
 use gfc_core::units::{Dur, Rate, Time};
+use gfc_core::PortIdent;
 
-/// A decoded flow-control message, as applied at the controlled egress.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CtrlPayload {
-    /// PFC PAUSE/RESUME.
-    Pfc(PfcEvent),
-    /// Buffer-based GFC stage feedback.
-    GfcStage(u16),
-    /// CBFC / time-based GFC credit limit, 16-bit wire encoding.
-    FcclWire(u16),
-    /// Conceptual GFC instantaneous queue sample (bytes). Out-of-band:
-    /// the conceptual design has no wire format.
-    QueueSample(u64),
-}
-
-impl CtrlPayload {
-    /// On-wire size of the frame carrying this payload (0 for the
-    /// conceptual out-of-band channel).
-    pub fn wire_bytes(&self) -> u64 {
-        match self {
-            CtrlPayload::Pfc(_) | CtrlPayload::GfcStage(_) => CONTROL_FRAME_WIRE_BYTES,
-            CtrlPayload::FcclWire(_) => FCP_WIRE_BYTES,
-            CtrlPayload::QueueSample(_) => 0,
-        }
-    }
-
-    /// Classify this payload for control-plane accounting: each class
-    /// maps 1:1 onto the scheme that emits it (pause/resume → PFC,
-    /// credit → CBFC / time-based GFC, stage → buffer-based GFC,
-    /// sample → conceptual GFC), so per-class counters *are* the
-    /// per-scheme overhead breakdown.
-    pub fn class(&self) -> gfc_telemetry::CtrlClass {
-        use gfc_telemetry::CtrlClass;
-        match self {
-            CtrlPayload::Pfc(PfcEvent::Pause { .. }) => CtrlClass::Pause,
-            CtrlPayload::Pfc(PfcEvent::Resume) => CtrlClass::Resume,
-            CtrlPayload::GfcStage(_) => CtrlClass::Stage,
-            CtrlPayload::FcclWire(_) => CtrlClass::Credit,
-            CtrlPayload::QueueSample(_) => CtrlClass::Sample,
-        }
-    }
-
-    /// Encode to wire bytes and decode back — a self-check that the real
-    /// codecs carry this payload faithfully. Returns the decoded payload.
-    /// (Debug builds of the network run every generated message through
-    /// this.)
-    pub fn codec_roundtrip(&self, prio: u8) -> CtrlPayload {
-        const SRC: [u8; 6] = [0x02, 0, 0, 0, 0, 0x42];
-        match *self {
-            CtrlPayload::Pfc(ev) => {
-                let quanta = match ev {
-                    PfcEvent::Pause { quanta } => quanta,
-                    PfcEvent::Resume => 0,
-                };
-                let f = PfcFrame::pause(SRC, prio, quanta);
-                let d = PfcFrame::decode(f.encode()).expect("PFC frame roundtrip");
-                let q = d.value_for(prio).expect("priority bit lost");
-                CtrlPayload::Pfc(if q == 0 {
-                    PfcEvent::Resume
-                } else {
-                    PfcEvent::Pause { quanta: q }
-                })
-            }
-            CtrlPayload::GfcStage(stage) => {
-                let f = PfcFrame::gfc_stage(SRC, prio, stage);
-                let d = PfcFrame::decode(f.encode()).expect("GFC frame roundtrip");
-                CtrlPayload::GfcStage(d.value_for(prio).expect("priority bit lost"))
-            }
-            CtrlPayload::FcclWire(w) => {
-                let f = FcpFrame::new(FcpOp::Normal, prio & 0xF, 0, w);
-                let d = FcpFrame::decode(f.encode()).expect("FCP roundtrip");
-                CtrlPayload::FcclWire(d.fccl)
-            }
-            CtrlPayload::QueueSample(q) => CtrlPayload::QueueSample(q),
-        }
-    }
-}
+pub use gfc_core::backend::{
+    CtrlOutcome, CtrlPayload, DcfitTag, QueueCtx, SchemeMismatch, Sense, TxHead,
+};
 
 /// Receiver-side (ingress) flow-control state for one `(port, priority)`.
 #[derive(Debug, Clone)]
-pub enum FcReceiver {
-    /// Lossy: no feedback.
-    None,
-    /// PFC threshold watcher.
-    Pfc(PfcReceiver),
-    /// CBFC credit accountant.
-    Cbfc(CbfcReceiver),
-    /// Buffer-based GFC stage tracker.
-    GfcBuffer(GfcBufferReceiver),
-    /// Time-based GFC (CBFC accountant + period).
-    GfcTime(GfcTimeReceiver),
-    /// Conceptual GFC continuous sampler.
-    Conceptual(ConceptualReceiver),
-}
+pub struct FcReceiver(Box<dyn FcRx>);
 
 impl FcReceiver {
-    /// Build the receiver state for a config.
-    pub fn for_config(cfg: &SimConfig) -> FcReceiver {
-        match cfg.fc {
-            FcMode::None => FcReceiver::None,
-            FcMode::Pfc { xoff, xon } => {
-                FcReceiver::Pfc(PfcReceiver::new(PfcConfig::new(xoff, xon)))
-            }
-            FcMode::Cbfc { .. } => FcReceiver::Cbfc(CbfcReceiver::new(cfg.buffer_bytes)),
-            FcMode::GfcBuffer { bm, b1 } => {
-                let (n, d) = cfg.gfc_stage_ratio;
-                FcReceiver::GfcBuffer(GfcBufferReceiver::new(StageTable::with_ratio(
-                    bm,
-                    b1,
-                    cfg.capacity,
-                    n,
-                    d,
-                )))
-            }
-            FcMode::GfcTime { period, .. } => {
-                FcReceiver::GfcTime(GfcTimeReceiver::new(cfg.buffer_bytes, period))
-            }
-            FcMode::Conceptual { .. } => FcReceiver::Conceptual(ConceptualReceiver::new()),
-        }
+    /// Build the receiver backend for a config at the given port.
+    pub fn for_config(cfg: &SimConfig, ident: PortIdent) -> FcReceiver {
+        FcReceiver(cfg.fc.make_rx(cfg.capacity, cfg.buffer_bytes, cfg.mtu, ident))
     }
 
-    /// Account an arrived packet and produce any feedback message driven by
-    /// the new queue length `q_bytes`.
-    pub fn on_arrival(&mut self, q_bytes: u64, pkt_bytes: u64) -> Option<CtrlPayload> {
-        match self {
-            FcReceiver::None => None,
-            FcReceiver::Pfc(rx) => rx.on_queue_update(q_bytes).map(CtrlPayload::Pfc),
-            FcReceiver::Cbfc(rx) => {
-                rx.on_packet_received(pkt_bytes);
-                None // feedback is periodic
-            }
-            FcReceiver::GfcBuffer(rx) => rx.on_queue_update(q_bytes).map(CtrlPayload::GfcStage),
-            FcReceiver::GfcTime(rx) => {
-                rx.on_packet_received(pkt_bytes);
-                None // feedback is periodic
-            }
-            FcReceiver::Conceptual(rx) => {
-                Some(CtrlPayload::QueueSample(rx.on_queue_update(q_bytes)))
-            }
-        }
+    /// Account an arrived packet and append any feedback messages driven
+    /// by the new queue state to `out`.
+    pub fn on_arrival(&mut self, ctx: &QueueCtx, out: &mut Vec<CtrlPayload>) {
+        self.0.on_arrival(ctx, out);
     }
 
-    /// Account a drained packet (its last bit left this node) and produce
-    /// any feedback driven by the new queue length.
-    pub fn on_drain(&mut self, q_bytes: u64, pkt_bytes: u64) -> Option<CtrlPayload> {
-        match self {
-            FcReceiver::None => None,
-            FcReceiver::Pfc(rx) => rx.on_queue_update(q_bytes).map(CtrlPayload::Pfc),
-            FcReceiver::Cbfc(rx) => {
-                rx.on_packet_drained(pkt_bytes);
-                None
-            }
-            FcReceiver::GfcBuffer(rx) => rx.on_queue_update(q_bytes).map(CtrlPayload::GfcStage),
-            FcReceiver::GfcTime(rx) => {
-                rx.on_packet_drained(pkt_bytes);
-                None
-            }
-            FcReceiver::Conceptual(rx) => {
-                Some(CtrlPayload::QueueSample(rx.on_queue_update(q_bytes)))
-            }
-        }
+    /// Account a drained packet (its last bit left this node) and append
+    /// any feedback to `out`. Per-flow schemes may emit several resumes
+    /// at once.
+    pub fn on_drain(&mut self, ctx: &QueueCtx, out: &mut Vec<CtrlPayload>) {
+        self.0.on_drain(ctx, out);
     }
 
     /// The periodic feedback message (CBFC / time-based GFC); `None` for
     /// event-driven schemes.
     pub fn periodic(&mut self) -> Option<CtrlPayload> {
-        match self {
-            FcReceiver::Cbfc(rx) => {
-                Some(CtrlPayload::FcclWire((rx.make_feedback() & 0xFFFF) as u16))
-            }
-            FcReceiver::GfcTime(rx) => {
-                Some(CtrlPayload::FcclWire((rx.make_feedback() & 0xFFFF) as u16))
-            }
-            _ => None,
-        }
+        self.0.periodic()
     }
 
-    /// The feedback period, if this scheme is time-triggered.
-    pub fn period(&self, cfg: &SimConfig) -> Option<Dur> {
-        match (self, cfg.fc) {
-            (FcReceiver::Cbfc(_), FcMode::Cbfc { period }) => Some(period),
-            (FcReceiver::GfcTime(_), FcMode::GfcTime { period, .. }) => Some(period),
-            _ => None,
-        }
+    /// A packet was consumed instantly at a host sink.
+    pub fn on_host_delivery(&mut self, bytes: u64) {
+        self.0.on_host_delivery(bytes);
+    }
+
+    /// Classify a payload this receiver just generated for the causal
+    /// layer.
+    pub fn sense(&self, payload: &CtrlPayload, ing_bytes: u64) -> Sense {
+        self.0.sense(payload, ing_bytes)
+    }
+
+    /// Whether arrivals should carry the forward egress's applied tag
+    /// (DCFIT inheritance).
+    pub fn wants_fwd_tag(&self) -> bool {
+        self.0.wants_fwd_tag()
     }
 
     /// Feedback messages generated so far.
     pub fn messages_sent(&self) -> u64 {
-        match self {
-            FcReceiver::None => 0,
-            FcReceiver::Pfc(rx) => rx.messages_sent(),
-            FcReceiver::Cbfc(rx) => rx.messages_sent(),
-            FcReceiver::GfcBuffer(rx) => rx.messages_sent(),
-            FcReceiver::GfcTime(rx) => rx.messages_sent(),
-            FcReceiver::Conceptual(rx) => rx.messages_sent(),
-        }
+        self.0.messages_sent()
     }
 }
 
@@ -228,165 +90,51 @@ pub enum Gate {
     Blocked,
 }
 
-/// A control payload delivered to a sender running a different scheme.
-///
-/// The receiver/sender pairing is fixed by [`SimConfig::fc`] at network
-/// construction, so this error indicates miswired plumbing (a message
-/// routed to the wrong port state), never a runtime condition of a
-/// correctly built network.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct SchemeMismatch {
-    /// The payload that could not be applied.
-    pub payload: CtrlPayload,
-    /// Human-readable name of the scheme the sender is running.
-    pub sender_scheme: &'static str,
-}
-
-impl std::fmt::Display for SchemeMismatch {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "flow-control message {:?} does not match a {} sender",
-            self.payload, self.sender_scheme
-        )
-    }
-}
-
-impl std::error::Error for SchemeMismatch {}
-
 /// Sender-side (egress) flow-control state for one `(port, priority)`.
 #[derive(Debug, Clone)]
 pub struct FcSender {
-    kind: FcSenderKind,
+    inner: Box<dyn FcTx>,
     /// The §5.3 rate limiter; always present (line rate when unused).
     pub limiter: RateLimiter,
 }
 
-#[derive(Debug, Clone)]
-enum FcSenderKind {
-    None,
-    Pfc(PfcSender),
-    Cbfc {
-        tx: CbfcSender,
-        /// Monotone FCCL reconstructed from 16-bit wire values.
-        fccl_recon: u64,
-    },
-    GfcBuffer(GfcBufferSender),
-    GfcTime {
-        tx: GfcTimeSender,
-        fccl_recon: u64,
-    },
-    Conceptual(ConceptualSender),
-}
-
-impl FcSenderKind {
-    fn scheme_name(&self) -> &'static str {
-        match self {
-            FcSenderKind::None => "lossy (no flow control)",
-            FcSenderKind::Pfc(_) => "PFC",
-            FcSenderKind::Cbfc { .. } => "CBFC",
-            FcSenderKind::GfcBuffer(_) => "buffer-based GFC",
-            FcSenderKind::GfcTime { .. } => "time-based GFC",
-            FcSenderKind::Conceptual(_) => "conceptual GFC",
-        }
-    }
-}
-
 impl FcSender {
-    /// Build the sender state for a config.
-    pub fn for_config(cfg: &SimConfig) -> FcSender {
+    /// Build the sender backend for a config at the given port.
+    pub fn for_config(cfg: &SimConfig, ident: PortIdent) -> FcSender {
         let mut limiter = RateLimiter::with_min_unit(cfg.capacity, cfg.min_rate_unit);
         limiter.set_rate(cfg.capacity);
-        let kind = match cfg.fc {
-            FcMode::None => FcSenderKind::None,
-            FcMode::Pfc { .. } => {
-                FcSenderKind::Pfc(PfcSender::new(PauseMode::UntilResume, cfg.capacity))
-            }
-            FcMode::Cbfc { .. } => {
-                let blocks = cfg.buffer_bytes / gfc_core::cbfc::BLOCK_BYTES;
-                FcSenderKind::Cbfc { tx: CbfcSender::new(blocks), fccl_recon: blocks }
-            }
-            FcMode::GfcBuffer { bm, b1 } => {
-                let (n, d) = cfg.gfc_stage_ratio;
-                FcSenderKind::GfcBuffer(GfcBufferSender::new(StageTable::with_ratio(
-                    bm,
-                    b1,
-                    cfg.capacity,
-                    n,
-                    d,
-                )))
-            }
-            FcMode::GfcTime { b0, bm, .. } => {
-                let blocks = cfg.buffer_bytes / gfc_core::cbfc::BLOCK_BYTES;
-                let mapping = LinearMapping::new(b0, bm, cfg.capacity);
-                FcSenderKind::GfcTime {
-                    tx: GfcTimeSender::new(blocks, mapping),
-                    fccl_recon: blocks,
-                }
-            }
-            FcMode::Conceptual { b0, bm, .. } => FcSenderKind::Conceptual(ConceptualSender::new(
-                LinearMapping::new(b0, bm, cfg.capacity),
-            )),
-        };
-        FcSender { kind, limiter }
+        FcSender { inner: cfg.fc.make_tx(cfg.capacity, cfg.buffer_bytes, ident), limiter }
     }
 
-    /// Apply a received control message at `now`. Returns `Ok(true)` if
-    /// the gate may have opened (the caller should kick the transmitter),
-    /// or [`SchemeMismatch`] when the payload belongs to a different
-    /// scheme than this sender runs.
-    pub fn on_ctrl(&mut self, payload: CtrlPayload, now: Time) -> Result<bool, SchemeMismatch> {
-        match (&mut self.kind, payload) {
-            (FcSenderKind::Pfc(tx), CtrlPayload::Pfc(ev)) => {
-                tx.on_event(ev, now);
-                Ok(!tx.is_paused(now))
-            }
-            (FcSenderKind::Cbfc { tx, fccl_recon }, CtrlPayload::FcclWire(w)) => {
-                *fccl_recon = wrap16_advance(*fccl_recon, w);
-                tx.on_feedback(*fccl_recon);
-                Ok(true)
-            }
-            (FcSenderKind::GfcBuffer(tx), CtrlPayload::GfcStage(stage)) => {
-                let rate = tx.on_feedback(stage);
-                self.limiter.set_rate(rate);
-                Ok(true)
-            }
-            (FcSenderKind::GfcTime { tx, fccl_recon }, CtrlPayload::FcclWire(w)) => {
-                *fccl_recon = wrap16_advance(*fccl_recon, w);
-                // §7: the limiter's minimum rate unit floors the mapping —
-                // the input rate never reaches exactly zero, which is what
-                // eliminates hold-and-wait.
-                let rate = tx.on_feedback(*fccl_recon).max(Rate(1));
-                self.limiter.set_rate(rate);
-                Ok(true)
-            }
-            (FcSenderKind::Conceptual(tx), CtrlPayload::QueueSample(q)) => {
-                let rate = tx.on_feedback(q).max(Rate(1));
-                self.limiter.set_rate(rate);
-                Ok(true)
-            }
-            (kind, payload) => Err(SchemeMismatch { payload, sender_scheme: kind.scheme_name() }),
+    /// Human-readable name of the scheme this sender runs.
+    pub fn scheme(&self) -> &'static str {
+        self.inner.scheme()
+    }
+
+    /// Apply a received control message at `now`, programming the rate
+    /// limiter if the backend asks. The outcome carries whether the hard
+    /// gate may have opened (kick the transmitter) and any DCFIT
+    /// detection; [`SchemeMismatch`] means the payload belongs to a
+    /// different scheme than this sender runs.
+    pub fn on_ctrl(
+        &mut self,
+        payload: CtrlPayload,
+        now: Time,
+    ) -> Result<CtrlOutcome, SchemeMismatch> {
+        let outcome = self.inner.on_ctrl(payload, now)?;
+        if let Some(rate) = outcome.set_rate {
+            self.limiter.set_rate(rate);
         }
+        Ok(outcome)
     }
 
-    /// Whether a packet of `bytes` may start transmitting at `now`,
-    /// combining the scheme's gate with the rate limiter.
-    pub fn gate(&mut self, bytes: u64, now: Time) -> Gate {
-        // Scheme-specific hard gates first. Time-based GFC has none: per
-        // §5.2 its sender is purely rate-based (the FCCL is information
-        // for the Rate Adjuster, not a credit gate), which is precisely
-        // how it avoids hold-and-wait; losslessness comes from Theorem 5.1
-        // parameters plus buffer headroom, and is asserted by the drop
-        // counters.
-        let hard_open = match &mut self.kind {
-            FcSenderKind::None
-            | FcSenderKind::GfcBuffer(_)
-            | FcSenderKind::GfcTime { .. }
-            | FcSenderKind::Conceptual(_) => true,
-            FcSenderKind::Pfc(tx) => !tx.is_paused(now),
-            FcSenderKind::Cbfc { tx, .. } => tx.can_send(bytes),
-        };
-        if !hard_open {
+    /// Whether the head-of-line packet may start transmitting at `now`,
+    /// combining the scheme's hard gate with the rate limiter. (Schemes
+    /// without a hard gate — the GFC family, BFC for other flows — fall
+    /// through to pure pacing; that is precisely how GFC avoids
+    /// hold-and-wait, per §5.2.)
+    pub fn gate(&mut self, head: &TxHead, now: Time) -> Gate {
+        if !self.inner.hard_open(head, now) {
             return Gate::Blocked;
         }
         let t = self.limiter.earliest_send(now);
@@ -401,17 +149,8 @@ impl FcSender {
 
     /// Account a transmission: the packet's serialization took `tx_time`
     /// and finishes at `completion`.
-    pub fn on_sent(&mut self, bytes: u64, tx_time: Dur, completion: Time) {
-        match &mut self.kind {
-            FcSenderKind::Cbfc { tx, .. } => tx.on_packet_sent(bytes),
-            FcSenderKind::GfcTime { tx, .. } => {
-                // FCTBS bookkeeping (the rate mapping depends on it); the
-                // mapped rate floor keeps the port trickling even at
-                // zero reconstructed credit.
-                tx.on_packet_sent_unchecked(bytes);
-            }
-            _ => {}
-        }
+    pub fn on_sent(&mut self, head: &TxHead, tx_time: Dur, completion: Time) {
+        self.inner.on_sent(head);
         self.limiter.on_packet_sent(tx_time, completion);
     }
 
@@ -420,70 +159,96 @@ impl FcSender {
         self.limiter.rate()
     }
 
-    /// Whether the scheme's hard gate (pause / credits) is currently shut —
-    /// i.e. the queue is in a *hold-and-wait* state if it has packets.
-    /// Non-mutating (no starvation accounting); used by the wait-for-graph
-    /// deadlock detector.
-    pub fn hard_blocked(&self, probe_bytes: u64, now: Time) -> bool {
-        match &self.kind {
-            FcSenderKind::None
-            | FcSenderKind::GfcBuffer(_)
-            | FcSenderKind::GfcTime { .. }
-            | FcSenderKind::Conceptual(_) => false,
-            FcSenderKind::Pfc(tx) => tx.is_paused(now),
-            FcSenderKind::Cbfc { tx, .. } => !tx.would_allow(probe_bytes),
-        }
+    /// Whether the scheme's hard gate (pause / credits / per-flow pause)
+    /// is currently shut for `head` — i.e. the queue is in a
+    /// *hold-and-wait* state if it has packets. Non-mutating (no
+    /// starvation accounting); used by the wait-for-graph deadlock
+    /// detector.
+    pub fn hard_blocked(&self, head: &TxHead, now: Time) -> bool {
+        self.inner.hard_blocked(head, now)
     }
 
     /// Hold-and-wait episodes entered so far (PFC pauses / credit
-    /// starvations); 0 for schemes without a hard gate.
+    /// starvations / BFC per-flow pauses); 0 for schemes without a gate.
     pub fn hold_and_wait_episodes(&self) -> u64 {
-        match &self.kind {
-            FcSenderKind::Pfc(tx) => tx.pauses_entered(),
-            FcSenderKind::Cbfc { tx, .. } => tx.starvations(),
-            FcSenderKind::GfcTime { tx, .. } => tx.starvations(),
-            _ => 0,
-        }
+        self.inner.hold_and_wait_episodes()
+    }
+
+    /// DCFIT: the tag of the pause currently applied at this egress.
+    pub fn applied_tag(&self) -> Option<DcfitTag> {
+        self.inner.applied_tag()
+    }
+
+    /// DCFIT: circular-wait detections witnessed at this egress.
+    pub fn detections(&self) -> u64 {
+        self.inner.detections()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gfc_core::bfc::BfcConfig;
+    use gfc_core::fc_config::{DcfitParams, FcConfig};
+    use gfc_core::pfc::PfcEvent;
     use gfc_core::units::kb;
+    use gfc_core::FcMode;
 
-    fn cfg(fc: FcMode) -> SimConfig {
+    const IDENT: PortIdent = PortIdent { node: 0, port: 0 };
+
+    fn cfg(fc: impl Into<FcConfig>) -> SimConfig {
         let mut c = SimConfig::default_10g();
-        c.fc = fc;
+        c.fc = fc.into();
         c.validate();
         c
+    }
+
+    fn ctx(q_bytes: u64, pkt_bytes: u64) -> QueueCtx {
+        QueueCtx { q_bytes, pkt_bytes, flow: 1, inherited_tag: None }
+    }
+
+    fn head(bytes: u64) -> TxHead {
+        TxHead { bytes, flow: 1 }
+    }
+
+    fn one(
+        rx: &mut FcReceiver,
+        f: impl FnOnce(&mut FcReceiver, &mut Vec<CtrlPayload>),
+    ) -> Option<CtrlPayload> {
+        let mut out = Vec::new();
+        f(rx, &mut out);
+        assert!(out.len() <= 1, "expected at most one message, got {out:?}");
+        out.pop()
     }
 
     #[test]
     fn pfc_pair_pause_resume() {
         let c = cfg(FcMode::Pfc { xoff: kb(280), xon: kb(277) });
-        let mut rx = FcReceiver::for_config(&c);
-        let mut tx = FcSender::for_config(&c);
-        assert_eq!(tx.gate(1500, Time::ZERO), Gate::Ready);
-        let msg = rx.on_arrival(kb(281), 1500).expect("pause expected");
-        assert!(!tx.on_ctrl(msg, Time::ZERO).unwrap());
-        assert_eq!(tx.gate(1500, Time::ZERO), Gate::Blocked);
-        let msg = rx.on_drain(kb(276), 1500).expect("resume expected");
-        assert!(tx.on_ctrl(msg, Time::ZERO).unwrap());
-        assert_eq!(tx.gate(1500, Time::ZERO), Gate::Ready);
+        let mut rx = FcReceiver::for_config(&c, IDENT);
+        let mut tx = FcSender::for_config(&c, IDENT);
+        assert_eq!(tx.gate(&head(1500), Time::ZERO), Gate::Ready);
+        let msg =
+            one(&mut rx, |r, out| r.on_arrival(&ctx(kb(281), 1500), out)).expect("pause expected");
+        assert!(!tx.on_ctrl(msg, Time::ZERO).unwrap().opened);
+        assert_eq!(tx.gate(&head(1500), Time::ZERO), Gate::Blocked);
+        let msg =
+            one(&mut rx, |r, out| r.on_drain(&ctx(kb(276), 1500), out)).expect("resume expected");
+        assert!(tx.on_ctrl(msg, Time::ZERO).unwrap().opened);
+        assert_eq!(tx.gate(&head(1500), Time::ZERO), Gate::Ready);
     }
 
     #[test]
     fn gfc_buffer_pair_sets_rate() {
         let c = cfg(FcMode::GfcBuffer { bm: kb(300), b1: kb(281) });
-        let mut rx = FcReceiver::for_config(&c);
-        let mut tx = FcSender::for_config(&c);
-        let msg = rx.on_arrival(kb(282), 1500).expect("stage change");
-        assert!(tx.on_ctrl(msg, Time::ZERO).unwrap());
+        let mut rx = FcReceiver::for_config(&c, IDENT);
+        let mut tx = FcSender::for_config(&c, IDENT);
+        let msg =
+            one(&mut rx, |r, out| r.on_arrival(&ctx(kb(282), 1500), out)).expect("stage change");
+        assert!(tx.on_ctrl(msg, Time::ZERO).unwrap().opened);
         assert_eq!(tx.assigned_rate(), Rate::from_gbps(5));
         // GFC never hard-blocks.
-        assert!(!tx.hard_blocked(1500, Time::ZERO));
-        match tx.gate(1500, Time::ZERO) {
+        assert!(!tx.hard_blocked(&head(1500), Time::ZERO));
+        match tx.gate(&head(1500), Time::ZERO) {
             Gate::Ready | Gate::WaitUntil(_) => {}
             Gate::Blocked => panic!("buffer-based GFC must never block"),
         }
@@ -492,13 +257,13 @@ mod tests {
     #[test]
     fn cbfc_pair_credits_through_wire_wrap() {
         let c = cfg(FcMode::Cbfc { period: Dur::from_micros(52) });
-        let mut rx = FcReceiver::for_config(&c);
-        let mut tx = FcSender::for_config(&c);
+        let mut rx = FcReceiver::for_config(&c, IDENT);
+        let mut tx = FcSender::for_config(&c, IDENT);
         // Consume all credits.
         let buffer = c.buffer_bytes;
         let mut sent = 0;
-        while let Gate::Ready = tx.gate(1500, Time::ZERO) {
-            tx.on_sent(1500, Dur::from_nanos(1200), Time::ZERO);
+        while let Gate::Ready = tx.gate(&head(1500), Time::ZERO) {
+            tx.on_sent(&head(1500), Dur::from_nanos(1200), Time::ZERO);
             sent += 1500;
             if sent > buffer + 10_000 {
                 panic!("credit gate never closed");
@@ -506,28 +271,29 @@ mod tests {
         }
         assert!(sent <= buffer);
         // Receiver got & drained everything: periodic feedback reopens.
-        rx.on_arrival(0, sent);
-        rx.on_drain(0, sent);
+        let mut out = Vec::new();
+        rx.on_arrival(&ctx(0, sent), &mut out);
+        rx.on_drain(&ctx(0, sent), &mut out);
+        assert!(out.is_empty(), "CBFC feedback is periodic");
         let msg = rx.periodic().expect("periodic FCCL");
-        assert!(tx.on_ctrl(msg, Time::ZERO).unwrap());
-        assert_eq!(tx.gate(1500, Time::ZERO), Gate::Ready);
+        assert!(tx.on_ctrl(msg, Time::ZERO).unwrap().opened);
+        assert_eq!(tx.gate(&head(1500), Time::ZERO), Gate::Ready);
     }
 
     #[test]
     fn gfc_time_pair_rate_follows_credits() {
         let c = cfg(FcMode::GfcTime { b0: kb(100), bm: kb(300), period: Dur::from_micros(52) });
-        let mut rx = FcReceiver::for_config(&c);
-        let mut tx = FcSender::for_config(&c);
+        let mut rx = FcReceiver::for_config(&c, IDENT);
+        let mut tx = FcSender::for_config(&c, IDENT);
         assert_eq!(tx.assigned_rate(), Rate::from_gbps(10));
-        // Send 200 KB without feedback → effective queue 200 KB > B0 →
-        // next feedback... rate drops only on feedback/sends; send first.
         let mut sent = 0u64;
         while sent < kb(200) {
-            tx.on_sent(1024, Dur::from_nanos(819), Time::ZERO);
+            tx.on_sent(&head(1024), Dur::from_nanos(819), Time::ZERO);
             sent += 1024;
         }
         // Packets arrived but NOT drained: occupancy = sent.
-        rx.on_arrival(sent, sent);
+        let mut out = Vec::new();
+        rx.on_arrival(&ctx(sent, sent), &mut out);
         let msg = rx.periodic().unwrap();
         tx.on_ctrl(msg, Time::ZERO).unwrap();
         let r = tx.assigned_rate();
@@ -537,53 +303,82 @@ mod tests {
     #[test]
     fn conceptual_pair_linear() {
         let c = cfg(FcMode::Conceptual { b0: kb(50), bm: kb(100), tau: Dur::from_micros(25) });
-        let mut rx = FcReceiver::for_config(&c);
-        let mut tx = FcSender::for_config(&c);
-        let msg = rx.on_arrival(kb(75), 1500).unwrap();
+        let mut rx = FcReceiver::for_config(&c, IDENT);
+        let mut tx = FcSender::for_config(&c, IDENT);
+        let msg = one(&mut rx, |r, out| r.on_arrival(&ctx(kb(75), 1500), out)).unwrap();
         tx.on_ctrl(msg, Time::ZERO).unwrap();
         assert_eq!(tx.assigned_rate(), Rate::from_gbps(5));
     }
 
     #[test]
-    fn codec_roundtrips_are_lossless() {
-        for p in [
-            CtrlPayload::Pfc(PfcEvent::Pause { quanta: 0xFFFF }),
-            CtrlPayload::Pfc(PfcEvent::Resume),
-            CtrlPayload::GfcStage(13),
-            CtrlPayload::FcclWire(64_000),
-            CtrlPayload::QueueSample(123_456),
-        ] {
-            assert_eq!(p.codec_roundtrip(3), p, "payload {p:?} corrupted by codec");
+    fn bfc_pair_per_flow_gate() {
+        let mut c = SimConfig::default_10g();
+        c.fc = FcConfig::Bfc(BfcConfig::derive(c.buffer_bytes, c.mtu));
+        c.validate();
+        let mut rx = FcReceiver::for_config(&c, IDENT);
+        let mut tx = FcSender::for_config(&c, IDENT);
+        let flow7 = |q| QueueCtx { q_bytes: q, pkt_bytes: 1500, flow: 7, inherited_tag: None };
+        // Build flow 7's footprint past flow_xoff (8 MTU by derivation).
+        let mut out = Vec::new();
+        let mut q = 0;
+        while out.is_empty() {
+            q += 1500;
+            rx.on_arrival(&flow7(q), &mut out);
+            assert!(q < c.buffer_bytes, "per-flow pause never fired");
         }
+        let pause = out.pop().unwrap();
+        assert_eq!(pause, CtrlPayload::Bfc { flow: 7, pause: true });
+        assert!(!tx.on_ctrl(pause, Time::ZERO).unwrap().opened);
+        // Flow 7 blocks; an unrelated flow on the same queue does not.
+        assert_eq!(tx.gate(&TxHead { bytes: 1500, flow: 7 }, Time::ZERO), Gate::Blocked);
+        assert_eq!(tx.gate(&TxHead { bytes: 1500, flow: 8 }, Time::ZERO), Gate::Ready);
+        // Drain it back below flow_xon: the resume reopens the gate.
+        let mut resumes = Vec::new();
+        while resumes.is_empty() && q > 0 {
+            q -= 1500;
+            rx.on_drain(&flow7(q), &mut resumes);
+        }
+        assert_eq!(resumes, vec![CtrlPayload::Bfc { flow: 7, pause: false }]);
+        assert!(tx.on_ctrl(resumes[0], Time::ZERO).unwrap().opened);
+        assert_eq!(tx.gate(&TxHead { bytes: 1500, flow: 7 }, Time::ZERO), Gate::Ready);
     }
 
     #[test]
-    fn wire_sizes() {
-        assert_eq!(CtrlPayload::Pfc(PfcEvent::Resume).wire_bytes(), 64);
-        assert_eq!(CtrlPayload::GfcStage(1).wire_bytes(), 64);
-        assert_eq!(CtrlPayload::FcclWire(0).wire_bytes(), 8);
-        assert_eq!(CtrlPayload::QueueSample(0).wire_bytes(), 0);
-    }
-
-    #[test]
-    fn classes_partition_the_payloads() {
-        use gfc_telemetry::CtrlClass;
-        assert_eq!(CtrlPayload::Pfc(PfcEvent::Pause { quanta: 1 }).class(), CtrlClass::Pause);
-        assert_eq!(CtrlPayload::Pfc(PfcEvent::Resume).class(), CtrlClass::Resume);
-        assert_eq!(CtrlPayload::GfcStage(2).class(), CtrlClass::Stage);
-        assert_eq!(CtrlPayload::FcclWire(7).class(), CtrlClass::Credit);
-        assert_eq!(CtrlPayload::QueueSample(9).class(), CtrlClass::Sample);
-        // The out-of-band sample class is the only zero-byte class — the
-        // invariant the per-class byte accounting leans on.
-        assert_eq!(CtrlPayload::QueueSample(9).wire_bytes(), 0);
+    fn dcfit_pair_detects_own_tag() {
+        let mut c = SimConfig::default_10g();
+        c.fc = FcConfig::Dcfit(DcfitParams { xoff: kb(280), xon: kb(277) });
+        c.validate();
+        let mut rx = FcReceiver::for_config(&c, PortIdent { node: 4, port: 2 });
+        let mut tx = FcSender::for_config(&c, PortIdent { node: 4, port: 0 });
+        assert!(rx.wants_fwd_tag());
+        // Fresh pause minted at node 4 → applied at node 4's own egress:
+        // the chain closed in one hop (self-loop), detection fires.
+        let msg = one(&mut rx, |r, out| r.on_arrival(&ctx(kb(281), 1500), out)).unwrap();
+        let outcome = tx.on_ctrl(msg, Time::ZERO).unwrap();
+        assert!(!outcome.opened);
+        let tag = outcome.detection.expect("own tag must be detected");
+        assert_eq!((tag.node, tag.port), (4, 2));
+        assert_eq!(tx.detections(), 1);
+        assert_eq!(tx.applied_tag(), Some(tag));
+        // A foreign-origin pause applied here is inheritance, not a hit.
+        let foreign = DcfitTag { node: 9, port: 1, seq: 0 };
+        let outcome = tx
+            .on_ctrl(
+                CtrlPayload::DcfitPfc { ev: PfcEvent::Pause { quanta: u16::MAX }, tag: foreign },
+                Time::ZERO,
+            )
+            .unwrap();
+        assert!(outcome.detection.is_none());
+        assert_eq!(tx.applied_tag(), Some(foreign));
     }
 
     #[test]
     fn mismatched_ctrl_is_a_typed_error() {
         let c = cfg(FcMode::Pfc { xoff: kb(280), xon: kb(277) });
-        let mut tx = FcSender::for_config(&c);
+        let mut tx = FcSender::for_config(&c, IDENT);
         let err = tx.on_ctrl(CtrlPayload::GfcStage(1), Time::ZERO).unwrap_err();
         assert_eq!(err.payload, CtrlPayload::GfcStage(1));
+        assert_eq!(err.payload_scheme, "buffer-based GFC");
         assert_eq!(err.sender_scheme, "PFC");
         assert!(err.to_string().contains("does not match a PFC sender"), "{err}");
     }

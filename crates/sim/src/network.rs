@@ -19,17 +19,17 @@
 //! * **Determinism**: a single seeded RNG, and a totally ordered event
 //!   queue. Two runs with the same seed are bit-identical.
 
-use crate::config::{FcMode, SimConfig};
+use crate::config::SimConfig;
 use crate::event::{Event, EventQueue};
-use crate::fc::{CtrlPayload, FcReceiver, Gate};
+use crate::fc::{CtrlPayload, Gate, QueueCtx, Sense, TxHead};
 use crate::flowgen::{FlowRequest, Workload};
 use crate::packet::Packet;
 use crate::port::{IngressPacket, PortState, PortTable, QueuedCtrl, StagedPacket};
 use crate::telemetry::{PortSample, SimTelemetry};
 use crate::trace::{TraceConfig, Traces};
 use gfc_analysis::{FlowLedger, ProgressMonitor, ThroughputMeter};
+use gfc_core::fc_config::PortIdent;
 use gfc_core::fxhash::FxHashMap;
-use gfc_core::pfc::PfcEvent;
 use gfc_core::units::{Dur, Rate, Time};
 use gfc_dcqcn::{CnpGenerator, ReactionPoint};
 use gfc_telemetry::{
@@ -157,6 +157,9 @@ pub struct Network {
     last_monitor_delivered: u64,
     /// First observation of a wait-for cycle during a stalled tick.
     structural_deadlock_at: Option<Time>,
+    /// First runtime deadlock detection raised by the flow-control backend
+    /// itself (DCFIT's initial-trigger check), if any.
+    first_fc_detection_at: Option<Time>,
     /// The static preflight report (None when the policy was `Skip`).
     preflight_report: Option<gfc_verify::Report>,
     /// Observability state: metrics registry, flight recorder, forensics.
@@ -195,9 +198,11 @@ impl Network {
         let mut nested: Vec<Vec<PortState>> = Vec::with_capacity(topo.num_nodes());
         for n in topo.node_ids() {
             let mut node_ports = Vec::new();
-            for &(peer, link) in topo.ports(n) {
+            for (idx, &(peer, link)) in topo.ports(n).iter().enumerate() {
                 let peer_port = topo.port_of(peer, link);
-                node_ports.push(PortState::new(&cfg, link, peer, peer_port));
+                let ident =
+                    PortIdent { node: n.0, port: u16::try_from(idx).expect("port index fits u16") };
+                node_ports.push(PortState::new(&cfg, ident, link, peer, peer_port));
             }
             nested.push(node_ports);
         }
@@ -264,6 +269,7 @@ impl Network {
             halted: false,
             last_monitor_delivered: 0,
             structural_deadlock_at: None,
+            first_fc_detection_at: None,
             preflight_report,
             tel,
             cfg,
@@ -374,6 +380,18 @@ impl Network {
     /// When the structural deadlock was first observed.
     pub fn structural_deadlock_at(&self) -> Option<Time> {
         self.structural_deadlock_at
+    }
+
+    /// Runtime deadlock detections raised by the flow-control backend
+    /// itself — DCFIT's initial-trigger check firing when a pause tag
+    /// returns to its minting port. Zero for every other scheme.
+    pub fn fc_detections(&self) -> u64 {
+        self.ports.all().iter().flat_map(PortState::pqs).map(|pq| pq.tx_fc.detections()).sum()
+    }
+
+    /// When the backend's first runtime deadlock detection fired.
+    pub fn first_fc_detection_at(&self) -> Option<Time> {
+        self.first_fc_detection_at
     }
 
     /// The configuration in force.
@@ -703,12 +721,7 @@ impl Network {
             self.queue.push(self.now + Dur(period), Event::TimelineSample);
         }
         // Periodic feedback timers (CBFC / time-based GFC) on every port.
-        let period = match self.cfg.fc {
-            FcMode::Cbfc { period } => Some(period),
-            FcMode::GfcTime { period, .. } => Some(period),
-            _ => None,
-        };
-        if let Some(period) = period {
+        if let Some(period) = self.cfg.fc.period() {
             // Desynchronize the per-port feedback clocks: each port's
             // firmware timer starts at an independent phase. Synchronized
             // phases are physically unrealistic and make the coupled
@@ -805,11 +818,14 @@ impl Network {
         let mut rows: Vec<PortSample> = Vec::new();
         for ps in self.ports.all() {
             let pq = ps.pq(0);
-            let head_bytes = pq.eg.q.front().map_or(mtu, |sp| sp.pkt.bytes);
+            let head = pq.eg.q.front().map_or(TxHead { bytes: mtu, flow: 0 }, |sp| TxHead {
+                bytes: sp.pkt.bytes,
+                flow: sp.pkt.flow,
+            });
             rows.push(PortSample {
                 ingress_bytes: ps.ingress_backlog(),
                 rate_bps: pq.tx_fc.assigned_rate().0,
-                held: pq.eg.bytes > 0 && pq.tx_fc.hard_blocked(head_bytes, now),
+                held: pq.eg.bytes > 0 && pq.tx_fc.hard_blocked(&head, now),
                 tx_bytes_cum: ps.bytes_tx,
             });
         }
@@ -837,13 +853,10 @@ impl Network {
         self.tel.on_flow_delivery(pkt.flow, pkt.bytes, self.now.0);
         // Keep credit accounting alive on the host's ingress (the switch's
         // egress towards us spends credits) — the sink drains instantly.
-        {
-            let rx = &mut self.ports[node.0 as usize][port].pq_mut(pkt.prio as usize).ing_rx;
-            if matches!(rx, FcReceiver::Cbfc(_) | FcReceiver::GfcTime(_)) {
-                rx.on_arrival(0, pkt.bytes);
-                rx.on_drain(0, pkt.bytes);
-            }
-        }
+        self.ports[node.0 as usize][port]
+            .pq_mut(pkt.prio as usize)
+            .ing_rx
+            .on_host_delivery(pkt.bytes);
         // ECN → CNP at the receiver.
         if pkt.ecn_marked {
             if let Some(dc) = self.cfg.dcqcn {
@@ -916,8 +929,23 @@ impl Network {
         }
         let q = self.ports[node.0 as usize][port].pq(prio).ing_bytes;
         self.tel.on_enqueue(self.now.0, node, port, pkt.prio, bytes, q);
-        let msg = self.ports[node.0 as usize][port].pq_mut(prio).ing_rx.on_arrival(q, bytes);
-        if let Some(payload) = msg {
+        // Route first: backends that chain causality along the forwarding
+        // direction (DCFIT) need the forward egress resolved before the
+        // arrival hook runs, so a tag applied there can be inherited here.
+        let link = pkt
+            .next_link()
+            .unwrap_or_else(|| panic!("packet {} stranded at switch {node:?}", pkt.id));
+        debug_assert!(self.topo.link_alive(link), "routing used a failed link");
+        let out_port = self.out_port(node, link);
+        let inherited_tag = if self.ports[node.0 as usize][port].pq(prio).ing_rx.wants_fwd_tag() {
+            self.ports[node.0 as usize][out_port].pq(prio).tx_fc.applied_tag()
+        } else {
+            None
+        };
+        let ctx = QueueCtx { q_bytes: q, pkt_bytes: bytes, flow: pkt.flow, inherited_tag };
+        let mut out = Vec::new();
+        self.ports[node.0 as usize][port].pq_mut(prio).ing_rx.on_arrival(&ctx, &mut out);
+        for payload in out {
             let fwd = if self.tel.causal_on() {
                 self.causal_fwd_hint(node, port, prio, &pkt)
             } else {
@@ -925,13 +953,8 @@ impl Network {
             };
             self.send_ctrl(node, port, pkt.prio, payload, fwd);
         }
-        // Route, then queue in the ingress FIFO (input-buffered switch):
-        // the packet moves to its egress only when a staging slot frees.
-        let link = pkt
-            .next_link()
-            .unwrap_or_else(|| panic!("packet {} stranded at switch {node:?}", pkt.id));
-        debug_assert!(self.topo.link_alive(link), "routing used a failed link");
-        let out_port = self.out_port(node, link);
+        // Queue in the ingress FIFO (input-buffered switch): the packet
+        // moves to its egress only when a staging slot frees.
         pkt.hop += 1;
         let n = node.0 as usize;
         let arrival_seq = self.arrival_seq[n];
@@ -1086,7 +1109,7 @@ impl Network {
         self.stats.ctrl_msgs += 1;
         self.stats.ctrl_bytes += wire;
         let rate_before = self.ports[node.0 as usize][port].pq(prio as usize).tx_fc.assigned_rate();
-        let opened = self.ports[node.0 as usize][port]
+        let outcome = self.ports[node.0 as usize][port]
             .pq_mut(prio as usize)
             .tx_fc
             .on_ctrl(payload, self.now)
@@ -1101,16 +1124,33 @@ impl Network {
             (rate_before.0, rate_after.0),
             cause,
         );
-        if opened {
+        if outcome.detection.is_some() {
+            self.on_fc_detection();
+        }
+        if outcome.opened {
             self.try_transmit(node, port);
         }
     }
 
+    /// The backend raised a runtime deadlock detection (DCFIT's tag came
+    /// home). Record the first occurrence and, when forensics are armed,
+    /// capture the wait-for graph at the detection instant — the moment
+    /// the scheme itself claims a cycle exists.
+    fn on_fc_detection(&mut self) {
+        if self.first_fc_detection_at.is_some() {
+            return;
+        }
+        self.first_fc_detection_at = Some(self.now);
+        if self.tel.forensics_on && self.tel.forensics.is_none() {
+            let graph = self.waitfor_graph();
+            let cycle = graph.find_cycle().unwrap_or_default();
+            self.capture_forensics(ForensicsTrigger::DcfitDetection, graph, cycle);
+        }
+    }
+
     fn on_periodic_feedback(&mut self, node: NodeId, port: usize) {
-        let period = match self.cfg.fc {
-            FcMode::Cbfc { period } => period,
-            FcMode::GfcTime { period, .. } => period,
-            _ => return,
+        let Some(period) = self.cfg.fc.period() else {
+            return;
         };
         for prio in 0..self.cfg.num_priorities {
             let msg = self.ports[node.0 as usize][port].pq_mut(prio).ing_rx.periodic();
@@ -1215,57 +1255,6 @@ impl Network {
     // Transmission machinery
     // ----------------------------------------------------------------
 
-    /// Classify a feedback message for the causal layer: does it assert
-    /// backpressure (hard stop vs. soft throttle) or clear it? Decided
-    /// from the scheme in force plus the generating ingress occupancy —
-    /// the wire payloads themselves don't carry that intent.
-    fn causal_sense(&self, payload: &CtrlPayload, ing_bytes: u64) -> CtrlSense {
-        match payload {
-            CtrlPayload::Pfc(PfcEvent::Pause { .. }) => CtrlSense::AssertHard,
-            CtrlPayload::Pfc(PfcEvent::Resume) => CtrlSense::Clear,
-            // Buffer-based GFC: stage s throttles to C/2^s — any nonzero
-            // stage asserts (softly), stage 0 restores line rate.
-            CtrlPayload::GfcStage(s) => {
-                if *s > 0 {
-                    CtrlSense::AssertSoft
-                } else {
-                    CtrlSense::Clear
-                }
-            }
-            CtrlPayload::FcclWire(_) => match self.cfg.fc {
-                // CBFC: the upstream stops once the advertised window no
-                // longer admits a full frame — a hard assert.
-                FcMode::Cbfc { .. } => {
-                    if ing_bytes + self.cfg.mtu > self.cfg.buffer_bytes {
-                        CtrlSense::AssertHard
-                    } else {
-                        CtrlSense::Clear
-                    }
-                }
-                // Time-based GFC: occupancy beyond B0 starts the gentle
-                // slowdown (rate floor keeps it soft).
-                FcMode::GfcTime { b0, .. } => {
-                    if ing_bytes > b0 {
-                        CtrlSense::AssertSoft
-                    } else {
-                        CtrlSense::Clear
-                    }
-                }
-                _ => CtrlSense::Clear,
-            },
-            CtrlPayload::QueueSample(q) => match self.cfg.fc {
-                FcMode::Conceptual { b0, .. } => {
-                    if *q >= b0 {
-                        CtrlSense::AssertSoft
-                    } else {
-                        CtrlSense::Clear
-                    }
-                }
-                _ => CtrlSense::Clear,
-            },
-        }
-    }
-
     /// The lineage hint for a feedback message born at a backlogged
     /// ingress: the local egress that ingress is *waiting on*, mirroring
     /// the wait-for relation ([`Self::waitfor_graph`]) so parent linkage
@@ -1285,7 +1274,9 @@ impl Network {
         let routed = pkt.next_link().map(|l| self.out_port(node, l));
         let blocked = |p: usize| {
             let pq = self.ports[n][p].pq(prio);
-            pq.eg.q.front().is_some_and(|h| pq.tx_fc.hard_blocked(h.pkt.bytes, self.now))
+            pq.eg.q.front().is_some_and(|h| {
+                pq.tx_fc.hard_blocked(&TxHead { bytes: h.pkt.bytes, flow: h.pkt.flow }, self.now)
+            })
         };
         if let Some(out) = routed {
             if blocked(out) {
@@ -1318,16 +1309,20 @@ impl Network {
     ) {
         debug_assert_eq!(payload.codec_roundtrip(prio), payload, "codec would corrupt payload");
         let sense = self.tel.causal_on().then(|| {
-            let ing = self.ports[node.0 as usize][port].pq(prio as usize).ing_bytes;
-            (self.causal_sense(&payload, ing), fwd_egress)
+            // The generating receiver classifies its own message — it is
+            // the only party that knows the scheme's assert/clear intent.
+            let pq = self.ports[node.0 as usize][port].pq(prio as usize);
+            let sense = match pq.ing_rx.sense(&payload, pq.ing_bytes) {
+                Sense::AssertHard => CtrlSense::AssertHard,
+                Sense::AssertSoft => CtrlSense::AssertSoft,
+                Sense::Clear => CtrlSense::Clear,
+            };
+            (sense, fwd_egress)
         });
         let cause = self.tel.on_ctrl_tx(self.now.0, node, port, prio, &payload, sense);
         if payload.wire_bytes() == 0 {
             // Conceptual out-of-band channel: fixed latency τ.
-            let tau = match self.cfg.fc {
-                FcMode::Conceptual { tau, .. } => tau,
-                _ => Dur::ZERO,
-            };
+            let tau = self.cfg.fc.oob_latency();
             let (peer, peer_port) = {
                 let ps = &self.ports[node.0 as usize][port];
                 (ps.peer, ps.peer_port)
@@ -1372,11 +1367,11 @@ impl Network {
             if prio >= np {
                 prio -= np;
             }
-            let head_bytes = match self.ports[n][port].pq(prio).eg.q.front() {
-                Some(sp) => sp.pkt.bytes,
+            let head = match self.ports[n][port].pq(prio).eg.q.front() {
+                Some(sp) => TxHead { bytes: sp.pkt.bytes, flow: sp.pkt.flow },
                 None => continue,
             };
-            match self.ports[n][port].pq_mut(prio).tx_fc.gate(head_bytes, now) {
+            match self.ports[n][port].pq_mut(prio).tx_fc.gate(&head, now) {
                 Gate::Blocked => {
                     self.tel.on_gate_blocked();
                     continue;
@@ -1424,7 +1419,8 @@ impl Network {
         }
         let tx_time = Dur::for_bytes(sp.pkt.bytes, self.cfg.capacity);
         let done = now + tx_time;
-        ps.pq_mut(prio).tx_fc.on_sent(sp.pkt.bytes, tx_time, done);
+        let head = TxHead { bytes: sp.pkt.bytes, flow: sp.pkt.flow };
+        ps.pq_mut(prio).tx_fc.on_sent(&head, tx_time, done);
         ps.bytes_tx += sp.pkt.bytes;
         ps.tx_busy = true;
         ps.current_data = Some((sp, prio as u8));
@@ -1492,8 +1488,10 @@ impl Network {
                 *cnt -= bytes;
                 *cnt
             };
-            let msg = self.ports[n][ing].pq_mut(prio as usize).ing_rx.on_drain(q_after, bytes);
-            if let Some(payload) = msg {
+            let ctx = QueueCtx { q_bytes: q_after, pkt_bytes: bytes, flow, inherited_tag: None };
+            let mut out = Vec::new();
+            self.ports[n][ing].pq_mut(prio as usize).ing_rx.on_drain(&ctx, &mut out);
+            for payload in out {
                 // Lineage hint: the drain happened through this egress.
                 let fwd = if self.tel.causal_on() { Some(port as u16) } else { None };
                 self.send_ctrl(node, ing, prio, payload, fwd);
@@ -1677,7 +1675,8 @@ impl Network {
                     }
                     let Some(head) = eq.q.front() else { continue };
                     // Egress blocked → waits on the downstream ingress.
-                    if pq.tx_fc.hard_blocked(head.pkt.bytes, self.now) {
+                    let th = TxHead { bytes: head.pkt.bytes, flow: head.pkt.flow };
+                    if pq.tx_fc.hard_blocked(&th, self.now) {
                         let from = vertex(&mut g, WfSide::Egress, n, p);
                         let to = vertex(&mut g, WfSide::Ingress, ps.peer.0 as usize, ps.peer_port);
                         g.edge(from, to);

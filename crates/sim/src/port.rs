@@ -15,6 +15,7 @@
 use crate::config::SimConfig;
 use crate::fc::{CtrlPayload, FcReceiver, FcSender};
 use crate::packet::Packet;
+use gfc_core::fc_config::PortIdent;
 use gfc_telemetry::CauseToken;
 use gfc_topology::{LinkId, NodeId};
 use std::collections::VecDeque;
@@ -95,13 +96,13 @@ pub struct PrioState {
 }
 
 impl PrioState {
-    fn new(cfg: &SimConfig) -> Self {
+    fn new(cfg: &SimConfig, ident: PortIdent) -> Self {
         PrioState {
             ing_bytes: 0,
             ing_q: VecDeque::new(),
-            ing_rx: FcReceiver::for_config(cfg),
+            ing_rx: FcReceiver::for_config(cfg, ident),
             eg: EgressQueue::default(),
-            tx_fc: FcSender::for_config(cfg),
+            tx_fc: FcSender::for_config(cfg, ident),
         }
     }
 }
@@ -149,14 +150,22 @@ pub struct PortState {
 }
 
 impl PortState {
-    /// Fresh port state wired to `(link, peer, peer_port)`.
-    pub fn new(cfg: &SimConfig, link: LinkId, peer: NodeId, peer_port: usize) -> Self {
+    /// Fresh port state wired to `(link, peer, peer_port)`. `ident` names
+    /// this port itself — the identity DCFIT backends stamp into the
+    /// deadlock-detection tags they mint.
+    pub fn new(
+        cfg: &SimConfig,
+        ident: PortIdent,
+        link: LinkId,
+        peer: NodeId,
+        peer_port: usize,
+    ) -> Self {
         PortState {
             link,
             peer,
             peer_port,
-            pq0: PrioState::new(cfg),
-            pq_rest: (1..cfg.num_priorities).map(|_| PrioState::new(cfg)).collect(),
+            pq0: PrioState::new(cfg, ident),
+            pq_rest: (1..cfg.num_priorities).map(|_| PrioState::new(cfg, ident)).collect(),
             ctrl_q: VecDeque::new(),
             tx_busy: false,
             current_ctrl: None,

@@ -7,8 +7,9 @@
 //! tables): any nondeterminism or ordering drift shows up as a metrics or
 //! flow-ledger mismatch.
 
+use gfc_core::bfc::BfcConfig;
 use gfc_core::units::{kb, Dur, Time};
-use gfc_sim::config::PumpPolicy;
+use gfc_sim::config::{DcfitParams, FcConfig, PumpPolicy};
 use gfc_sim::flowgen::ClosedLoopWorkload;
 use gfc_sim::{FcMode, Network, PreflightPolicy, SimConfig, TraceConfig};
 use gfc_telemetry::names;
@@ -41,10 +42,15 @@ fn run_ring(seed: u64) -> RunFingerprint {
 }
 
 fn run_ring_with(seed: u64, causal: bool) -> RunFingerprint {
+    let fc = FcMode::Pfc { xoff: kb(280), xon: kb(277) }.into();
+    run_ring_fc(fc, PumpPolicy::OutputQueued, seed, causal)
+}
+
+fn run_ring_fc(fc: FcConfig, pump: PumpPolicy, seed: u64, causal: bool) -> RunFingerprint {
     let ring = Ring::new(3);
     let mut cfg = SimConfig::default_10g();
-    cfg.fc = FcMode::Pfc { xoff: kb(280), xon: kb(277) };
-    cfg.pump = PumpPolicy::OutputQueued;
+    cfg.fc = fc;
+    cfg.pump = pump;
     cfg.seed = seed;
     cfg.progress_window = Dur::from_millis(2);
     cfg.preflight = PreflightPolicy::Acknowledge;
@@ -62,6 +68,11 @@ fn run_ring_with(seed: u64, causal: bool) -> RunFingerprint {
 /// enterprise workload — exercises the arrival lane, SPF routing, stage
 /// feedback, and workload respawning.
 fn run_fattree(seed: u64) -> RunFingerprint {
+    let fc = FcMode::GfcBuffer { bm: kb(300), b1: kb(281) }.into();
+    run_fattree_fc(fc, PumpPolicy::RoundRobin, seed)
+}
+
+fn run_fattree_fc(fc: FcConfig, pump: PumpPolicy, seed: u64) -> RunFingerprint {
     let mut topo_seed = seed;
     let ft = loop {
         let mut ft = FatTree::new(4);
@@ -74,8 +85,8 @@ fn run_fattree(seed: u64) -> RunFingerprint {
     };
     let mut cfg = SimConfig::default_10g();
     cfg.buffer_bytes = kb(300) + 4 * 1500;
-    cfg.fc = FcMode::GfcBuffer { bm: kb(300), b1: kb(281) };
-    cfg.pump = PumpPolicy::RoundRobin;
+    cfg.fc = fc;
+    cfg.pump = pump;
     cfg.seed = seed;
     cfg.progress_window = Dur::from_millis(2);
     cfg.preflight = PreflightPolicy::Acknowledge;
@@ -130,6 +141,34 @@ fn causal_tracking_is_observation_only() {
     assert_eq!(off.metrics, on.metrics, "causal tracking perturbed the metrics");
     assert_eq!(off.ledger, on.ledger, "causal tracking perturbed the flow records");
     assert_eq!(off.events, on.events, "causal tracking changed the event count");
+}
+
+#[test]
+fn bfc_and_dcfit_replays_are_bit_identical() {
+    // The out-of-enum backends honour the same replay contract as the
+    // built-ins, on both fixtures: BFC's per-flow pause books and DCFIT's
+    // tag minting/inheritance are all keyed off the deterministic event
+    // order, so same-seed runs must agree on every observable.
+    let backends: [(&str, FcConfig, PumpPolicy); 2] = [
+        ("BFC", FcConfig::Bfc(BfcConfig::derive(kb(300) + 4 * 1500, 1500)), PumpPolicy::RoundRobin),
+        (
+            "DCFIT",
+            FcConfig::Dcfit(DcfitParams { xoff: kb(280), xon: kb(277) }),
+            PumpPolicy::OutputQueued,
+        ),
+    ];
+    for (name, fc, pump) in backends {
+        let a = run_ring_fc(fc, pump, 9, false);
+        let b = run_ring_fc(fc, pump, 9, false);
+        assert!(a.events > 1000, "{name} ring run too small ({} events)", a.events);
+        assert_eq!(a.metrics, b.metrics, "same-seed {name} ring runs disagree on metrics");
+        assert_eq!(a.ledger, b.ledger, "same-seed {name} ring runs disagree on flow records");
+        let a = run_fattree_fc(fc, pump, 4242);
+        let b = run_fattree_fc(fc, pump, 4242);
+        assert!(a.events > 10_000, "{name} fat-tree run too small ({} events)", a.events);
+        assert_eq!(a.metrics, b.metrics, "same-seed {name} fat-tree runs disagree on metrics");
+        assert_eq!(a.ledger, b.ledger, "same-seed {name} fat-tree runs disagree on flow records");
+    }
 }
 
 #[test]

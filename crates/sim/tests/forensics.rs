@@ -11,7 +11,7 @@ use gfc_topology::{Ring, Routing};
 fn ring_network(fc: FcMode, pump: PumpPolicy, telemetry: TelemetryConfig) -> Network {
     let ring = Ring::new(3);
     let mut cfg = SimConfig::default_10g();
-    cfg.fc = fc;
+    cfg.fc = fc.into();
     cfg.pump = pump;
     cfg.progress_window = Dur::from_millis(2);
     cfg.preflight = PreflightPolicy::Acknowledge;

@@ -29,7 +29,7 @@ use gfc_topology::{Ring, Routing};
 fn ring_network(fc: FcMode, pump: PumpPolicy, seed: u64) -> Network {
     let ring = Ring::new(3);
     let mut cfg = SimConfig::default_10g();
-    cfg.fc = fc;
+    cfg.fc = fc.into();
     cfg.pump = pump;
     cfg.seed = seed;
     cfg.progress_window = Dur::from_millis(2);
@@ -178,10 +178,10 @@ fn runs_are_deterministic() {
 #[test]
 fn larger_rings_behave_the_same() {
     // 5-switch ring: same qualitative split.
-    let build = |fc, pump| {
+    let build = |fc: FcMode, pump| {
         let ring = Ring::new(5);
         let mut cfg = SimConfig::default_10g();
-        cfg.fc = fc;
+        cfg.fc = fc.into();
         cfg.pump = pump;
         cfg.progress_window = Dur::from_millis(2);
         cfg.preflight = PreflightPolicy::Acknowledge;
@@ -214,7 +214,7 @@ fn cbfc_deadlocks_even_under_fair_switching_with_staggered_starts() {
     for seed in 1u64..=16 {
         let ring = Ring::new(3);
         let mut cfg = SimConfig::default_10g();
-        cfg.fc = cbfc_mode();
+        cfg.fc = cbfc_mode().into();
         cfg.pump = PumpPolicy::RoundRobin;
         cfg.seed = seed;
         cfg.progress_window = Dur::from_millis(2);

@@ -26,7 +26,7 @@ fn run_once(seed: u64, scheme_idx: usize, failure_prob: f64) -> (u64, u64, u64, 
     ft.inject_failures(&mut rng, failure_prob);
     let mut cfg = SimConfig::default_10g();
     cfg.buffer_bytes = kb(300) + 6000;
-    cfg.fc = scheme(scheme_idx);
+    cfg.fc = scheme(scheme_idx).into();
     cfg.seed = seed;
     // Random failures can hand SPF a CBD-forming re-route, which preflight
     // flags under the baselines — losslessness must hold regardless.

@@ -15,7 +15,7 @@ use gfc_topology::{Incast, Ring, Routing};
 fn ring_network(fc: FcMode, pump: PumpPolicy, timeline: TimelineConfig) -> Network {
     let ring = Ring::new(3);
     let mut cfg = SimConfig::default_10g();
-    cfg.fc = fc;
+    cfg.fc = fc.into();
     cfg.pump = pump;
     cfg.preflight = PreflightPolicy::Acknowledge;
     cfg.telemetry = TelemetryConfig::default();

@@ -149,6 +149,10 @@ pub enum ForensicsTrigger {
     /// The progress monitor declared a fatal stall (backlog with zero
     /// deliveries for a full window) before any cycle was seen.
     ProgressMonitor,
+    /// DCFIT's in-data-plane detection: a pause frame arrived carrying
+    /// its receiving node's own initial-trigger tag — the pause chain
+    /// closed on itself.
+    DcfitDetection,
 }
 
 impl ForensicsTrigger {
@@ -156,6 +160,7 @@ impl ForensicsTrigger {
         match self {
             ForensicsTrigger::WaitForCycle => "wait-for cycle",
             ForensicsTrigger::ProgressMonitor => "progress monitor",
+            ForensicsTrigger::DcfitDetection => "DCFIT initial-trigger detection",
         }
     }
 }

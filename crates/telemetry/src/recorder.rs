@@ -7,33 +7,11 @@
 
 use core::fmt;
 
-/// Classification of a control frame for recording purposes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CtrlClass {
-    /// PFC Pause.
-    Pause,
-    /// PFC Resume.
-    Resume,
-    /// GFC stage feedback.
-    Stage,
-    /// CBFC credit return / FCCL wire update.
-    Credit,
-    /// Queue sample (conceptual GFC).
-    Sample,
-}
-
-impl fmt::Display for CtrlClass {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            CtrlClass::Pause => "pause",
-            CtrlClass::Resume => "resume",
-            CtrlClass::Stage => "stage",
-            CtrlClass::Credit => "credit",
-            CtrlClass::Sample => "sample",
-        };
-        f.write_str(s)
-    }
-}
+/// Classification of a control frame for recording purposes. Defined in
+/// `gfc-core` next to the payloads it classifies; re-exported here
+/// because every telemetry surface (recorder, causal tracker, registry
+/// counters) keys on it.
+pub use gfc_core::backend::CtrlClass;
 
 /// What happened, with event-specific detail.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

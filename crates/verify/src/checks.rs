@@ -7,7 +7,10 @@
 
 use crate::diag::{Code, Diagnostic, Report, Severity};
 use crate::spec::FabricSpec;
-use gfc_core::fc_mode::FcMode;
+use gfc_core::bfc::BfcConfig;
+use gfc_core::fc_config::{
+    CbfcParams, ConceptualParams, DcfitParams, FcConfig, GfcBufferParams, GfcTimeParams, PfcParams,
+};
 use gfc_core::mapping::StageTable;
 use gfc_core::theorems;
 use gfc_core::units::{Dur, Rate};
@@ -32,21 +35,25 @@ fn push(
 /// GFC010) plus the scheme-independent register check (GFC008).
 pub(crate) fn check_parameters(spec: &FabricSpec, report: &mut Report) {
     match spec.fc {
-        FcMode::None => {}
-        FcMode::Pfc { xoff, xon } => check_pfc(spec, xoff, xon, report),
-        FcMode::Cbfc { period } => check_cbfc(spec, period, report),
-        FcMode::GfcBuffer { bm, b1 } => {
+        FcConfig::None => {}
+        FcConfig::Pfc(PfcParams { xoff, xon }) => check_pfc(spec, xoff, xon, report),
+        // DCFIT is PFC with detection tags riding on the frames: its
+        // threshold soundness conditions are PFC's verbatim.
+        FcConfig::Dcfit(DcfitParams { xoff, xon }) => check_pfc(spec, xoff, xon, report),
+        FcConfig::Cbfc(CbfcParams { period }) => check_cbfc(spec, period, report),
+        FcConfig::GfcBuffer(GfcBufferParams { bm, b1, stage_ratio }) => {
             check_bm(spec, bm, report);
-            check_buffer_gfc(spec, bm, b1, report);
+            check_buffer_gfc(spec, bm, b1, stage_ratio, report);
         }
-        FcMode::GfcTime { b0, bm, period } => {
+        FcConfig::GfcTime(GfcTimeParams { b0, bm, period }) => {
             check_bm(spec, bm, report);
             check_time_gfc(spec, b0, bm, period, report);
         }
-        FcMode::Conceptual { b0, bm, tau } => {
+        FcConfig::Conceptual(ConceptualParams { b0, bm, tau }) => {
             check_bm(spec, bm, report);
             check_conceptual(spec, b0, bm, tau, report);
         }
+        FcConfig::Bfc(cfg) => check_bfc(spec, &cfg, report),
     }
     check_rate_limiter(spec, report);
 }
@@ -89,7 +96,13 @@ fn check_conceptual(spec: &FabricSpec, b0: u64, bm: u64, tau: Dur, report: &mut 
 
 /// GFC002 — §4.2: buffer-based GFC needs `B1 ≤ Bm − 2·C·τ`. Returns
 /// whether `(bm, b1)` are ordered sanely (gates the stage-table check).
-fn check_buffer_gfc(spec: &FabricSpec, bm: u64, b1: u64, report: &mut Report) {
+fn check_buffer_gfc(
+    spec: &FabricSpec,
+    bm: u64,
+    b1: u64,
+    stage_ratio: (u64, u64),
+    report: &mut Report,
+) {
     if b1 >= bm {
         push(
             report,
@@ -123,7 +136,7 @@ fn check_buffer_gfc(spec: &FabricSpec, bm: u64, b1: u64, report: &mut Report) {
         ),
         Some(_) => {}
     }
-    check_stage_table(spec, bm, b1, report);
+    check_stage_table(spec, bm, b1, stage_ratio, report);
 }
 
 /// GFC003 — Theorem 5.1: time-based GFC needs
@@ -231,6 +244,69 @@ fn check_pfc(spec: &FabricSpec, xoff: u64, xon: u64, report: &mut Report) {
     }
 }
 
+/// GFC004/GFC005 for BFC: the aggregate XOFF plays PFC XOFF's role (last
+/// line of defense against overflow of the shared ingress buffer), so it
+/// needs the same `C·τ` headroom; the per-flow and aggregate threshold
+/// pairs each need hysteresis to resume cleanly.
+fn check_bfc(spec: &FabricSpec, cfg: &BfcConfig, report: &mut Report) {
+    let ctau = spec.ctau_bytes();
+    if cfg.agg_xoff > spec.buffer_bytes {
+        push(
+            report,
+            Code::Gfc004,
+            Severity::Error,
+            format!("fc.agg_xoff = {} B, buffer = {} B", cfg.agg_xoff, spec.buffer_bytes),
+            "the aggregate XOFF lies beyond the physical buffer: the backstop pause can never fire before overflow".into(),
+            format!(
+                "set agg_xoff ≤ buffer − C·τ = {} B",
+                spec.buffer_bytes.saturating_sub(ctau)
+            ),
+        );
+    } else {
+        let headroom = spec.buffer_bytes - cfg.agg_xoff;
+        if headroom < ctau {
+            push(
+                report,
+                Code::Gfc004,
+                Severity::Error,
+                format!("fc.agg_xoff = {} B (headroom {headroom} B)", cfg.agg_xoff),
+                format!(
+                    "aggregate XOFF headroom {headroom} B is below C·τ = {ctau} B: in-flight data arriving after the backstop pause overflows the buffer"
+                ),
+                format!("set agg_xoff ≤ {} B", spec.buffer_bytes - ctau),
+            );
+        }
+    }
+    for (name, xoff, xon) in
+        [("flow", cfg.flow_xoff, cfg.flow_xon), ("agg", cfg.agg_xoff, cfg.agg_xon)]
+    {
+        if xon >= xoff {
+            push(
+                report,
+                Code::Gfc005,
+                Severity::Error,
+                format!("fc.{name}_xon = {xon} B, fc.{name}_xoff = {xoff} B"),
+                format!(
+                    "the {name} pause thresholds have no hysteresis: a paused flow can never resume cleanly"
+                ),
+                format!("set {name}_xon at least one MTU below {name}_xoff"),
+            );
+        } else if xoff - xon < spec.mtu {
+            push(
+                report,
+                Code::Gfc005,
+                Severity::Warning,
+                format!("fc.{name}_xoff − fc.{name}_xon = {} B", xoff - xon),
+                format!(
+                    "the {name} XON/XOFF gap is narrower than one MTU ({} B): a single arriving frame re-crosses XOFF and every packet costs a pause/resume pair",
+                    spec.mtu
+                ),
+                "widen the gap to at least 2·MTU".into(),
+            );
+        }
+    }
+}
+
 /// GFC006 — CBFC credit sizing: the advertised buffer is the credit pool;
 /// if it cannot cover the bandwidth–delay product of the feedback loop the
 /// link idles waiting for FCPs (throughput loss, not a safety issue).
@@ -326,14 +402,20 @@ fn check_bm(spec: &FabricSpec, bm: u64, report: &mut Report) {
 /// GFC007 — stage-table geometry: thresholds strictly increase, rates
 /// follow `R_k = C·(num/den)^k` exactly, the deepest stage still trickles,
 /// and the ratio respects Eq. (3)'s 3/4 admissibility limit.
-fn check_stage_table(spec: &FabricSpec, bm: u64, b1: u64, report: &mut Report) {
-    let (num, den) = spec.gfc_stage_ratio;
+fn check_stage_table(
+    spec: &FabricSpec,
+    bm: u64,
+    b1: u64,
+    stage_ratio: (u64, u64),
+    report: &mut Report,
+) {
+    let (num, den) = stage_ratio;
     if num == 0 || num >= den {
         push(
             report,
             Code::Gfc007,
             Severity::Error,
-            format!("gfc_stage_ratio = {num}/{den}"),
+            format!("fc.stage_ratio = {num}/{den}"),
             "the stage ratio must lie strictly inside (0, 1)".into(),
             "the paper uses 1/2 (Eq. 4); Eq. (3) admits anything ≤ 3/4".into(),
         );
@@ -344,7 +426,7 @@ fn check_stage_table(spec: &FabricSpec, bm: u64, b1: u64, report: &mut Report) {
             report,
             Code::Gfc007,
             Severity::Error,
-            format!("gfc_stage_ratio = {num}/{den}"),
+            format!("fc.stage_ratio = {num}/{den}"),
             "stage ratio exceeds 3/4: Eq. (3) no longer holds, so a stage's worst-case inflow outruns the next stage's drain and hold-and-wait returns".into(),
             "use a ratio ≤ 3/4 (the paper selects 1/2)".into(),
         );
@@ -513,7 +595,11 @@ pub(crate) fn check_cbd(
                         "cyclic buffer dependency (SCC of {} directed links) under {}: once every buffer on the cycle fills, the {} gate freezes all of them — permanent deadlock (Fig. 1)",
                         scc.len(),
                         spec.fc.name(),
-                        if matches!(spec.fc, FcMode::Pfc { .. }) { "PAUSE" } else { "credit" }
+                        if matches!(spec.fc, FcConfig::Pfc(_) | FcConfig::Dcfit(_)) {
+                            "PAUSE"
+                        } else {
+                            "credit"
+                        }
                     ),
                     format!(
                         "use a GFC variant (no hold-and-wait, Theorem 4.1/5.1), or {break_hint}"
@@ -531,6 +617,15 @@ pub(crate) fn check_cbd(
                     spec.fc.name()
                 ),
                 "no action needed while the GFC bounds (GFC001–GFC003) hold".into(),
+            );
+        } else if matches!(spec.fc, FcConfig::Bfc(_)) {
+            push(
+                report,
+                Code::Gfc011,
+                Severity::Info,
+                subject,
+                "cyclic buffer dependency present, but BFC's gate is per-flow: a paused flow's backpressure chain ends at its destination host (which always drains), so no port-wide circular wait forms".into(),
+                "no action needed while flows terminate at hosts; the aggregate backstop still drops under pathological fan-in".into(),
             );
         } else {
             push(
@@ -586,7 +681,13 @@ pub(crate) fn check_cbd(
             ),
             format!(
                 "a sustainable circular wait exists, but {} cannot freeze on it",
-                if spec.fc.is_gfc() { spec.fc.name() } else { "a lossy fabric" }
+                if spec.fc.is_gfc() {
+                    spec.fc.name()
+                } else if matches!(spec.fc, FcConfig::Bfc(_)) {
+                    "BFC's per-flow gate"
+                } else {
+                    "a lossy fabric"
+                }
             ),
             "keep the scheme sound (GFC001–GFC003) or accept loss; a hard-gated scheme here would deadlock".into(),
         );

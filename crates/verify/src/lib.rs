@@ -93,15 +93,14 @@ mod tests {
     use gfc_topology::{Ring, Routing, SparseRing};
 
     /// The §6.2.2 fabric: 10G CEE, 300 KB buffers, τ ≈ 7.4 µs.
-    fn spec_10g(fc: FcMode) -> FabricSpec {
+    fn spec_10g(fc: impl Into<gfc_core::fc_config::FcConfig>) -> FabricSpec {
         FabricSpec {
             capacity: Rate::from_gbps(10),
             mtu: 1500,
             buffer_bytes: kb(300),
             t_wire: Dur::from_micros(1),
             t_proc: Dur::from_micros(3),
-            fc,
-            gfc_stage_ratio: (1, 2),
+            fc: fc.into(),
             min_rate_unit: Rate::from_kbps(8),
         }
     }
@@ -202,8 +201,13 @@ mod tests {
 
     #[test]
     fn stage_ratio_beyond_eq3_is_an_error() {
-        let mut spec = spec_10g(FcMode::GfcBuffer { bm: kb(300), b1: kb(281) });
-        spec.gfc_stage_ratio = (7, 8); // > 3/4
+        let spec = spec_10g(gfc_core::fc_config::FcConfig::GfcBuffer(
+            gfc_core::fc_config::GfcBufferParams {
+                bm: kb(300),
+                b1: kb(281),
+                stage_ratio: (7, 8), // > 3/4
+            },
+        ));
         let r = preflight_params(&spec);
         assert!(codes(&r, Severity::Error).contains(&Code::Gfc007), "{}", r.render());
     }
@@ -244,6 +248,58 @@ mod tests {
         assert!(r.render().contains("re-routing traffic off"), "{}", r.render());
         let v = r.verdict();
         assert!(v.cbd_prone && v.deadlock_susceptible && !v.exact_deadlock_free);
+    }
+
+    #[test]
+    fn clockwise_ring_under_dcfit_is_flagged_like_pfc() {
+        // DCFIT detects deadlock at runtime but does not prevent it: the
+        // static analysis must report it exactly as susceptible as PFC.
+        use gfc_core::fc_config::{DcfitParams, FcConfig};
+        let ring = Ring::new(3);
+        let routing = Routing::fixed(ring.clockwise_routes());
+        let spec = spec_10g(FcConfig::Dcfit(DcfitParams { xoff: kb(280), xon: kb(277) }));
+        let r = preflight(&ring.topo, &routing, &spec);
+        assert!(codes(&r, Severity::Error).contains(&Code::Gfc011), "{}", r.render());
+        assert!(r.render().contains("PAUSE"), "{}", r.render());
+        assert!(r.verdict().deadlock_susceptible);
+    }
+
+    #[test]
+    fn clockwise_ring_under_bfc_is_safe_per_flow() {
+        use gfc_core::bfc::BfcConfig;
+        use gfc_core::fc_config::FcConfig;
+        let ring = Ring::new(3);
+        let routing = Routing::fixed(ring.clockwise_routes());
+        let spec = spec_10g(FcConfig::Bfc(BfcConfig::derive(kb(300), 1500)));
+        let r = preflight(&ring.topo, &routing, &spec);
+        assert!(!r.has_errors(), "{}", r.render());
+        let v = r.verdict();
+        assert!(v.cbd_prone && !v.deadlock_susceptible, "{}", r.render());
+        assert!(r.render().contains("per-flow"), "{}", r.render());
+    }
+
+    #[test]
+    fn bfc_degenerate_hysteresis_is_an_error() {
+        use gfc_core::bfc::BfcConfig;
+        use gfc_core::fc_config::FcConfig;
+        let cfg =
+            BfcConfig { flow_xoff: kb(12), flow_xon: kb(12), agg_xoff: kb(280), agg_xon: kb(277) };
+        let r = preflight_params(&spec_10g(FcConfig::Bfc(cfg)));
+        assert!(codes(&r, Severity::Error).contains(&Code::Gfc005), "{}", r.render());
+    }
+
+    #[test]
+    fn bfc_backstop_without_headroom_is_an_error() {
+        use gfc_core::bfc::BfcConfig;
+        use gfc_core::fc_config::FcConfig;
+        let cfg = BfcConfig {
+            flow_xoff: kb(12),
+            flow_xon: kb(10),
+            agg_xoff: kb(300) - 100,
+            agg_xon: kb(290),
+        };
+        let r = preflight_params(&spec_10g(FcConfig::Bfc(cfg)));
+        assert!(codes(&r, Severity::Error).contains(&Code::Gfc004), "{}", r.render());
     }
 
     #[test]

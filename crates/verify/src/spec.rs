@@ -1,6 +1,6 @@
 //! The analyzer's input: the fabric parameters that determine soundness.
 
-use gfc_core::fc_mode::FcMode;
+use gfc_core::fc_config::FcConfig;
 use gfc_core::theorems;
 use gfc_core::units::{Dur, Rate};
 use serde::{Deserialize, Serialize};
@@ -34,11 +34,10 @@ pub struct FabricSpec {
     pub t_wire: Dur,
     /// Control-message processing delay `t_r`.
     pub t_proc: Dur,
-    /// The flow-control scheme under test.
-    pub fc: FcMode,
-    /// Per-stage rate ratio `(num, den)` of buffer-based GFC's step
-    /// mapping (`R_k = R_{k−1}·num/den`; the paper picks 1/2).
-    pub gfc_stage_ratio: (u64, u64),
+    /// The flow-control scheme under test, with its parameters (the
+    /// stage ratio of buffer-based GFC now travels inside
+    /// [`FcConfig::GfcBuffer`] rather than as a side-channel field here).
+    pub fc: FcConfig,
     /// Minimum rate-limiter unit (§7; 8 Kb/s on commodity gear).
     pub min_rate_unit: Rate,
 }
@@ -71,8 +70,7 @@ mod tests {
             buffer_bytes: 300 * 1024,
             t_wire: Dur::from_micros(1),
             t_proc: Dur::from_micros(3),
-            fc: FcMode::None,
-            gfc_stage_ratio: (1, 2),
+            fc: FcConfig::None,
             min_rate_unit: Rate::from_kbps(8),
         };
         assert!((spec.tau().as_micros_f64() - 7.4).abs() < 0.1);

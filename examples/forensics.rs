@@ -17,7 +17,7 @@ use gfc_sim::PreflightPolicy;
 fn ring(fc: FcMode, pump: PumpPolicy) -> Network {
     let ring = Ring::new(3);
     let mut cfg = SimConfig::default_10g();
-    cfg.fc = fc;
+    cfg.fc = fc.into();
     cfg.pump = pump;
     // The PFC scenario is deliberately deadlock-prone (that is the point);
     // acknowledge the static preflight errors instead of refusing to build.

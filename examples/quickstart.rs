@@ -15,7 +15,7 @@ use gfc_sim::config::PumpPolicy;
 fn run(label: &str, fc: FcMode, pump: PumpPolicy) {
     let ring = Ring::new(3);
     let mut cfg = SimConfig::default_10g();
-    cfg.fc = fc;
+    cfg.fc = fc.into();
     cfg.pump = pump;
     // gfc-verify statically flags PFC-on-the-clockwise-ring as deadlock
     // prone (error[GFC011]) — demonstrating exactly that is the point

@@ -1,0 +1,48 @@
+//! The flow-control shootout: every backend — PFC, DCFIT, CBFC, BFC and
+//! both GFC modes — on the same deadlock matrix (the Fig. 1 ring and the
+//! Fig. 11 fat-tree failure scenario), reporting deadlock incidence,
+//! probe-flow completion and slowdown percentiles, runtime deadlock
+//! detections, and feedback-bandwidth overhead.
+//!
+//! ```text
+//! cargo run --release --example shootout
+//! ```
+//!
+//! Writes the per-cell CSV next to the table; set `GFC_SHOOTOUT_OUT` to
+//! choose the path (default `shootout.csv` under the target directory).
+
+use gfc_experiments::common::Scheme;
+use gfc_experiments::shootout::{run, ShootoutParams};
+
+fn main() {
+    let r = run(ShootoutParams::default());
+    print!("{}", r.report());
+
+    let out =
+        std::env::var("GFC_SHOOTOUT_OUT").unwrap_or_else(|_| "target/shootout.csv".to_string());
+    std::fs::write(&out, r.to_csv()).expect("write shootout CSV");
+    println!("\n  per-cell CSV written to {out}");
+
+    // The headline separation the matrix exists to show: the hard-gated
+    // baseline wedges on both CBD scenarios while the gentle and per-flow
+    // schemes finish every probe, and DCFIT's runtime detector witnesses
+    // each deadlock it is susceptible to.
+    for si in 0..r.matrix.num_scenarios() {
+        let pfc = r.matrix.cell(si, Scheme::Pfc);
+        assert!(pfc.structural_deadlock, "PFC escaped the {} CBD", r.scenarios[si]);
+        let dcfit = r.matrix.cell(si, Scheme::Dcfit);
+        assert!(dcfit.detections >= 1, "DCFIT missed the {} deadlock", r.scenarios[si]);
+        for scheme in [Scheme::GfcBuffer, Scheme::GfcTime, Scheme::Bfc] {
+            let cell = r.matrix.cell(si, scheme);
+            assert!(!cell.structural_deadlock, "{} wedged", scheme.name());
+            assert_eq!(
+                cell.probes_finished,
+                cell.probes_total,
+                "{} stranded probes on {}",
+                scheme.name(),
+                r.scenarios[si]
+            );
+        }
+    }
+    println!("  separation checks passed: PFC wedges, GFC/BFC finish, DCFIT detects");
+}

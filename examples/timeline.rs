@@ -27,7 +27,7 @@ const HORIZON_MS: u64 = 20;
 fn ring(fc: FcMode, pump: PumpPolicy) -> Network {
     let ring = Ring::new(3);
     let mut cfg = SimConfig::default_10g();
-    cfg.fc = fc;
+    cfg.fc = fc.into();
     cfg.pump = pump;
     cfg.preflight = PreflightPolicy::Acknowledge; // PFC run is deliberately unsound
                                                   // Metrics, flight recorder, forensics, AND the timeline: 10 µs

@@ -40,7 +40,7 @@
 //! // flows keep moving at their 5 Gb/s fair shares.
 //! let ring = Ring::new(3);
 //! let mut cfg = SimConfig::default_10g();
-//! cfg.fc = FcMode::GfcBuffer { bm: kb(300), b1: kb(281) };
+//! cfg.fc = FcMode::GfcBuffer { bm: kb(300), b1: kb(281) }.into();
 //! let routing = Routing::fixed(ring.clockwise_routes());
 //! let mut net = Network::new(ring.topo.clone(), routing, cfg, TraceConfig::none());
 //! for (src, dst) in ring.clockwise_flows() {

@@ -10,7 +10,7 @@ fn base_cfg(fc: FcMode, seed: u64) -> SimConfig {
     // Packet-granular stage crossings can overshoot Bm by a few frames in
     // coupled scenarios; keep the experiments' 4-MTU headroom above Bm.
     cfg.buffer_bytes = kb(300) + 4 * 1500;
-    cfg.fc = fc;
+    cfg.fc = fc.into();
     cfg.seed = seed;
     cfg
 }

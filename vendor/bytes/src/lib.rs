@@ -168,6 +168,30 @@ pub trait Buf {
         v
     }
 
+    /// Read a big-endian `u32`.
+    ///
+    /// # Panics
+    /// Panics when fewer than four bytes remain.
+    fn get_u32(&mut self) -> u32 {
+        assert!(self.remaining() >= 4, "buffer exhausted");
+        let c = self.chunk();
+        let v = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+        self.advance(4);
+        v
+    }
+
+    /// Read a big-endian `u64`.
+    ///
+    /// # Panics
+    /// Panics when fewer than eight bytes remain.
+    fn get_u64(&mut self) -> u64 {
+        assert!(self.remaining() >= 8, "buffer exhausted");
+        let c = self.chunk();
+        let v = u64::from_be_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]);
+        self.advance(8);
+        v
+    }
+
     /// Fill `dst` from the front of the buffer.
     ///
     /// # Panics
