@@ -84,6 +84,27 @@ impl FlowLedger {
         &self.records
     }
 
+    /// Adopt finish times from another ledger over the *same* flow
+    /// population (records must align index-by-index). The sharded engine
+    /// registers every flow in every shard but finishes each flow only in
+    /// its destination's shard; the coordinator merges the per-shard
+    /// ledgers with this.
+    ///
+    /// # Panics
+    /// If the ledgers disagree on a record's identity, or both claim a
+    /// finish with different times.
+    pub fn adopt_finishes(&mut self, other: &FlowLedger) {
+        assert_eq!(self.records.len(), other.records.len(), "ledgers cover different flows");
+        for (r, o) in self.records.iter_mut().zip(&other.records) {
+            assert_eq!(r.id, o.id, "ledger records misaligned");
+            match (r.end_ps, o.end_ps) {
+                (Some(a), Some(b)) => assert_eq!(a, b, "flow {} finished twice", r.id),
+                (None, Some(e)) => r.end_ps = Some(e),
+                _ => {}
+            }
+        }
+    }
+
     /// Finished-flow count.
     pub fn finished(&self) -> usize {
         self.records.iter().filter(|r| r.end_ps.is_some()).count()

@@ -1,8 +1,8 @@
 //! **bench_matrix** — the topology × scheme × load grid behind the perf
-//! trajectory: 12 cells = {ring3/greedy, ft_k4/uniform, ft_k4/incast} ×
-//! {PFC, CBFC, buffer-GFC, time-GFC}, each timed with the shared
-//! hand-rolled runner (event counts are asserted bit-identical across
-//! repetitions; the fastest run is reported).
+//! trajectory: 13 cells = {ring3/greedy, ft_k4/uniform, ft_k4/incast} ×
+//! {PFC, CBFC, buffer-GFC, time-GFC} plus the BFC ring cell, each timed
+//! with the shared hand-rolled runner (event counts are asserted
+//! bit-identical across repetitions; the fastest run is reported).
 //!
 //! Writes `BENCH_matrix.json` at the repo root with a `meta` block
 //! (commit, rustc, CPU model, core count, mode) and one cell per line.
@@ -13,7 +13,11 @@
 //! Tripped cells are re-measured up to three times in *fresh processes*
 //! (keeping the max events/s — noise only ever slows a min-of-N cell
 //! down, and the slow modes are process-level) before the run exits
-//! non-zero with the per-cell delta table.
+//! non-zero with the per-cell delta table. When the baseline JSON was
+//! measured under a different mode (CI's smoke step vs the committed
+//! full-mode `BENCH_matrix.json`), the gate compares against the most
+//! recent *same-mode* point in the committed `BENCH_history.jsonl`
+//! instead, and skips with a note when no such point exists yet.
 //!
 //! Environment knobs (shared with `core_throughput`):
 //!
@@ -27,8 +31,8 @@
 //!   trajectory log (default `<repo root>/BENCH_history.jsonl`).
 
 use gfc_bench::{
-    append_history, cell_json, measure, meta_json, parse_cells, parse_mode, regression_gate,
-    run_meta, Measurement,
+    append_history, cell_json, latest_history_cells, measure, meta_json, parse_cells, parse_mode,
+    regression_gate, run_meta, Measurement,
 };
 use gfc_core::units::{Dur, Time};
 use gfc_experiments::common::{sim_config_300k, sim_config_testbed, Scheme};
@@ -146,8 +150,8 @@ fn main() {
     let runs: usize =
         std::env::var("GFC_BENCH_RUNS").ok().and_then(|v| v.parse().ok()).unwrap_or(3);
     let mode = if smoke { "smoke" } else { "full" };
-    // Twelve cells: the smoke horizons keep the whole grid (runs × cells)
-    // inside the CI smoke budget.
+    // Thirteen cells: the smoke horizons keep the whole grid (runs ×
+    // cells) inside the CI smoke budget.
     // Even the smoke cells need a few ms of wall time each: on shared
     // runners, scheduler steal bursts outlast sub-millisecond runs and
     // min-of-N stops converging, which makes the gate flaky.
@@ -156,6 +160,13 @@ fn main() {
     } else {
         (Time::from_millis(12), Time::from_millis(3))
     };
+    // BFC's per-flow scheduling throttles the wedged ring to a steady
+    // trickle (~a fifth of the aggregate schemes' event rate), so at the
+    // shared ring horizon its cell measures mostly warm-up. Triple the
+    // horizon so the cell's event work sizes comparably with its grid
+    // siblings and the events/s number reflects steady state.
+    let ring_h_for =
+        |scheme: Scheme| if matches!(scheme, Scheme::Bfc) { Time(ring_h.0 * 3) } else { ring_h };
     let ft = failed_ft4();
     let racks: Vec<u32> = (0..ft.hosts.len()).map(|h| ft.rack_of_host(h) as u32).collect();
     let uniform = DestPolicy::inter_rack(racks);
@@ -175,7 +186,7 @@ fn main() {
             .find(|s| slug(*s) == parts[2])
             .unwrap_or_else(|| panic!("unknown scheme slug {}", parts[2]));
         let cell = match parts[0] {
-            "ring3" => ring_cell(scheme, ring_h, runs),
+            "ring3" => ring_cell(scheme, ring_h_for(scheme), runs),
             "ft_k4" => {
                 let (load, dests): (&'static str, _) = match parts[1] {
                     "uniform" => ("uniform", &uniform),
@@ -198,7 +209,7 @@ fn main() {
     // The per-flow backend's trajectory cell: BFC's per-flow books and
     // pause chatter cost more per event than the aggregate schemes, and
     // this cell keeps that cost on the BENCH_history.jsonl record.
-    cells.push(ring_cell(Scheme::Bfc, ring_h, runs));
+    cells.push(ring_cell(Scheme::Bfc, ring_h_for(Scheme::Bfc), runs));
     for &scheme in &Scheme::ALL {
         cells.push(ft4_cell(&ft, scheme, "uniform", &uniform, ft_h, runs));
     }
@@ -232,14 +243,46 @@ fn main() {
     };
 
     if let Ok(baseline_path) = std::env::var("GFC_BENCH_BASELINE") {
+        // Cargo runs bench binaries with the package dir as cwd; resolve
+        // a relative baseline path against the repo root as well, so the
+        // CI invocation (`GFC_BENCH_BASELINE=BENCH_matrix.json`) works.
         let baseline = std::fs::read_to_string(&baseline_path)
+            .or_else(|_| {
+                std::fs::read_to_string(format!(
+                    "{}/../../{baseline_path}",
+                    env!("CARGO_MANIFEST_DIR")
+                ))
+            })
             .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
-        if let (Some(b), Some(c)) = (parse_mode(&baseline), parse_mode(&json)) {
-            if b != c {
-                println!("  note: baseline mode \"{b}\" differs from current mode \"{c}\"");
+        // Smoke and full horizons change each cell's warm-up/steady-state
+        // mix differently, so cross-mode ratios are not a regression
+        // signal: when the baseline JSON was measured under another mode,
+        // gate against the most recent same-mode point in the committed
+        // trajectory log instead.
+        let baseline_mode = parse_mode(&baseline).unwrap_or_else(|| "unknown".into());
+        let (base_cells, base_desc) = if baseline_mode == mode {
+            (parse_cells(&baseline), baseline_path.clone())
+        } else {
+            let committed = format!("{}/../../BENCH_history.jsonl", env!("CARGO_MANIFEST_DIR"));
+            let log = std::fs::read_to_string(&committed).unwrap_or_default();
+            match latest_history_cells(&log, "bench_matrix", mode) {
+                Some(cells) => {
+                    println!(
+                        "  baseline {baseline_path} is \"{baseline_mode}\"-mode; gating against \
+                         the latest \"{mode}\" point in the committed trajectory log"
+                    );
+                    (cells, format!("{committed} (latest \"{mode}\" point)"))
+                }
+                None => {
+                    println!(
+                        "  baseline {baseline_path} is \"{baseline_mode}\"-mode and the committed \
+                         trajectory log holds no \"{mode}\" point; gate skipped"
+                    );
+                    record_history(&cells);
+                    return;
+                }
             }
-        }
-        let base_cells = parse_cells(&baseline);
+        };
         let current = |cells: &[Cell]| -> Vec<(String, f64)> {
             cells.iter().map(|c| (c.m.name.clone(), c.m.events_per_sec)).collect()
         };
@@ -296,7 +339,7 @@ fn main() {
                 .expect("rewrite BENCH_matrix.json");
         }
         record_history(&cells);
-        println!("regression gate vs {baseline_path}:");
+        println!("regression gate vs {base_desc}:");
         print!("{}", report.table);
         if report.failed {
             println!("regression gate FAILED");

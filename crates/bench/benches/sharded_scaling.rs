@@ -1,0 +1,217 @@
+//! **sharded_scaling** — the scaling curve of the sharded parallel
+//! engine on the paper-scale fabric: a k = 16 fat-tree (1024 hosts)
+//! under cross-pod permutation traffic, run once on the sequential
+//! engine and once per worker count on [`gfc_sim::ShardedNetwork`]
+//! with the pod partition. Every sharded run's replay fingerprint
+//! (event count + full metrics snapshot) is asserted bit-identical to
+//! the sequential run's — the speedup must come from the schedule,
+//! never the simulation.
+//!
+//! Writes `BENCH_scaling.json` at the repo root and appends one
+//! trajectory line (`ft_k16:scaling:seq`, `:w1`, `:w2`, ...) to
+//! `BENCH_history.jsonl`, so the speedup curve accumulates next to the
+//! single-engine numbers.
+//!
+//! Wall-clock speedup is bounded by the machine: with `N` cores the
+//! curve flattens at `N` workers, and on a single-core runner the
+//! parallel points only measure synchronization overhead (the `w1`
+//! point still isolates the per-domain-heap effect). The ≥2× gate on
+//! the 8-worker point therefore arms only when the host actually has 8
+//! cores — set `GFC_SCALING_REQUIRE=speedup` to force a custom floor.
+//!
+//! Environment knobs (shared with `core_throughput`/`bench_matrix`):
+//! `GFC_BENCH_SMOKE=1`, `GFC_BENCH_RUNS=N`, `GFC_BENCH_OUT=path`,
+//! `GFC_BENCH_HISTORY=path`.
+
+use gfc_bench::{append_history, meta_json, run_meta};
+use gfc_core::units::Time;
+use gfc_experiments::common::{sim_config_300k, Scheme};
+use gfc_sim::{Network, ShardedNetwork, TraceConfig};
+use gfc_telemetry::names;
+use gfc_topology::fattree::FatTree;
+use gfc_topology::{NodeId, Partition, Routing};
+use std::time::Instant;
+
+/// Worker counts of the scaling curve.
+const WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+/// The measured fabric: a healthy k = 16 fat-tree. No failure injection —
+/// the curve should measure engine scaling, not a particular degraded
+/// topology (the degraded cases are `core_throughput`'s job).
+fn fabric() -> FatTree {
+    FatTree::new(16)
+}
+
+/// Cross-pod permutation: host `i` sends to host `i + H/2 (mod H)`, a
+/// half-rotation that puts every flow's endpoints eight pods apart, so
+/// all traffic crosses the core and every pod domain both sources and
+/// sinks. Greedy (unbounded) flows keep the fabric saturated for the
+/// whole horizon — steady state, not drain tails.
+fn flows(ft: &FatTree) -> Vec<(NodeId, NodeId)> {
+    let h = ft.hosts.len();
+    (0..h).map(|i| (ft.hosts[i], ft.hosts[(i + h / 2) % h])).collect()
+}
+
+fn seq_net(ft: &FatTree) -> Network {
+    let cfg = sim_config_300k(Scheme::GfcBuffer, 4242);
+    let mut net = Network::new(ft.topo.clone(), Routing::spf(), cfg, TraceConfig::none());
+    for &(s, d) in &flows(ft) {
+        net.start_flow(s, d, None, 0).expect("cross-pod route");
+    }
+    net
+}
+
+fn sharded_net(ft: &FatTree, part: &Partition, workers: usize) -> ShardedNetwork {
+    let cfg = sim_config_300k(Scheme::GfcBuffer, 4242);
+    let mut net = ShardedNetwork::new(ft.topo.clone(), Routing::spf(), cfg, part, workers);
+    for &(s, d) in &flows(ft) {
+        net.start_flow(s, d, None, 0).expect("cross-pod route");
+    }
+    net
+}
+
+/// One timed point: best wall across `runs` repetitions, the (asserted
+/// run-invariant) event count, and the first repetition's full metrics
+/// snapshot for the fingerprint check.
+struct Point {
+    name: String,
+    events: u64,
+    wall_s: f64,
+    metrics: Vec<gfc_telemetry::MetricEntry>,
+}
+
+fn measure_point(
+    name: impl Into<String>,
+    runs: usize,
+    run: impl Fn() -> (u64, f64, Vec<gfc_telemetry::MetricEntry>),
+) -> Point {
+    let name = name.into();
+    let mut best = f64::INFINITY;
+    let mut events = 0u64;
+    let mut metrics = Vec::new();
+    for r in 0..runs {
+        let (ev, wall, m) = run();
+        if r == 0 {
+            events = ev;
+            metrics = m;
+        } else {
+            assert_eq!(ev, events, "{name}: event count varied across identical runs");
+        }
+        best = best.min(wall);
+    }
+    Point { name, events, wall_s: best, metrics }
+}
+
+fn main() {
+    let smoke = std::env::var("GFC_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let runs: usize =
+        std::env::var("GFC_BENCH_RUNS").ok().and_then(|v| v.parse().ok()).unwrap_or(3);
+    let mode = if smoke { "smoke" } else { "full" };
+    // The k = 16 permutation generates a few million events per simulated
+    // millisecond; the smoke horizon keeps the whole curve CI-sized.
+    let horizon = if smoke { Time::from_micros(150) } else { Time::from_micros(600) };
+    println!("sharded_scaling ({mode}, {runs} runs per point, horizon {horizon:?})");
+
+    let ft = fabric();
+    let part = Partition::by_pods(&ft);
+    println!(
+        "  fat-tree k=16: {} nodes, {} flows, {} domains",
+        ft.topo.num_nodes(),
+        flows(&ft).len(),
+        part.num_domains()
+    );
+
+    let seq = measure_point("ft_k16:scaling:seq", runs, || {
+        let mut net = seq_net(&ft);
+        let start = Instant::now();
+        net.run_until(horizon);
+        let wall = start.elapsed().as_secs_f64();
+        let snap = net.metrics_snapshot();
+        (snap.counter(names::EVENTS).unwrap_or(0), wall, snap.entries)
+    });
+    println!(
+        "  {:<22} {:>10} events in {:>9.2} ms wall  =>  {:>11.0} events/sec",
+        seq.name,
+        seq.events,
+        seq.wall_s * 1e3,
+        seq.events as f64 / seq.wall_s
+    );
+
+    let mut points = vec![seq];
+    for &w in &WORKERS {
+        let p = measure_point(format!("ft_k16:scaling:w{w}"), runs, || {
+            let mut net = sharded_net(&ft, &part, w);
+            let start = Instant::now();
+            net.run_until(horizon);
+            let wall = start.elapsed().as_secs_f64();
+            let snap = net.metrics_snapshot();
+            (snap.counter(names::EVENTS).unwrap_or(0), wall, snap.entries)
+        });
+        // The tentpole contract, enforced at bench scale too: the sharded
+        // engine replays the *same simulation* at every worker count.
+        assert_eq!(p.events, points[0].events, "w{w}: event count diverged from sequential");
+        assert_eq!(p.metrics, points[0].metrics, "w{w}: metrics snapshot diverged from sequential");
+        let speedup = points[0].wall_s / p.wall_s;
+        println!(
+            "  {:<22} {:>10} events in {:>9.2} ms wall  =>  {:>11.0} events/sec  ({speedup:>5.2}x)",
+            p.name,
+            p.events,
+            p.wall_s * 1e3,
+            p.events as f64 / p.wall_s
+        );
+        points.push(p);
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let max_w = *WORKERS.last().expect("worker list non-empty");
+    let best = points.last().expect("points non-empty");
+    let speedup = points[0].wall_s / best.wall_s;
+    // Arm the speedup floor only where the hardware can express it.
+    let required: Option<f64> = std::env::var("GFC_SCALING_REQUIRE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .or(if cores >= max_w { Some(2.0) } else { None });
+    match required {
+        Some(floor) => {
+            println!("  speedup at w{max_w}: {speedup:.2}x (floor {floor:.1}x, {cores} cores)");
+            assert!(
+                speedup >= floor,
+                "scaling floor missed: {speedup:.2}x < {floor:.1}x at {max_w} workers"
+            );
+        }
+        None => println!(
+            "  speedup at w{max_w}: {speedup:.2}x ({cores} cores — floor not armed below {max_w})"
+        ),
+    }
+
+    let meta = run_meta();
+    let mut json = String::from("{\n  \"bench\": \"sharded_scaling\",\n");
+    json += &meta_json(&meta, mode, runs);
+    json += ",\n  \"cells\": [\n";
+    for (i, p) in points.iter().enumerate() {
+        json += &format!(
+            "    {{\"name\": \"{}\", \"sim_horizon_ms\": {:.3}, \"events\": {}, \
+             \"wall_ms\": {:.3}, \"events_per_sec\": {:.0}, \"runs\": {}}}{}\n",
+            p.name,
+            horizon.as_millis_f64(),
+            p.events,
+            p.wall_s * 1e3,
+            p.events as f64 / p.wall_s,
+            runs,
+            if i + 1 < points.len() { "," } else { "" }
+        );
+    }
+    json += "  ]\n}\n";
+    let out = std::env::var("GFC_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_scaling.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out, &json).expect("write BENCH_scaling.json");
+    println!("wrote {out}");
+
+    let cells: Vec<(String, f64)> =
+        points.iter().map(|p| (p.name.clone(), p.events as f64 / p.wall_s)).collect();
+    let hist = gfc_bench::history_path();
+    match append_history(&hist, "sharded_scaling", &meta, mode, &cells) {
+        Ok(()) => println!("appended trajectory point to {hist}"),
+        Err(e) => println!("history append skipped ({hist}: {e})"),
+    }
+}

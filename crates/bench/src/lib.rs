@@ -280,6 +280,64 @@ pub fn parse_mode(json: &str) -> Option<String> {
     json.lines().find_map(|l| field_str(l, "mode"))
 }
 
+/// One parsed line of `BENCH_history.jsonl`: which bench emitted it,
+/// under which measurement mode, and its per-cell throughputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryPoint {
+    /// Bench name (`"core_throughput"`, `"bench_matrix"`, ...).
+    pub bench: String,
+    /// Measurement mode (`"smoke"` / `"full"`); `"unknown"` for lines
+    /// predating the mode tag.
+    pub mode: String,
+    /// `(cell name, events/s)` pairs, line order.
+    pub cells: Vec<(String, f64)>,
+}
+
+/// Extract every `(name, events_per_sec)` pair from one history line —
+/// unlike the bench JSONs ([`parse_cells`], one cell per line), a
+/// trajectory point packs its whole cell array onto a single line.
+fn cells_in_line(line: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut rest = line;
+    while let Some(pos) = rest.find("{\"name\": \"") {
+        let chunk = &rest[pos..];
+        if let (Some(n), Some(e)) = (field_str(chunk, "name"), field_num(chunk, "events_per_sec")) {
+            out.push((n, e));
+        }
+        rest = &rest[pos + 1..];
+    }
+    out
+}
+
+/// Parse a trajectory log ([`history_line`] per line) into points. Lines
+/// that don't carry a bench name are skipped; smoke and full runs share
+/// the log, so comparisons must filter by mode — see
+/// [`latest_history_cells`].
+pub fn parse_history(log: &str) -> Vec<HistoryPoint> {
+    log.lines()
+        .filter_map(|l| {
+            Some(HistoryPoint {
+                bench: field_str(l, "bench")?,
+                mode: field_str(l, "mode").unwrap_or_else(|| "unknown".into()),
+                cells: cells_in_line(l),
+            })
+        })
+        .collect()
+}
+
+/// The most recent trajectory point of `bench` measured under `mode` —
+/// the only baseline a new `mode` run is comparable to (smoke and full
+/// horizons produce different event mixes per cell, so cross-mode ratios
+/// are not a regression signal). Returns its cells, or `None` when the
+/// log holds no same-mode point.
+pub fn latest_history_cells(log: &str, bench: &str, mode: &str) -> Option<Vec<(String, f64)>> {
+    parse_history(log)
+        .into_iter()
+        .rev()
+        .find(|p| p.bench == bench && p.mode == mode && !p.cells.is_empty())
+        .map(|p| p.cells)
+}
+
 /// The outcome of a [`regression_gate`] comparison.
 #[derive(Debug, Clone)]
 pub struct GateReport {
@@ -467,6 +525,44 @@ mod tests {
         // Each line parses with the same scanner the gate uses (it takes
         // the first cell of the line — enough for a trajectory probe).
         assert_eq!(parse_cells(log.lines().next().unwrap()).len(), 1);
+    }
+
+    #[test]
+    fn history_parsing_filters_by_mode() {
+        let meta = RunMeta {
+            commit: "abc123".into(),
+            rustc: "rustc 1.0".into(),
+            cpu_model: "Test CPU".into(),
+            cores: 8,
+        };
+        // A mixed-mode log, as CI produces: full points from dev machines
+        // interleaved with smoke points from runners, plus a pre-mode-tag
+        // legacy line and an unrelated bench.
+        let log = [
+            history_line("bench_matrix", &meta, "full", &cells(&[("a", 1e6), ("b", 2e6)])),
+            "{\"bench\": \"bench_matrix\", \"cells\": [{\"name\": \"a\", \
+             \"events_per_sec\": 5}]}"
+                .to_string(),
+            history_line("core_throughput", &meta, "smoke", &cells(&[("a", 9e6)])),
+            history_line("bench_matrix", &meta, "smoke", &cells(&[("a", 3e5), ("b", 6e5)])),
+            history_line("bench_matrix", &meta, "full", &cells(&[("a", 1.1e6), ("b", 2.2e6)])),
+        ]
+        .join("\n");
+
+        let points = parse_history(&log);
+        assert_eq!(points.len(), 5);
+        assert_eq!(points[1].mode, "unknown", "legacy line gets the unknown mode");
+
+        // Latest wins within a mode; other benches and modes are ignored.
+        let full = latest_history_cells(&log, "bench_matrix", "full").unwrap();
+        assert_eq!(full, cells(&[("a", 1.1e6), ("b", 2.2e6)]));
+        let smoke = latest_history_cells(&log, "bench_matrix", "smoke").unwrap();
+        assert_eq!(smoke, cells(&[("a", 3e5), ("b", 6e5)]));
+        assert_eq!(latest_history_cells(&log, "bench_matrix", "paper"), None);
+        assert_eq!(latest_history_cells(&log, "nonesuch", "full"), None);
+
+        // A same-mode history point feeds the gate directly.
+        assert!(!regression_gate(&smoke, &cells(&[("a", 3.1e5), ("b", 6.1e5)]), 0.10).failed);
     }
 
     #[test]

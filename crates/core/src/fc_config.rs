@@ -8,7 +8,9 @@
 //! every parameter its scheme needs, so adding a scheme touches this file
 //! and nothing else. `From<FcMode>` keeps existing call sites compiling.
 
-use crate::backend::{FcRx, FcTx};
+use crate::backend::{
+    CtrlOutcome, CtrlPayload, DcfitTag, FcRx, FcTx, QueueCtx, SchemeMismatch, Sense, TxHead,
+};
 use crate::bfc::{BfcReceiver, BfcRx, BfcSender, BfcTx};
 use crate::cbfc::BLOCK_BYTES;
 use crate::conceptual::ConceptualSender;
@@ -18,7 +20,7 @@ use crate::gfc_buffer::{GfcBufferReceiver, GfcBufferSender};
 use crate::gfc_time::{GfcTimeReceiver, GfcTimeSender};
 use crate::mapping::{LinearMapping, StageTable};
 use crate::pfc::{PauseMode, PfcConfig, PfcReceiver, PfcSender};
-use crate::units::{Dur, Rate};
+use crate::units::{Dur, Rate, Time};
 use serde::{Deserialize, Serialize};
 
 pub use crate::bfc::BfcConfig;
@@ -184,7 +186,8 @@ impl FcConfig {
     }
 
     /// Build the receiver backend for one watched ingress
-    /// `(port, priority)`.
+    /// `(port, priority)`, boxed behind the trait. Hot paths that want
+    /// static dispatch use [`FcConfig::make_rx_any`] instead.
     pub fn make_rx(
         &self,
         capacity: Rate,
@@ -192,30 +195,40 @@ impl FcConfig {
         mtu: u64,
         ident: PortIdent,
     ) -> Box<dyn FcRx> {
+        Box::new(self.make_rx_any(capacity, buffer_bytes, mtu, ident))
+    }
+
+    /// Build the receiver backend as an [`AnyRx`] enum: the same backends
+    /// as [`FcConfig::make_rx`], dispatched by match instead of vtable.
+    pub fn make_rx_any(
+        &self,
+        capacity: Rate,
+        buffer_bytes: u64,
+        mtu: u64,
+        ident: PortIdent,
+    ) -> AnyRx {
         use crate::backend as be;
         match *self {
-            FcConfig::None => Box::new(be::NoneRx),
+            FcConfig::None => AnyRx::None(be::NoneRx),
             FcConfig::Pfc(PfcParams { xoff, xon }) => {
-                Box::new(be::PfcRx(PfcReceiver::new(PfcConfig::new(xoff, xon))))
+                AnyRx::Pfc(be::PfcRx(PfcReceiver::new(PfcConfig::new(xoff, xon))))
             }
-            FcConfig::Cbfc(_) => Box::new(be::CbfcRx::new(buffer_bytes, mtu)),
+            FcConfig::Cbfc(_) => AnyRx::Cbfc(be::CbfcRx::new(buffer_bytes, mtu)),
             FcConfig::GfcBuffer(GfcBufferParams { bm, b1, stage_ratio: (n, d) }) => {
-                Box::new(be::GfcBufferRx(GfcBufferReceiver::new(StageTable::with_ratio(
+                AnyRx::GfcBuffer(be::GfcBufferRx(GfcBufferReceiver::new(StageTable::with_ratio(
                     bm, b1, capacity, n, d,
                 ))))
             }
             FcConfig::GfcTime(GfcTimeParams { b0, period, .. }) => {
-                Box::new(be::GfcTimeRx::new(GfcTimeReceiver::new(buffer_bytes, period), b0))
+                AnyRx::GfcTime(be::GfcTimeRx::new(GfcTimeReceiver::new(buffer_bytes, period), b0))
             }
             FcConfig::Conceptual(ConceptualParams { b0, .. }) => {
-                Box::new(be::ConceptualRx::new(b0))
+                AnyRx::Conceptual(be::ConceptualRx::new(b0))
             }
-            FcConfig::Bfc(cfg) => Box::new(BfcRx(BfcReceiver::new(cfg))),
-            FcConfig::Dcfit(DcfitParams { xoff, xon }) => Box::new(DcfitRx(DcfitReceiver::new(
-                PfcConfig::new(xoff, xon),
-                ident.node,
-                ident.port,
-            ))),
+            FcConfig::Bfc(cfg) => AnyRx::Bfc(BfcRx(BfcReceiver::new(cfg))),
+            FcConfig::Dcfit(DcfitParams { xoff, xon }) => AnyRx::Dcfit(DcfitRx(
+                DcfitReceiver::new(PfcConfig::new(xoff, xon), ident.node, ident.port),
+            )),
         }
     }
 
@@ -224,32 +237,205 @@ impl FcConfig {
     /// simulator; backends only program it via
     /// [`crate::backend::CtrlOutcome::set_rate`].)
     pub fn make_tx(&self, capacity: Rate, buffer_bytes: u64, ident: PortIdent) -> Box<dyn FcTx> {
+        Box::new(self.make_tx_any(capacity, buffer_bytes, ident))
+    }
+
+    /// Build the sender backend as an [`AnyTx`] enum: the same backends
+    /// as [`FcConfig::make_tx`], dispatched by match instead of vtable.
+    pub fn make_tx_any(&self, capacity: Rate, buffer_bytes: u64, ident: PortIdent) -> AnyTx {
         use crate::backend as be;
         match *self {
-            FcConfig::None => Box::new(be::NoneTx),
+            FcConfig::None => AnyTx::None(be::NoneTx),
             FcConfig::Pfc(_) => {
-                Box::new(be::PfcTx(PfcSender::new(PauseMode::UntilResume, capacity)))
+                AnyTx::Pfc(be::PfcTx(PfcSender::new(PauseMode::UntilResume, capacity)))
             }
-            FcConfig::Cbfc(_) => Box::new(be::CbfcTx::new(buffer_bytes)),
+            FcConfig::Cbfc(_) => AnyTx::Cbfc(be::CbfcTx::new(buffer_bytes)),
             FcConfig::GfcBuffer(GfcBufferParams { bm, b1, stage_ratio: (n, d) }) => {
-                Box::new(be::GfcBufferTx(GfcBufferSender::new(StageTable::with_ratio(
+                AnyTx::GfcBuffer(be::GfcBufferTx(GfcBufferSender::new(StageTable::with_ratio(
                     bm, b1, capacity, n, d,
                 ))))
             }
             FcConfig::GfcTime(GfcTimeParams { b0, bm, .. }) => {
                 let blocks = buffer_bytes / BLOCK_BYTES;
                 let mapping = LinearMapping::new(b0, bm, capacity);
-                Box::new(be::GfcTimeTx::new(GfcTimeSender::new(blocks, mapping), blocks))
+                AnyTx::GfcTime(be::GfcTimeTx::new(GfcTimeSender::new(blocks, mapping), blocks))
             }
-            FcConfig::Conceptual(ConceptualParams { b0, bm, .. }) => Box::new(be::ConceptualTx(
-                ConceptualSender::new(LinearMapping::new(b0, bm, capacity)),
-            )),
-            FcConfig::Bfc(_) => Box::new(BfcTx(BfcSender::new())),
-            FcConfig::Dcfit(_) => Box::new(DcfitTx(DcfitSender::new(
+            FcConfig::Conceptual(ConceptualParams { b0, bm, .. }) => AnyTx::Conceptual(
+                be::ConceptualTx(ConceptualSender::new(LinearMapping::new(b0, bm, capacity))),
+            ),
+            FcConfig::Bfc(_) => AnyTx::Bfc(BfcTx(BfcSender::new())),
+            FcConfig::Dcfit(_) => AnyTx::Dcfit(DcfitTx(DcfitSender::new(
                 PfcSender::new(PauseMode::UntilResume, capacity),
                 ident.node,
             ))),
         }
+    }
+}
+
+/// A receiver backend with the built-in schemes inlined as enum variants,
+/// so the per-packet `on_arrival`/`on_drain` calls dispatch by match
+/// (statically, with the common variants branch-predicted) instead of
+/// through a vtable. Out-of-tree backends ride in [`AnyRx::Custom`] and
+/// keep exactly the old boxed-trait behaviour.
+#[derive(Debug, Clone)]
+pub enum AnyRx {
+    /// Lossy (no flow control).
+    None(crate::backend::NoneRx),
+    /// PFC ingress.
+    Pfc(crate::backend::PfcRx),
+    /// CBFC ingress.
+    Cbfc(crate::backend::CbfcRx),
+    /// Buffer-based GFC ingress.
+    GfcBuffer(crate::backend::GfcBufferRx),
+    /// Time-based GFC ingress.
+    GfcTime(crate::backend::GfcTimeRx),
+    /// Conceptual GFC ingress.
+    Conceptual(crate::backend::ConceptualRx),
+    /// BFC ingress.
+    Bfc(BfcRx),
+    /// DCFIT ingress.
+    Dcfit(DcfitRx),
+    /// Any out-of-tree backend, boxed (the PR 9 extension point).
+    Custom(Box<dyn FcRx>),
+}
+
+macro_rules! any_rx {
+    ($self:expr, $inner:ident => $body:expr) => {
+        match $self {
+            AnyRx::None($inner) => $body,
+            AnyRx::Pfc($inner) => $body,
+            AnyRx::Cbfc($inner) => $body,
+            AnyRx::GfcBuffer($inner) => $body,
+            AnyRx::GfcTime($inner) => $body,
+            AnyRx::Conceptual($inner) => $body,
+            AnyRx::Bfc($inner) => $body,
+            AnyRx::Dcfit($inner) => $body,
+            AnyRx::Custom($inner) => $body,
+        }
+    };
+}
+
+impl FcRx for AnyRx {
+    fn scheme(&self) -> &'static str {
+        any_rx!(self, rx => rx.scheme())
+    }
+
+    #[inline]
+    fn on_arrival(&mut self, ctx: &QueueCtx, out: &mut Vec<CtrlPayload>) {
+        any_rx!(self, rx => rx.on_arrival(ctx, out));
+    }
+
+    #[inline]
+    fn on_drain(&mut self, ctx: &QueueCtx, out: &mut Vec<CtrlPayload>) {
+        any_rx!(self, rx => rx.on_drain(ctx, out));
+    }
+
+    fn periodic(&mut self) -> Option<CtrlPayload> {
+        any_rx!(self, rx => rx.periodic())
+    }
+
+    #[inline]
+    fn on_host_delivery(&mut self, bytes: u64) {
+        any_rx!(self, rx => rx.on_host_delivery(bytes));
+    }
+
+    fn sense(&self, payload: &CtrlPayload, ing_bytes: u64) -> Sense {
+        any_rx!(self, rx => rx.sense(payload, ing_bytes))
+    }
+
+    #[inline]
+    fn wants_fwd_tag(&self) -> bool {
+        any_rx!(self, rx => rx.wants_fwd_tag())
+    }
+
+    fn messages_sent(&self) -> u64 {
+        any_rx!(self, rx => rx.messages_sent())
+    }
+
+    fn clone_box(&self) -> Box<dyn FcRx> {
+        Box::new(self.clone())
+    }
+}
+
+/// A sender backend with the built-in schemes inlined as enum variants —
+/// the static-dispatch counterpart of [`AnyRx`] for the hot
+/// `hard_open`/`hard_blocked`/`on_sent` gate calls.
+#[derive(Debug, Clone)]
+pub enum AnyTx {
+    /// Lossy (no flow control).
+    None(crate::backend::NoneTx),
+    /// PFC egress.
+    Pfc(crate::backend::PfcTx),
+    /// CBFC egress.
+    Cbfc(crate::backend::CbfcTx),
+    /// Buffer-based GFC egress.
+    GfcBuffer(crate::backend::GfcBufferTx),
+    /// Time-based GFC egress.
+    GfcTime(crate::backend::GfcTimeTx),
+    /// Conceptual GFC egress.
+    Conceptual(crate::backend::ConceptualTx),
+    /// BFC egress.
+    Bfc(BfcTx),
+    /// DCFIT egress.
+    Dcfit(DcfitTx),
+    /// Any out-of-tree backend, boxed (the PR 9 extension point).
+    Custom(Box<dyn FcTx>),
+}
+
+macro_rules! any_tx {
+    ($self:expr, $inner:ident => $body:expr) => {
+        match $self {
+            AnyTx::None($inner) => $body,
+            AnyTx::Pfc($inner) => $body,
+            AnyTx::Cbfc($inner) => $body,
+            AnyTx::GfcBuffer($inner) => $body,
+            AnyTx::GfcTime($inner) => $body,
+            AnyTx::Conceptual($inner) => $body,
+            AnyTx::Bfc($inner) => $body,
+            AnyTx::Dcfit($inner) => $body,
+            AnyTx::Custom($inner) => $body,
+        }
+    };
+}
+
+impl FcTx for AnyTx {
+    fn scheme(&self) -> &'static str {
+        any_tx!(self, tx => tx.scheme())
+    }
+
+    fn on_ctrl(&mut self, payload: CtrlPayload, now: Time) -> Result<CtrlOutcome, SchemeMismatch> {
+        any_tx!(self, tx => tx.on_ctrl(payload, now))
+    }
+
+    #[inline]
+    fn hard_open(&mut self, head: &TxHead, now: Time) -> bool {
+        any_tx!(self, tx => tx.hard_open(head, now))
+    }
+
+    #[inline]
+    fn hard_blocked(&self, head: &TxHead, now: Time) -> bool {
+        any_tx!(self, tx => tx.hard_blocked(head, now))
+    }
+
+    #[inline]
+    fn on_sent(&mut self, head: &TxHead) {
+        any_tx!(self, tx => tx.on_sent(head));
+    }
+
+    fn hold_and_wait_episodes(&self) -> u64 {
+        any_tx!(self, tx => tx.hold_and_wait_episodes())
+    }
+
+    fn applied_tag(&self) -> Option<DcfitTag> {
+        any_tx!(self, tx => tx.applied_tag())
+    }
+
+    fn detections(&self) -> u64 {
+        any_tx!(self, tx => tx.detections())
+    }
+
+    fn clone_box(&self) -> Box<dyn FcTx> {
+        Box::new(self.clone())
     }
 }
 

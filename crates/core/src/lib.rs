@@ -74,7 +74,7 @@ pub mod theorems;
 pub mod units;
 
 pub use backend::{CtrlClass, CtrlOutcome, CtrlPayload, DcfitTag, FcRx, FcTx, SchemeMismatch};
-pub use fc_config::{FcConfig, PortIdent};
+pub use fc_config::{AnyRx, AnyTx, FcConfig, PortIdent};
 pub use fc_mode::FcMode;
 pub use mapping::{LinearMapping, StageTable};
 pub use rate_limiter::RateLimiter;

@@ -77,9 +77,9 @@ mod tests {
 
     #[test]
     fn reproduces_fig10_shape() {
-        // CBFC's credit freeze on the 1 MB testbed ring locks in at ~31 ms;
-        // run to 80 ms so the tail window [60, 80] ms is post-deadlock.
-        let r = run(RingParams { horizon: Time::from_millis(80), ..Default::default() });
+        // CBFC's credit freeze on the 1 MB testbed ring locks in at ~47 ms;
+        // run to 100 ms so the goodput window [50, 100] ms is post-deadlock.
+        let r = run(RingParams { horizon: Time::from_millis(100), ..Default::default() });
         assert!(r.cbfc.structural_deadlock, "CBFC must deadlock on the ring");
         assert!(
             r.cbfc.tail_goodput < 1e8,

@@ -57,7 +57,7 @@ impl Fig18Params {
                 failure_prob: 0.08,
                 horizon: Time::from_millis(50),
                 bin: Dur::from_micros(100),
-                seed: 76,
+                seed: 78,
                 cycle_flow_bytes: 1024 * 1024,
             },
             Scale::Paper => Fig18Params {

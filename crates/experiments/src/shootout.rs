@@ -51,7 +51,7 @@ impl Default for ShootoutParams {
             horizon: Time::from_millis(16),
             probe_start: Time::from_millis(8),
             probe_bytes: 150_000,
-            stagger: Dur::from_micros(200),
+            stagger: Dur::from_micros(150),
             seed: 7,
             threads: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
         }

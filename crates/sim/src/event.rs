@@ -105,13 +105,25 @@ pub enum Event {
     /// Periodic timeline sampler tick (reschedules itself at the
     /// sampler's current — possibly decimation-doubled — cadence).
     TimelineSample,
+    /// A finished flow's completion notice reaches the *source* host
+    /// (one source→destination propagation delay after the last byte
+    /// delivered, like a CNP): the source retires the flow and asks the
+    /// workload for a successor. Keeping retirement an event — instead of
+    /// mutating the source host inline at the destination — makes flow
+    /// completion shardable: the source may live in another domain.
+    SourceDone {
+        /// The source host.
+        host: NodeId,
+        /// The flow id.
+        flow: u64,
+    },
 }
 
 impl Event {
     /// Labels for [`Event::class`], indexed by the returned class — the
     /// single source of truth the engine probe's dispatch profile keys
     /// on.
-    pub const CLASS_LABELS: [&'static str; 10] = [
+    pub const CLASS_LABELS: [&'static str; 11] = [
         "arrive",
         "ctrl_apply",
         "tx_kick",
@@ -122,6 +134,7 @@ impl Event {
         "cnp",
         "monitor_tick",
         "timeline_sample",
+        "source_done",
     ];
 
     /// Dense per-variant class index (see [`Event::CLASS_LABELS`]).
@@ -137,6 +150,43 @@ impl Event {
             Event::Cnp { .. } => 7,
             Event::MonitorTick => 8,
             Event::TimelineSample => 9,
+            Event::SourceDone { .. } => 10,
+        }
+    }
+
+    /// Canonical same-instant dispatch rank (see the sharded-engine docs
+    /// in `shard.rs`): when several events share a due time, *both*
+    /// engines stable-sort the batch by this key before dispatching, so
+    /// the dispatch order is a pure function of the events themselves —
+    /// not of which queue (or domain) each one waited in. The key packs
+    /// `[class | node | port/prio/flow]`; events that tie on it are
+    /// dispatched in insertion order, which the single-causal-source
+    /// argument (one upstream peer per `(node, port)`, one destination
+    /// per flow) makes engine-independent. The monitor ranks first so a
+    /// deadlock verdict halts before any same-instant work, exactly like
+    /// the coordinator's barrier.
+    pub fn order_major(&self) -> u64 {
+        #[inline]
+        fn key(class: u64, node: NodeId, sub: u64) -> u64 {
+            debug_assert!(node.0 < (1 << 20), "node id exceeds the dispatch-rank field");
+            debug_assert!(sub < (1 << 40), "sub-key exceeds the dispatch-rank field");
+            (class << 60) | (u64::from(node.0) << 40) | sub
+        }
+        const FLOW_MASK: u64 = (1 << 40) - 1;
+        match *self {
+            Event::MonitorTick => 0,
+            Event::TimelineSample => 1,
+            Event::Arrive { node, port, .. } => key(2, node, port as u64),
+            Event::CtrlApply { node, port, prio, .. } => {
+                key(3, node, ((port as u64) << 8) | u64::from(prio))
+            }
+            Event::TxKick { node, port } => key(4, node, port as u64),
+            Event::TxComplete { node, port } => key(5, node, port as u64),
+            Event::PeriodicFeedback { node, port } => key(6, node, port as u64),
+            Event::HostTick { host } => key(7, host, 0),
+            Event::DcqcnTimer { host, flow } => key(8, host, flow & FLOW_MASK),
+            Event::Cnp { host, flow } => key(9, host, flow & FLOW_MASK),
+            Event::SourceDone { host, flow } => key(10, host, flow & FLOW_MASK),
         }
     }
 }
@@ -597,10 +647,40 @@ mod tests {
             Event::Cnp { host: NodeId(0), flow: 0 },
             Event::MonitorTick,
             Event::TimelineSample,
+            Event::SourceDone { host: NodeId(0), flow: 0 },
         ];
         let classes: Vec<usize> = events.iter().map(Event::class).collect();
         assert_eq!(classes, (0..Event::CLASS_LABELS.len()).collect::<Vec<_>>());
         assert_eq!(Event::CLASS_LABELS[events[0].class()], "arrive");
+    }
+
+    #[test]
+    fn dispatch_rank_puts_monitor_first_and_separates_coordinates() {
+        // The monitor outranks (sorts before) every other same-instant
+        // event, and distinct (class, node, port) coordinates get
+        // distinct ranks — the properties the canonical batch sort needs.
+        assert!(Event::MonitorTick.order_major() < Event::TimelineSample.order_major());
+        assert!(Event::TimelineSample.order_major() < arrive(0).order_major());
+        let a = Event::TxComplete { node: NodeId(3), port: 1 };
+        let b = Event::TxComplete { node: NodeId(3), port: 2 };
+        let c = Event::TxComplete { node: NodeId(4), port: 1 };
+        let d = Event::TxKick { node: NodeId(3), port: 1 };
+        assert!(a.order_major() < b.order_major());
+        assert!(b.order_major() < c.order_major());
+        assert_ne!(a.order_major(), d.order_major());
+        // Within a class, node is the most significant coordinate.
+        assert!(
+            Event::Arrive { node: NodeId(1), port: 9, pkt: pkt(1) }.order_major()
+                < Event::Arrive { node: NodeId(2), port: 0, pkt: pkt(2) }.order_major()
+        );
+    }
+
+    /// A minimal packet for rank tests.
+    fn pkt(node: u32) -> crate::packet::Packet {
+        match arrive(node) {
+            Event::Arrive { pkt, .. } => pkt,
+            _ => unreachable!(),
+        }
     }
 
     #[test]

@@ -3,13 +3,14 @@
 //!
 //! Each ingress `(port, priority)` owns an [`FcReceiver`]; each egress
 //! `(port, priority)` owns an [`FcSender`] plus a rate limiter. Both are
-//! thin wrappers around boxed [`gfc_core::backend::FcRx`] /
-//! [`gfc_core::backend::FcTx`] trait objects built by
-//! [`FcConfig::make_rx`]/[`FcConfig::make_tx`](gfc_core::FcConfig), so
+//! thin wrappers around the [`gfc_core::AnyRx`] / [`gfc_core::AnyTx`]
+//! backend enums built by
+//! [`FcConfig::make_rx_any`]/[`FcConfig::make_tx_any`](gfc_core::FcConfig):
 //! the simulator dispatches through the backend interface and never
-//! matches on the scheme. The sender additionally owns the §5.3 rate
-//! limiter and applies [`CtrlOutcome::set_rate`] to it, keeping pacing a
-//! simulator concern.
+//! matches on the scheme, while the built-in schemes resolve statically
+//! (out-of-tree backends ride in the enums' `Custom` variants). The
+//! sender additionally owns the §5.3 rate limiter and applies
+//! [`CtrlOutcome::set_rate`] to it, keeping pacing a simulator concern.
 //!
 //! Control messages between the halves are [`CtrlPayload`]s; the wire
 //! payloads are round-tripped through the real codecs in
@@ -20,7 +21,7 @@ use crate::config::SimConfig;
 use gfc_core::backend::{FcRx, FcTx};
 use gfc_core::rate_limiter::RateLimiter;
 use gfc_core::units::{Dur, Rate, Time};
-use gfc_core::PortIdent;
+use gfc_core::{AnyRx, AnyTx, PortIdent};
 
 pub use gfc_core::backend::{
     CtrlOutcome, CtrlPayload, DcfitTag, QueueCtx, SchemeMismatch, Sense, TxHead,
@@ -28,12 +29,17 @@ pub use gfc_core::backend::{
 
 /// Receiver-side (ingress) flow-control state for one `(port, priority)`.
 #[derive(Debug, Clone)]
-pub struct FcReceiver(Box<dyn FcRx>);
+pub struct FcReceiver(AnyRx);
 
 impl FcReceiver {
     /// Build the receiver backend for a config at the given port.
     pub fn for_config(cfg: &SimConfig, ident: PortIdent) -> FcReceiver {
-        FcReceiver(cfg.fc.make_rx(cfg.capacity, cfg.buffer_bytes, cfg.mtu, ident))
+        FcReceiver(cfg.fc.make_rx_any(cfg.capacity, cfg.buffer_bytes, cfg.mtu, ident))
+    }
+
+    /// Wrap an out-of-tree receiver backend (dynamic dispatch).
+    pub fn custom(rx: Box<dyn FcRx>) -> FcReceiver {
+        FcReceiver(AnyRx::Custom(rx))
     }
 
     /// Account an arrived packet and append any feedback messages driven
@@ -93,7 +99,7 @@ pub enum Gate {
 /// Sender-side (egress) flow-control state for one `(port, priority)`.
 #[derive(Debug, Clone)]
 pub struct FcSender {
-    inner: Box<dyn FcTx>,
+    inner: AnyTx,
     /// The §5.3 rate limiter; always present (line rate when unused).
     pub limiter: RateLimiter,
 }
@@ -103,7 +109,15 @@ impl FcSender {
     pub fn for_config(cfg: &SimConfig, ident: PortIdent) -> FcSender {
         let mut limiter = RateLimiter::with_min_unit(cfg.capacity, cfg.min_rate_unit);
         limiter.set_rate(cfg.capacity);
-        FcSender { inner: cfg.fc.make_tx(cfg.capacity, cfg.buffer_bytes, ident), limiter }
+        FcSender { inner: cfg.fc.make_tx_any(cfg.capacity, cfg.buffer_bytes, ident), limiter }
+    }
+
+    /// Wrap an out-of-tree sender backend (dynamic dispatch), with a
+    /// line-rate limiter.
+    pub fn custom(tx: Box<dyn FcTx>, cfg: &SimConfig) -> FcSender {
+        let mut limiter = RateLimiter::with_min_unit(cfg.capacity, cfg.min_rate_unit);
+        limiter.set_rate(cfg.capacity);
+        FcSender { inner: AnyTx::Custom(tx), limiter }
     }
 
     /// Human-readable name of the scheme this sender runs.

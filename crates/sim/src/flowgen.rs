@@ -19,7 +19,9 @@ pub struct FlowRequest {
 /// and again each time one of the host's flows completes (the paper's
 /// closed-loop model, §6.2.3). Returning `None` leaves the host idle
 /// permanently (it is not polled again).
-pub trait Workload {
+/// (`Send` because the owning [`Network`](crate::Network) may run on a
+/// sharded-engine worker thread.)
+pub trait Workload: Send {
     /// The next flow for `host_index`, or `None` to stop.
     fn next_flow(&mut self, host_index: usize, now: Time, rng: &mut StdRng) -> Option<FlowRequest>;
 }

@@ -46,6 +46,7 @@ pub mod flowgen;
 pub mod network;
 pub mod packet;
 pub mod port;
+pub mod shard;
 mod telemetry;
 pub mod trace;
 
@@ -53,6 +54,7 @@ pub use config::{FcMode, PreflightPolicy, SimConfig, TelemetryConfig, TimelineCo
 pub use flowgen::{ClosedLoopWorkload, FlowRequest, ListWorkload, Workload};
 pub use gfc_telemetry::{ChromeTrace, FlowSpan, FlowSpans, SamplerSet, SpanOutcome};
 pub use network::{Network, SimStats};
+pub use shard::ShardedNetwork;
 pub use trace::{TraceConfig, Traces};
 
 /// Run the `gfc-verify` static preflight analysis on a full simulator

@@ -39,7 +39,7 @@ use gfc_telemetry::{
 };
 use gfc_topology::{LinkId, NodeId, NodeKind, Routing, Topology};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use std::sync::Arc;
 
 /// One active flow at its source host.
@@ -73,7 +73,6 @@ struct HostState {
 #[derive(Debug)]
 struct FlowMeta {
     src: NodeId,
-    src_index: usize,
     total: Option<u64>,
     delivered: u64,
     cnp_delay: Dur,
@@ -141,6 +140,22 @@ pub struct Network {
     queue: EventQueue,
     now: Time,
     rng: StdRng,
+    /// Per-node counters driving the node-local ECN mark draws: draw `k`
+    /// at node `n` hashes `(seed, n, k)` through splitmix64, so the
+    /// sequence a node sees is independent of every other node's activity
+    /// — the property that lets a sharded run reproduce the sequential
+    /// engine's draws exactly.
+    ecn_seq: Vec<u64>,
+    /// Sharded-mode node filter: `Some((domain_of, my_domain))` when this
+    /// network instance is one shard of a partitioned run. Events
+    /// targeting nodes of other domains divert to [`Self::outbox`]
+    /// instead of the local queue; `None` (the sequential engine) keeps
+    /// everything local.
+    domain_filter: Option<(Arc<[u32]>, u32)>,
+    /// Cross-domain events generated this window, in generation order.
+    outbox: Vec<(Time, Event)>,
+    /// Scratch buffer for same-instant batch dispatch (reused).
+    batch: Vec<Event>,
     workload: Option<Box<dyn Workload>>,
     ledger: FlowLedger,
     monitor: ProgressMonitor,
@@ -195,6 +210,11 @@ impl Network {
             }
         };
         cfg.validate();
+        let num_nodes = topo.num_nodes();
+        assert!(
+            num_nodes < (1 << 20),
+            "node count exceeds the canonical dispatch-rank field (2^20)"
+        );
         let mut nested: Vec<Vec<PortState>> = Vec::with_capacity(topo.num_nodes());
         for n in topo.node_ids() {
             let mut node_ports = Vec::new();
@@ -256,6 +276,10 @@ impl Network {
             queue: EventQueue::new(),
             now: Time::ZERO,
             rng,
+            ecn_seq: vec![0; num_nodes],
+            domain_filter: None,
+            outbox: Vec::new(),
+            batch: Vec::new(),
             workload: None,
             ledger: FlowLedger::new(),
             monitor,
@@ -415,17 +439,27 @@ impl Network {
         rows
     }
 
-    fn sum_feedback_generated(&self) -> u64 {
+    pub(crate) fn sum_feedback_generated(&self) -> u64 {
         self.ports.all().iter().flat_map(PortState::pqs).map(|pq| pq.ing_rx.messages_sent()).sum()
     }
 
-    fn sum_hold_and_wait(&self) -> u64 {
+    pub(crate) fn sum_hold_and_wait(&self) -> u64 {
         self.ports
             .all()
             .iter()
             .flat_map(PortState::pqs)
             .map(|pq| pq.tx_fc.hold_and_wait_episodes())
             .sum()
+    }
+
+    /// Total ingress occupancy across every port (bytes).
+    pub(crate) fn ingress_bytes_total(&self) -> u64 {
+        self.ports.all().iter().map(PortState::ingress_backlog).sum()
+    }
+
+    /// Total egress staging occupancy across every port (bytes).
+    pub(crate) fn egress_bytes_total(&self) -> u64 {
+        self.ports.all().iter().map(PortState::egress_backlog).sum()
     }
 
     /// Freeze every metric into a [`Snapshot`]: the live registry
@@ -445,9 +479,8 @@ impl Network {
         snap.push_counter(names::CTRL_BYTES, self.stats.ctrl_bytes);
         snap.push_counter(names::HOLD_AND_WAIT, self.sum_hold_and_wait());
         snap.push_counter(names::FEEDBACK_GENERATED, self.sum_feedback_generated());
-        let ingress: u64 = self.ports.all().iter().map(PortState::ingress_backlog).sum();
-        let backlog: u64 =
-            ingress + self.ports.all().iter().map(PortState::egress_backlog).sum::<u64>();
+        let ingress = self.ingress_bytes_total();
+        let backlog = ingress + self.egress_bytes_total();
         snap.push_counter(names::INGRESS_BYTES, ingress);
         snap.push_counter(names::BACKLOG_BYTES, backlog);
         if self.now.0 > 0 {
@@ -624,7 +657,6 @@ impl Network {
         let id = self.next_flow_id;
         self.next_flow_id += 1;
         let cnp_delay = self.cfg.prop_delay.mul_u64(path.len() as u64) + self.cfg.ctrl_proc_delay;
-        let src_index = self.host(src).index;
         if let Some(total) = bytes {
             self.ledger.on_start(id, total, self.now.0, path.len() as u32);
         }
@@ -644,14 +676,14 @@ impl Network {
             self.tel.causal_flow_start(id, prio, path_ports, self.now.0);
         }
         debug_assert_eq!(id as usize, self.flows.len(), "flow ids must stay dense");
-        self.flows.push(FlowMeta {
-            src,
-            src_index,
-            total: bytes,
-            delivered: 0,
-            cnp_delay,
-            finished: false,
-        });
+        self.flows.push(FlowMeta { src, total: bytes, delivered: 0, cnp_delay, finished: false });
+        // Everything below animates the *source* host. A shard that does
+        // not own the source still records the flow (ledger, telemetry,
+        // dense `flows` metadata stay in lockstep across shards) but must
+        // not packetize or run its congestion-control timers.
+        if !self.is_local(src) {
+            return Some(id);
+        }
         let rp = self.cfg.dcqcn.map(ReactionPoint::new);
         if let Some(p) = &rp {
             let rate = p.rate_bps();
@@ -671,42 +703,225 @@ impl Network {
     pub fn run_until(&mut self, t_end: Time) {
         self.ensure_started();
         if self.tel.probe.is_some() {
-            self.run_until_probed(t_end);
+            self.run_events_probed(t_end);
         } else {
-            while !self.halted {
-                let Some((t, ev)) = self.queue.pop_at_or_before(t_end) else {
-                    break;
-                };
-                debug_assert!(t >= self.now, "event time went backwards");
-                self.now = t;
-                self.handle(ev);
-            }
+            self.run_events(t_end);
         }
         if !self.halted && self.now < t_end {
             self.now = t_end;
         }
     }
 
-    /// The probed twin of the [`Self::run_until`] loop: times every
-    /// dispatch with a monotonic clock and feeds the per-class histograms.
-    /// Kept out of line so the unprofiled loop carries exactly one
-    /// predictable branch for the whole feature.
-    #[cold]
-    fn run_until_probed(&mut self, t_end: Time) {
+    /// Shard-mode window: dispatch every event strictly *before* `until`
+    /// (the conservative window edge), leaving `now` at the last
+    /// dispatched instant. The coordinator advances `now` explicitly at
+    /// barriers via [`Self::set_now`].
+    pub(crate) fn run_window(&mut self, until: Time) {
+        debug_assert!(until.0 > 0, "empty window");
+        self.ensure_started();
+        if self.tel.probe.is_some() {
+            self.run_events_probed(Time(until.0 - 1));
+        } else {
+            self.run_events(Time(until.0 - 1));
+        }
+    }
+
+    /// The dispatch loop: pop events due at or before `horizon`, in
+    /// canonical order. Same-instant events are collected into a batch
+    /// and stable-sorted by [`Event::order_major`] before dispatch, so
+    /// the order *within an instant* is a pure function of the events —
+    /// identical whether they waited in one sequential queue or in
+    /// per-domain shard queues (see `shard.rs`). Ties on the rank keep
+    /// insertion order, which the single-causal-source structure of the
+    /// event graph (one upstream peer per `(node, port)`, one destination
+    /// per flow) makes engine-independent. A mid-batch halt (the monitor
+    /// ranks first at its instant) discards the rest of the batch,
+    /// matching the sharded coordinator's barrier halt.
+    fn run_events(&mut self, horizon: Time) {
         while !self.halted {
-            let Some((t, ev)) = self.queue.pop_at_or_before(t_end) else {
+            let Some((t, ev)) = self.queue.pop_at_or_before(horizon) else {
                 break;
             };
             debug_assert!(t >= self.now, "event time went backwards");
             self.now = t;
-            let class = ev.class();
-            let start = std::time::Instant::now();
-            self.handle(ev);
-            let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-            if let Some(p) = self.tel.probe.as_deref_mut() {
-                p.record(class, wall_ns);
+            if self.queue.peek_time() != Some(t) {
+                // Fast path: a singleton instant needs no sort.
+                self.handle(ev);
+                continue;
             }
+            let mut batch = std::mem::take(&mut self.batch);
+            batch.push(ev);
+            while self.queue.peek_time() == Some(t) {
+                batch.push(self.queue.pop().expect("peeked nonempty").1);
+            }
+            batch.sort_by_key(Event::order_major);
+            for ev in batch.drain(..) {
+                self.handle(ev);
+                if self.halted {
+                    break;
+                }
+            }
+            batch.clear();
+            self.batch = batch;
         }
+    }
+
+    /// The probed twin of [`Self::run_events`]: times every dispatch with
+    /// a monotonic clock and feeds the per-class histograms. Kept out of
+    /// line so the unprofiled loop carries exactly one predictable branch
+    /// for the whole feature.
+    #[cold]
+    fn run_events_probed(&mut self, horizon: Time) {
+        while !self.halted {
+            let Some((t, ev)) = self.queue.pop_at_or_before(horizon) else {
+                break;
+            };
+            debug_assert!(t >= self.now, "event time went backwards");
+            self.now = t;
+            let mut batch = std::mem::take(&mut self.batch);
+            batch.push(ev);
+            while self.queue.peek_time() == Some(t) {
+                batch.push(self.queue.pop().expect("peeked nonempty").1);
+            }
+            if batch.len() > 1 {
+                batch.sort_by_key(Event::order_major);
+            }
+            for ev in batch.drain(..) {
+                let class = ev.class();
+                let start = std::time::Instant::now();
+                self.handle(ev);
+                let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                if let Some(p) = self.tel.probe.as_deref_mut() {
+                    p.record(class, wall_ns);
+                }
+                if self.halted {
+                    break;
+                }
+            }
+            batch.clear();
+            self.batch = batch;
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Shard plumbing (see `shard.rs`)
+    //
+    // A sharded run builds one full `Network` per domain over the whole
+    // topology and restricts each instance to *animating* its own nodes:
+    // every event handler is shared verbatim with the sequential engine
+    // (the bit-identity argument needs exactly one copy of the physics),
+    // and the only divergence is at push time — an event bound for a
+    // foreign node diverts to the outbox for the coordinator to deliver.
+    // Every cross-node event carries at least the fabric lookahead of
+    // delay (propagation, control processing, or the OOB τ), which is
+    // what makes the coordinator's conservative windows safe.
+    // ----------------------------------------------------------------
+
+    /// Whether `node` is animated by this instance (always true for the
+    /// sequential engine).
+    #[inline]
+    fn is_local(&self, node: NodeId) -> bool {
+        match &self.domain_filter {
+            None => true,
+            Some((dom, me)) => dom[node.0 as usize] == *me,
+        }
+    }
+
+    /// Push a wire event (FIFO lane) bound for `target`, diverting to the
+    /// outbox when the target belongs to another shard. The far side
+    /// injects into its heap: within one `(time, dispatch-rank)` group all
+    /// events share a single causal source, so outbox order — preserved
+    /// end-to-end by the coordinator — reproduces the lane's FIFO order.
+    #[inline]
+    fn push_wire(&mut self, lane: usize, t: Time, target: NodeId, ev: Event) {
+        if self.is_local(target) {
+            self.queue.push_fifo(lane, t, ev);
+        } else {
+            self.outbox.push((t, ev));
+        }
+    }
+
+    /// Heap-ordered twin of [`Self::push_wire`] for events that don't ride
+    /// a FIFO lane (CNPs, source-done notifications).
+    #[inline]
+    fn push_heap_routed(&mut self, t: Time, target: NodeId, ev: Event) {
+        if self.is_local(target) {
+            self.queue.push(t, ev);
+        } else {
+            self.outbox.push((t, ev));
+        }
+    }
+
+    /// Restrict this instance to the nodes of `domain` (sharded mode).
+    /// Must be called before the first event runs; the restrictions the
+    /// sharded engine's v1 contract imposes (no workload, no monitor-side
+    /// observers) are asserted by the coordinator, which owns the config.
+    pub(crate) fn set_domain(&mut self, domain_of: Arc<[u32]>, domain: u32) {
+        assert!(!self.started, "set_domain must precede the first event");
+        assert!(self.workload.is_none(), "sharded runs drive explicit flows only");
+        assert_eq!(domain_of.len(), self.topo.num_nodes(), "partition table size mismatch");
+        self.domain_filter = Some((domain_of, domain));
+    }
+
+    /// Run deferred start-of-run work (timers, monitor scheduling) so the
+    /// coordinator can observe a meaningful [`Self::next_event_time`]
+    /// before the first window.
+    pub(crate) fn prime(&mut self) {
+        self.ensure_started();
+    }
+
+    /// Earliest pending local event, if any.
+    pub(crate) fn next_event_time(&self) -> Option<Time> {
+        self.queue.peek_time()
+    }
+
+    /// Inject a cross-shard event delivered by the coordinator.
+    pub(crate) fn inject(&mut self, t: Time, ev: Event) {
+        debug_assert!(t >= self.now, "injected event in this shard's past");
+        self.queue.push(t, ev);
+    }
+
+    /// Drain the cross-domain events generated since the last call, in
+    /// generation order.
+    pub(crate) fn take_outbox(&mut self) -> Vec<(Time, Event)> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Advance the local clock to a barrier instant (monitor ticks and
+    /// end-of-run live on the coordinator in sharded mode).
+    pub(crate) fn set_now(&mut self, t: Time) {
+        debug_assert!(t >= self.now, "clock moved backwards");
+        self.now = t;
+    }
+
+    /// The raw metric registry snapshot (no derived entries), for the
+    /// coordinator's cross-shard merge.
+    pub(crate) fn raw_metrics(&self) -> Snapshot {
+        self.tel.reg.snapshot()
+    }
+
+    /// This shard's engine-probe entries (dispatch histograms and queue
+    /// gauges, refreshed with the instantaneous occupancies), for the
+    /// coordinator's per-domain probe section. Empty with the probe off.
+    pub(crate) fn probe_entries(&self) -> Vec<gfc_telemetry::MetricEntry> {
+        let Some(probe) = self.tel.probe.as_deref() else {
+            return Vec::new();
+        };
+        let mut p = probe.clone();
+        let qs = self.queue.stats();
+        p.pushes_inline = qs.pushes_inline;
+        p.pushes_pooled = qs.pushes_pooled;
+        p.pool_grown = qs.pool_grown;
+        p.queue_sample(
+            self.queue.heap_len() as u64,
+            self.queue.lane_lens().map(|l| l as u64),
+            self.queue.pool_slots() as u64,
+            self.queue.free_slots() as u64,
+            self.ports.ctrl_backlog_frames(),
+        );
+        let mut snap = Snapshot { entries: Vec::new() };
+        p.append_to(&mut snap);
+        snap.entries
     }
 
     fn ensure_started(&mut self) {
@@ -714,11 +929,13 @@ impl Network {
             return;
         }
         self.started = true;
-        // Monitor.
-        self.queue.push(self.now + self.cfg.monitor_interval, Event::MonitorTick);
-        // Timeline samplers.
-        if let Some(period) = self.tel.sampler_period_ps() {
-            self.queue.push(self.now + Dur(period), Event::TimelineSample);
+        // Monitor + timeline samplers run on the coordinator when the
+        // network is one shard of a partitioned run, never per shard.
+        if self.domain_filter.is_none() {
+            self.queue.push(self.now + self.cfg.monitor_interval, Event::MonitorTick);
+            if let Some(period) = self.tel.sampler_period_ps() {
+                self.queue.push(self.now + Dur(period), Event::TimelineSample);
+            }
         }
         // Periodic feedback timers (CBFC / time-based GFC) on every port.
         if let Some(period) = self.cfg.fc.period() {
@@ -726,10 +943,17 @@ impl Network {
             // firmware timer starts at an independent phase. Synchronized
             // phases are physically unrealistic and make the coupled
             // rate dynamics fragile (phase-locked oscillation modes).
+            // The phase is a pure hash of (seed, node, port) — not a
+            // stream draw — so every shard of a partitioned run derives
+            // the identical phase for any port it owns.
             let nodes: Vec<NodeId> = self.topo.node_ids().collect();
             for n in nodes {
+                if !self.is_local(n) {
+                    continue;
+                }
                 for p in 0..self.ports[n.0 as usize].len() {
-                    let phase = Dur(self.rng.gen_range(1..=period.0));
+                    let h = splitmix(self.cfg.seed ^ ((u64::from(n.0) << 20) | p as u64));
+                    let phase = Dur(h % period.0 + 1);
                     self.queue.push(self.now + phase, Event::PeriodicFeedback { node: n, port: p });
                 }
             }
@@ -800,6 +1024,7 @@ impl Network {
             }
             Event::DcqcnTimer { host, flow } => self.on_dcqcn_timer(host, flow),
             Event::Cnp { host, flow } => self.on_cnp(host, flow),
+            Event::SourceDone { host, flow } => self.on_source_done(host, flow),
             Event::MonitorTick => self.on_monitor_tick(),
             Event::TimelineSample => self.on_timeline_sample(),
         }
@@ -872,7 +1097,7 @@ impl Network {
                     if let Some(meta) = self.flows.get(pkt.flow as usize) {
                         let due = self.now + meta.cnp_delay;
                         let src = meta.src;
-                        self.queue.push(due, Event::Cnp { host: src, flow: pkt.flow });
+                        self.push_heap_routed(due, src, Event::Cnp { host: src, flow: pkt.flow });
                     }
                 }
             }
@@ -888,7 +1113,10 @@ impl Network {
                     .record(self.now.0, pkt.bytes);
             }
         }
-        // Flow completion.
+        // Flow completion. Destination-side accounting happens here; the
+        // *source* host retires the flow via a `SourceDone` event one
+        // control-RTT later, so completion never mutates remote state at
+        // the delivery instant (the source may live in another shard).
         let finished = {
             let Some(meta) = self.flows.get_mut(pkt.flow as usize) else {
                 return;
@@ -897,19 +1125,27 @@ impl Network {
             match meta.total {
                 Some(total) if !meta.finished && meta.delivered >= total => {
                     meta.finished = true;
-                    Some((meta.src, meta.src_index))
+                    Some((meta.src, meta.cnp_delay))
                 }
                 _ => None,
             }
         };
-        if let Some((src, src_index)) = finished {
+        if let Some((src, cnp_delay)) = finished {
             self.ledger.on_finish(pkt.flow, self.now.0);
             self.tel.on_flow_finish(pkt.flow, self.now.0);
-            self.host_mut(src).flows.retain(|f| f.id != pkt.flow);
             self.host_mut(node).cnp_gens.remove(&pkt.flow);
-            if self.workload.is_some() {
-                self.spawn_from_workload(src_index);
-            }
+            let due = self.now + cnp_delay;
+            self.push_heap_routed(due, src, Event::SourceDone { host: src, flow: pkt.flow });
+        }
+    }
+
+    /// The completion notification reaching the source host: drop the
+    /// flow from its active set and let the workload backfill the slot.
+    fn on_source_done(&mut self, host: NodeId, flow: u64) {
+        let src_index = self.host(host).index;
+        self.host_mut(host).flows.retain(|f| f.id != flow);
+        if self.workload.is_some() {
+            self.spawn_from_workload(src_index);
         }
     }
 
@@ -1204,23 +1440,29 @@ impl Network {
         self.trace_dcqcn(flow, rate);
     }
 
-    fn on_monitor_tick(&mut self) {
-        // Engine-probe occupancy sample: the monitor tick is the probe's
-        // cadence, so the hot dispatch path never pays for gauge updates.
-        if self.tel.probe.is_some() {
-            let heap = self.queue.heap_len() as u64;
-            let lanes = self.queue.lane_lens().map(|l| l as u64);
-            let pool_slots = self.queue.pool_slots() as u64;
-            let pool_free = self.queue.free_slots() as u64;
-            let ctrl_backlog = self.ports.ctrl_backlog_frames();
-            let qs = self.queue.stats();
-            if let Some(p) = self.tel.probe.as_deref_mut() {
-                p.queue_sample(heap, lanes, pool_slots, pool_free, ctrl_backlog);
-                p.pushes_inline = qs.pushes_inline;
-                p.pushes_pooled = qs.pushes_pooled;
-                p.pool_grown = qs.pool_grown;
-            }
+    /// Engine-probe occupancy sample, at the monitor cadence (so the hot
+    /// dispatch path never pays for gauge updates). Also the sharded
+    /// engine's per-shard barrier hook.
+    pub(crate) fn probe_queue_sample(&mut self) {
+        if self.tel.probe.is_none() {
+            return;
         }
+        let heap = self.queue.heap_len() as u64;
+        let lanes = self.queue.lane_lens().map(|l| l as u64);
+        let pool_slots = self.queue.pool_slots() as u64;
+        let pool_free = self.queue.free_slots() as u64;
+        let ctrl_backlog = self.ports.ctrl_backlog_frames();
+        let qs = self.queue.stats();
+        if let Some(p) = self.tel.probe.as_deref_mut() {
+            p.queue_sample(heap, lanes, pool_slots, pool_free, ctrl_backlog);
+            p.pushes_inline = qs.pushes_inline;
+            p.pushes_pooled = qs.pushes_pooled;
+            p.pool_grown = qs.pool_grown;
+        }
+    }
+
+    fn on_monitor_tick(&mut self) {
+        self.probe_queue_sample();
         let backlog = self.backlogged();
         let progressed = self.stats.delivered_packets > self.last_monitor_delivered;
         self.last_monitor_delivered = self.stats.delivered_packets;
@@ -1327,9 +1569,10 @@ impl Network {
                 let ps = &self.ports[node.0 as usize][port];
                 (ps.peer, ps.peer_port)
             };
-            self.queue.push_fifo(
+            self.push_wire(
                 EventQueue::LANE_CTRL_OOB,
                 self.now + tau,
+                peer,
                 Event::CtrlApply { node: peer, port: peer_port, prio, payload, cause },
             );
             return;
@@ -1404,9 +1647,16 @@ impl Network {
         let mark = match (self.is_host(node), self.cfg.ecn) {
             (false, Some(m)) => {
                 // Mark against the virtual output queue: everything in the
-                // node currently destined to this egress.
+                // node currently destined to this egress. The uniform draw
+                // is a node-local counter hash (see `ecn_seq`), not a
+                // shared-stream draw, so the sequence is identical whether
+                // this node runs in the sequential engine or in a shard.
                 let qlen = self.ports[n][port].pq(prio).eg.voq_bytes;
-                let u: f64 = self.rng.gen_range(0.0..1.0);
+                let k = self.ecn_seq[n];
+                self.ecn_seq[n] = k + 1;
+                let h =
+                    splitmix(self.cfg.seed ^ 0x9E37_79B9_7F4A_7C15 ^ (u64::from(node.0) << 40) ^ k);
+                let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
                 m.should_mark(qlen, u)
             }
             _ => false,
@@ -1444,9 +1694,10 @@ impl Network {
                 (ps.peer, ps.peer_port)
             };
             let due = self.now + self.cfg.prop_delay + self.cfg.ctrl_proc_delay;
-            self.queue.push_fifo(
+            self.push_wire(
                 EventQueue::LANE_CTRL,
                 due,
+                peer,
                 Event::CtrlApply {
                     node: peer,
                     port: peer_port,
@@ -1470,9 +1721,10 @@ impl Network {
         // Hand the frame to the wire — moved into the event pool by
         // value, no per-hop clone. Constant propagation delay ⇒ arrivals
         // are due in push order: they ride the O(1) FIFO lane.
-        self.queue.push_fifo(
+        self.push_wire(
             EventQueue::LANE_ARRIVE,
             self.now + self.cfg.prop_delay,
+            peer,
             Event::Arrive { node: peer, port: peer_port, pkt },
         );
         // Release the local ingress charge (switch transit traffic).

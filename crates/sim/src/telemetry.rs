@@ -259,7 +259,9 @@ impl SimTelemetry {
         occupancy: u64,
     ) {
         self.reg.inc(self.enqueues, 1);
-        self.reg.gauge_set(self.ingress_hwm, occupancy);
+        // Ratcheted, not last-write: the high-water gauge must merge
+        // commutatively across shards of a partitioned run.
+        self.reg.gauge_set_max(self.ingress_hwm, occupancy);
         self.reg.observe(self.occupancy_hist, occupancy);
         if self.rec.is_enabled() {
             self.rec.record(record(

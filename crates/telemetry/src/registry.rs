@@ -122,6 +122,20 @@ impl MetricsRegistry {
         }
     }
 
+    /// Ratchet a gauge: keep the maximum of the current value and
+    /// `value`, so the gauge *is* its high-water mark. Max is commutative
+    /// and associative, which makes such gauges mergeable across shards
+    /// of a partitioned run — unlike last-write `gauge_set` values, which
+    /// depend on observation order.
+    #[inline]
+    pub fn gauge_set_max(&mut self, id: GaugeId, value: u64) {
+        if self.enabled {
+            let g = &mut self.gauges[id.0].1;
+            g.value = g.value.max(value);
+            g.high_water = g.high_water.max(value);
+        }
+    }
+
     /// Record one observation into a histogram.
     #[inline]
     pub fn observe(&mut self, id: HistId, value: u64) {
@@ -630,6 +644,15 @@ mod tests {
         reg.gauge_set(g, 10);
         reg.gauge_set(g, 3);
         assert_eq!(reg.snapshot().gauge("g"), Some((3, 10)));
+    }
+
+    #[test]
+    fn ratcheted_gauge_keeps_the_maximum() {
+        let mut reg = MetricsRegistry::new();
+        let g = reg.gauge("g");
+        reg.gauge_set_max(g, 10);
+        reg.gauge_set_max(g, 3);
+        assert_eq!(reg.snapshot().gauge("g"), Some((10, 10)), "value must equal the high-water");
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //!   deadlock-free up/down-restricted routing;
 //! * [`scenarios`] — the Fig. 1 deadlock ring, the sparse ring (CBD-prone
 //!   by the prefilter yet exactly deadlock-free), and the §7 incast;
+//! * [`partition`] — node-to-domain assignments for the sharded parallel
+//!   engine (per-pod, ring arcs, contiguous chunks);
 //! * [`render`] — shared hop-chain rendering for cycle diagnostics.
 
 #![forbid(unsafe_code)]
@@ -24,6 +26,7 @@
 pub mod cbd;
 pub mod fattree;
 pub mod graph;
+pub mod partition;
 pub mod render;
 pub mod routing;
 pub mod scenarios;
@@ -31,5 +34,6 @@ pub mod scenarios;
 pub use cbd::{Condensation, DepGraph, PeelOutcome, Scc};
 pub use fattree::FatTree;
 pub use graph::{DirLink, LinkId, NodeId, NodeKind, Topology};
+pub use partition::Partition;
 pub use routing::{Routing, SpfRouting, WalkError};
 pub use scenarios::{Incast, Ring, SparseRing};

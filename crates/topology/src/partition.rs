@@ -1,0 +1,196 @@
+//! Fabric partitioning for the sharded parallel engine.
+//!
+//! A [`Partition`] assigns every node of a topology to one of `P`
+//! *domains*. The sharded engine (in `gfc-sim`) runs one event queue per
+//! domain; traffic whose target node lives in another domain crosses a
+//! conservative time-window barrier. Any total assignment is *correct* —
+//! bit-identical replay does not depend on the cut — but a good cut keeps
+//! most traffic domain-internal:
+//!
+//! * [`Partition::by_pods`] — one domain per fat-tree pod, with core
+//!   switches dealt round-robin across pods (cores have no natural pod);
+//! * [`Partition::ring_arcs`] — contiguous arcs of a deadlock ring, each
+//!   host following its access switch;
+//! * [`Partition::contiguous`] — node-id range chunks, for arbitrary
+//!   topologies and randomized-partition tests;
+//! * [`Partition::single`] — the trivial one-domain partition.
+
+use crate::fattree::FatTree;
+use crate::graph::NodeId;
+use crate::scenarios::Ring;
+
+/// A total assignment of topology nodes to dense domain ids `0..P`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// `domain_of[node.0]` is the node's domain.
+    domain_of: Vec<u32>,
+    /// Number of domains (every id in `0..num_domains` is occupied).
+    num_domains: usize,
+}
+
+impl Partition {
+    /// Build from an explicit per-node domain vector. Domain ids must be
+    /// dense: every id in `0..=max` occurs at least once.
+    ///
+    /// # Panics
+    /// If `domain_of` is empty or some domain id below the maximum is
+    /// unused.
+    pub fn from_domain_of(domain_of: Vec<u32>) -> Self {
+        assert!(!domain_of.is_empty(), "partition over an empty node set");
+        let num_domains = domain_of.iter().copied().max().expect("non-empty") as usize + 1;
+        let mut seen = vec![false; num_domains];
+        for &d in &domain_of {
+            seen[d as usize] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "domain ids must be dense: some id below the maximum is unused"
+        );
+        Partition { domain_of, num_domains }
+    }
+
+    /// The trivial partition: every node in domain 0.
+    pub fn single(num_nodes: usize) -> Self {
+        Partition::from_domain_of(vec![0; num_nodes])
+    }
+
+    /// Chunk node ids into `domains` near-equal contiguous ranges. Works
+    /// for any topology; the workhorse of randomized-partition tests.
+    ///
+    /// # Panics
+    /// If `domains` is zero or exceeds `num_nodes`.
+    pub fn contiguous(num_nodes: usize, domains: usize) -> Self {
+        assert!(domains > 0, "need at least one domain");
+        assert!(domains <= num_nodes, "more domains than nodes");
+        let domain_of =
+            (0..num_nodes).map(|n| u32::try_from(n * domains / num_nodes).unwrap()).collect();
+        Partition::from_domain_of(domain_of)
+    }
+
+    /// One domain per pod of a fat-tree: each pod's hosts, edge switches,
+    /// and aggregation switches share a domain, and the (pod-less) core
+    /// switches are dealt round-robin across the pod domains.
+    pub fn by_pods(ft: &FatTree) -> Self {
+        let num_nodes = ft.topo.num_nodes();
+        let mut domain_of = vec![u32::MAX; num_nodes];
+        let half = ft.k / 2;
+        for (i, h) in ft.hosts.iter().enumerate() {
+            domain_of[h.0 as usize] = u32::try_from(i / (half * half)).unwrap();
+        }
+        for (i, e) in ft.edges.iter().enumerate() {
+            domain_of[e.0 as usize] = u32::try_from(i / half).unwrap();
+        }
+        for (i, a) in ft.aggs.iter().enumerate() {
+            domain_of[a.0 as usize] = u32::try_from(i / half).unwrap();
+        }
+        for (c, core) in ft.cores.iter().enumerate() {
+            domain_of[core.0 as usize] = u32::try_from(c % ft.k).unwrap();
+        }
+        assert!(domain_of.iter().all(|&d| d != u32::MAX), "fat-tree node missing a tier");
+        Partition::from_domain_of(domain_of)
+    }
+
+    /// Split a deadlock ring into `arcs` contiguous arcs of switches, each
+    /// host joining its access switch's domain.
+    ///
+    /// # Panics
+    /// If `arcs` is zero or exceeds the switch count.
+    pub fn ring_arcs(ring: &Ring, arcs: usize) -> Self {
+        let n = ring.switches.len();
+        assert!(arcs > 0, "need at least one arc");
+        assert!(arcs <= n, "more arcs than switches");
+        let mut domain_of = vec![u32::MAX; ring.topo.num_nodes()];
+        for (i, s) in ring.switches.iter().enumerate() {
+            let d = u32::try_from(i * arcs / n).unwrap();
+            domain_of[s.0 as usize] = d;
+            domain_of[ring.hosts[i].0 as usize] = d;
+        }
+        assert!(domain_of.iter().all(|&d| d != u32::MAX), "ring node outside host/switch lists");
+        Partition::from_domain_of(domain_of)
+    }
+
+    /// Number of domains.
+    pub fn num_domains(&self) -> usize {
+        self.num_domains
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.domain_of.len()
+    }
+
+    /// Whether the partition covers no nodes (never true for a validated
+    /// partition; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.domain_of.is_empty()
+    }
+
+    /// The domain of `node`.
+    #[inline]
+    pub fn domain_of(&self, node: NodeId) -> usize {
+        self.domain_of[node.0 as usize] as usize
+    }
+
+    /// The full per-node domain vector.
+    pub fn domains(&self) -> &[u32] {
+        &self.domain_of
+    }
+
+    /// Node count of domain `d`.
+    pub fn size_of(&self, d: usize) -> usize {
+        let d = u32::try_from(d).unwrap();
+        self.domain_of.iter().filter(|&&x| x == d).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_covers_all_nodes_evenly() {
+        let p = Partition::contiguous(10, 4);
+        assert_eq!(p.num_domains(), 4);
+        assert_eq!(p.len(), 10);
+        for d in 0..4 {
+            assert!(p.size_of(d) >= 2, "domain {d} too small: {}", p.size_of(d));
+        }
+    }
+
+    #[test]
+    fn by_pods_groups_pod_members_and_deals_cores() {
+        let ft = FatTree::new(4);
+        let p = Partition::by_pods(&ft);
+        assert_eq!(p.num_domains(), 4);
+        assert_eq!(p.len(), ft.topo.num_nodes());
+        for (i, h) in ft.hosts.iter().enumerate() {
+            assert_eq!(p.domain_of(*h), ft.pod_of_host(i), "host {i} outside its pod domain");
+        }
+        for (i, e) in ft.edges.iter().enumerate() {
+            assert_eq!(p.domain_of(*e), i / 2);
+        }
+        // k = 4 has 4 cores dealt across 4 pods: one each.
+        for d in 0..4 {
+            assert_eq!(p.size_of(d), ft.topo.num_nodes() / 4);
+        }
+    }
+
+    #[test]
+    fn ring_arcs_keeps_hosts_with_their_switches() {
+        let ring = Ring::new(6);
+        let p = Partition::ring_arcs(&ring, 3);
+        assert_eq!(p.num_domains(), 3);
+        for (i, s) in ring.switches.iter().enumerate() {
+            assert_eq!(p.domain_of(*s), p.domain_of(ring.hosts[i]));
+        }
+        // Contiguous arcs: switch domains are monotone around the cycle.
+        let doms: Vec<usize> = ring.switches.iter().map(|s| p.domain_of(*s)).collect();
+        assert!(doms.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn sparse_domain_ids_are_rejected() {
+        Partition::from_domain_of(vec![0, 2]);
+    }
+}

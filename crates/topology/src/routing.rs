@@ -67,7 +67,9 @@ fn mix64(mut x: u64) -> u64 {
 }
 
 /// Shortest-path-first routing oracle with per-destination memoization.
-#[derive(Debug, Default)]
+/// `Clone` duplicates the cache, not just the config — harmless, since
+/// every tree is a pure function of the topology.
+#[derive(Debug, Clone, Default)]
 pub struct SpfRouting {
     trees: HashMap<NodeId, DstTree>,
 }
@@ -125,7 +127,7 @@ impl SpfRouting {
 /// A routing decision source for flows: SPF with ECMP, or explicit
 /// per-flow static paths (used by configured scenarios such as the Fig. 1
 /// ring, where the paper's routes are deliberately not shortest).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum Routing {
     /// Shortest-path-first with deterministic ECMP.
     Spf(SpfRouting),

@@ -70,10 +70,10 @@ pub mod prelude {
     pub use gfc_core::units::{kb, mb, Dur, Rate, Time};
     pub use gfc_core::{LinearMapping, RateLimiter, StageTable};
     pub use gfc_sim::{
-        ClosedLoopWorkload, FcMode, FlowRequest, ListWorkload, Network, SimConfig, SpanOutcome,
-        TelemetryConfig, TimelineConfig, TraceConfig, Workload,
+        ClosedLoopWorkload, FcMode, FlowRequest, ListWorkload, Network, ShardedNetwork, SimConfig,
+        SpanOutcome, TelemetryConfig, TimelineConfig, TraceConfig, Workload,
     };
     pub use gfc_telemetry::{names as metric_names, ChromeTrace, Percentiles, Snapshot};
-    pub use gfc_topology::{FatTree, Incast, Ring, Routing, Topology};
+    pub use gfc_topology::{FatTree, Incast, Partition, Ring, Routing, Topology};
     pub use gfc_workload::{DestPolicy, EmpiricalCdf, FlowSizeDist};
 }
